@@ -1,0 +1,531 @@
+//! cuZFP (§ II): fixed-rate transform coding on 4^d blocks.
+//!
+//! Faithful to ZFP's architecture: per-block common-exponent fixed-point
+//! promotion, an exactly-invertible integer decorrelating transform,
+//! total-degree coefficient reordering, negabinary mapping, and
+//! MSB-first bit-plane coding truncated to the rate budget.
+//!
+//! One documented substitution (see DESIGN.md): the decorrelating
+//! transform is a two-level S-transform (average/difference, the 5/3
+//! wavelet's integer core) rather than ZFP's patented lifted transform.
+//! Both are integer, orthogonal-ish, exactly invertible smoothing
+//! decorrelators; rate-distortion differs by a constant factor, not in
+//! shape. As in the paper, cuZFP supports *rate*, not error bounds —
+//! Table III reports it N/A and Fig. 7 sweeps its rate.
+
+use cuszi_core::{Codec, CodecArtifacts, CuszError};
+use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
+use cuszi_tensor::{NdArray, Shape};
+use parking_lot::Mutex;
+
+use crate::common::{read_header, write_header};
+
+const MAGIC: &[u8; 4] = b"CZFP";
+/// Fixed-point fraction bits (transform growth of 8x keeps i32 safe).
+const FRAC_BITS: i32 = 25;
+const NBMASK: u32 = 0xAAAA_AAAA;
+
+/// Forward average/difference pair: exactly invertible.
+#[inline]
+fn fwd2(a: i32, b: i32) -> (i32, i32) {
+    (((a as i64 + b as i64) >> 1) as i32, a - b)
+}
+
+/// Inverse of [`fwd2`].
+#[inline]
+fn inv2(s: i32, d: i32) -> (i32, i32) {
+    let a = s + ((d + (d & 1)) >> 1);
+    (a, a - d)
+}
+
+/// Two-level 4-point forward transform; output ordered by "degree":
+/// `[DC, coarse diff, fine diff 0, fine diff 1]`.
+#[inline]
+fn fwd4(v: [i32; 4]) -> [i32; 4] {
+    let (s0, d0) = fwd2(v[0], v[1]);
+    let (s1, d1) = fwd2(v[2], v[3]);
+    let (ss, ds) = fwd2(s0, s1);
+    [ss, ds, d0, d1]
+}
+
+#[inline]
+fn inv4(v: [i32; 4]) -> [i32; 4] {
+    let (s0, s1) = inv2(v[0], v[1]);
+    let (a, b) = inv2(s0, v[2]);
+    let (c, d) = inv2(s1, v[3]);
+    [a, b, c, d]
+}
+
+#[inline]
+fn negabinary(x: i32) -> u32 {
+    (x as u32).wrapping_add(NBMASK) ^ NBMASK
+}
+
+#[inline]
+fn from_negabinary(y: u32) -> i32 {
+    ((y ^ NBMASK).wrapping_sub(NBMASK)) as i32
+}
+
+/// Degree weight of each transformed position.
+const DEGREE: [u32; 4] = [0, 1, 2, 2];
+
+/// Coefficient visit order for a rank: positions sorted by total degree
+/// (low-frequency first), ties by linear index.
+fn reorder(rank: usize) -> Vec<usize> {
+    let dims: [usize; 3] = match rank {
+        1 => [1, 1, 4],
+        2 => [1, 4, 4],
+        _ => [4, 4, 4],
+    };
+    let mut idx: Vec<usize> = (0..dims[0] * dims[1] * dims[2]).collect();
+    idx.sort_by_key(|&i| {
+        let z = i / (dims[1] * dims[2]);
+        let y = (i / dims[2]) % dims[1];
+        let x = i % dims[2];
+        (DEGREE[z] + DEGREE[y] + DEGREE[x], i)
+    });
+    idx
+}
+
+/// Apply the transform along every active axis of a 4^rank block.
+fn transform_block(block: &mut [i32], rank: usize, forward: bool) {
+    let dims: [usize; 3] = match rank {
+        1 => [1, 1, 4],
+        2 => [1, 4, 4],
+        _ => [4, 4, 4],
+    };
+    let strides = [dims[1] * dims[2], dims[2], 1];
+    // The inverse must undo the axes in reverse order.
+    let axes: Vec<usize> = if forward {
+        ((3 - rank)..3).collect()
+    } else {
+        ((3 - rank)..3).rev().collect()
+    };
+    for axis in axes {
+        let s = strides[axis];
+        // Lines along `axis`.
+        for a in 0..dims[(axis + 1) % 3].max(1) {
+            for b in 0..dims[(axis + 2) % 3].max(1) {
+                let base = a * strides[(axis + 1) % 3] + b * strides[(axis + 2) % 3];
+                let mut line = [0i32; 4];
+                for (k, l) in line.iter_mut().enumerate() {
+                    *l = block[base + k * s];
+                }
+                let out = if forward { fwd4(line) } else { inv4(line) };
+                for (k, &v) in out.iter().enumerate() {
+                    block[base + k * s] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Per-block encoded bit budget for a rate.
+fn block_bits(rate: f64, elems: usize) -> usize {
+    ((rate * elems as f64).ceil() as usize).max(16)
+}
+
+/// Encoded byte length of one block.
+fn block_bytes(rate: f64, elems: usize) -> usize {
+    let bits = block_bits(rate, elems);
+    let planes = ((bits - 16) / elems).min(32);
+    (16 + planes * elems).div_ceil(8)
+}
+
+fn encode_block(vals: &[f32], rank: usize, rate: f64) -> Vec<u8> {
+    let elems = vals.len();
+    debug_assert_eq!(elems, 4usize.pow(rank as u32));
+    let budget = block_bits(rate, elems);
+    let nplanes = ((budget - 16) / elems).min(32);
+    let nbytes = (16 + nplanes * elems).div_ceil(8);
+    let mut out = vec![0u8; nbytes];
+
+    let maxabs = vals.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if maxabs == 0.0 || nplanes == 0 {
+        // Zero block: header only (flag bit stays 0).
+        return out;
+    }
+    // emax: max |v| < 2^emax.
+    let emax = (maxabs.log2().floor() as i32) + 1;
+
+    // Fixed point.
+    let scale = (FRAC_BITS - emax) as f64;
+    let mut q: Vec<i32> = vals
+        .iter()
+        .map(|&v| ((v as f64) * scale.exp2()).round() as i32)
+        .collect();
+    transform_block(&mut q, rank, true);
+    let order = reorder(rank);
+    let nb: Vec<u32> = order.iter().map(|&i| negabinary(q[i])).collect();
+
+    // Per-block precision alignment: emit planes downward from the
+    // highest *occupied* bit-plane (what ZFP's group testing achieves
+    // bit-by-bit); the top plane travels in the header.
+    let top = match nb.iter().map(|&c| 32 - c.leading_zeros()).max().unwrap_or(0) {
+        0 => return out, // all coefficients zero: keep the zero-block flag
+        bits => bits as usize - 1,
+    };
+    let header: u16 = 1 | (((emax + 256) as u16) << 1) | ((top as u16) << 10);
+    out[0] = header as u8;
+    out[1] = (header >> 8) as u8;
+
+    let emit = nplanes.min(top + 1);
+    let mut bitpos = 16usize;
+    for plane in (top + 1 - emit..=top).rev() {
+        for &c in &nb {
+            if (c >> plane) & 1 != 0 {
+                out[bitpos / 8] |= 1 << (7 - bitpos % 8);
+            }
+            bitpos += 1;
+        }
+    }
+    out
+}
+
+fn decode_block(src: &[u8], rank: usize, rate: f64) -> Result<Vec<f32>, CuszError> {
+    let elems = 4usize.pow(rank as u32);
+    let budget = block_bits(rate, elems);
+    let nplanes = ((budget - 16) / elems).min(32);
+    let nbytes = (16 + nplanes * elems).div_ceil(8);
+    if src.len() != nbytes {
+        return Err(CuszError::CorruptArchive("zfp block size mismatch"));
+    }
+    let header = src[0] as u16 | ((src[1] as u16) << 8);
+    if header & 1 == 0 {
+        return Ok(vec![0.0; elems]);
+    }
+    let emax = (((header >> 1) & 0x1FF) as i32) - 256;
+    if !(-200..200).contains(&emax) {
+        return Err(CuszError::CorruptArchive("zfp exponent out of range"));
+    }
+    let top = ((header >> 10) & 0x1F) as usize;
+
+    let emit = nplanes.min(top + 1);
+    let mut nb = vec![0u32; elems];
+    let mut bitpos = 16usize;
+    for plane in (top + 1 - emit..=top).rev() {
+        for c in nb.iter_mut() {
+            if (src[bitpos / 8] >> (7 - bitpos % 8)) & 1 != 0 {
+                *c |= 1 << plane;
+            }
+            bitpos += 1;
+        }
+    }
+    let order = reorder(rank);
+    let mut q = vec![0i32; elems];
+    for (k, &i) in order.iter().enumerate() {
+        q[i] = from_negabinary(nb[k]);
+    }
+    transform_block(&mut q, rank, false);
+    let scale = (emax - FRAC_BITS) as f64;
+    Ok(q.iter().map(|&v| ((v as f64) * scale.exp2()) as f32).collect())
+}
+
+/// The cuZFP baseline codec (fixed rate in bits/value).
+#[derive(Clone, Copy, Debug)]
+pub struct Cuzfp {
+    /// Bits per value (e.g. 4.0 for 8:1 on f32).
+    pub rate: f64,
+    pub device: DeviceSpec,
+}
+
+impl Cuzfp {
+    /// Fixed-rate configuration.
+    pub fn new(rate: f64, device: DeviceSpec) -> Self {
+        Cuzfp { rate, device }
+    }
+}
+
+fn block_grid(shape: Shape) -> (Vec<[usize; 3]>, [usize; 3]) {
+    let bc = shape.block_counts([4.min(shape.dims3()[0]).max(1), 4, 4]);
+    // Block decomposition is always over 4^rank tiles on active axes.
+    let dims = shape.dims3();
+    let rank = shape.rank();
+    let counts = [
+        if rank == 3 { dims[0].div_ceil(4) } else { 1 },
+        if rank >= 2 { dims[1].div_ceil(4) } else { 1 },
+        dims[2].div_ceil(4),
+    ];
+    let mut origins = Vec::with_capacity(counts.iter().product());
+    for z in 0..counts[0] {
+        for y in 0..counts[1] {
+            for x in 0..counts[2] {
+                origins.push([z * 4, y * 4, x * 4]);
+            }
+        }
+    }
+    let _ = bc;
+    (origins, counts)
+}
+
+impl Codec for Cuzfp {
+    fn name(&self) -> &'static str {
+        "cuZFP"
+    }
+
+    fn compress_bytes(&self, data: &NdArray<f32>) -> Result<(Vec<u8>, CodecArtifacts), CuszError> {
+        if !(self.rate.is_finite() && self.rate > 0.0 && self.rate <= 34.0) {
+            return Err(CuszError::InvalidConfig("zfp rate must be in (0, 34]"));
+        }
+        if !data.all_finite() {
+            return Err(CuszError::NonFiniteInput);
+        }
+        let shape = data.shape();
+        let rank = shape.rank();
+        let elems = 4usize.pow(rank as u32);
+        let (origins, _) = block_grid(shape);
+        let bbytes = block_bytes(self.rate, elems);
+
+        let mut out = write_header(MAGIC, shape, self.rate);
+        let base = out.len();
+        out.resize(base + origins.len() * bbytes, 0);
+
+        let stats = {
+            let src = GlobalRead::new(data.as_slice());
+            let dst = GlobalWrite::new(&mut out[base..]);
+            launch(&self.device, Grid::linear(origins.len().max(1) as u32, 256), |ctx| {
+                let b = ctx.block_linear() as usize;
+                if b >= origins.len() {
+                    return;
+                }
+                // Bill the gather (strided rows of 4 floats).
+                let o = origins[b];
+                let dims = shape.dims3();
+                let mut idx = Vec::with_capacity(elems);
+                let ext = |a: usize| if a >= 3 - rank { 4 } else { 1 };
+                for z in 0..ext(0) {
+                    for y in 0..ext(1) {
+                        for x in 0..ext(2) {
+                            idx.push(shape.index3(
+                                (o[0] + z).min(dims[0] - 1),
+                                (o[1] + y).min(dims[1] - 1),
+                                (o[2] + x).min(dims[2] - 1),
+                            ));
+                        }
+                    }
+                }
+                let mut vals = vec![0f32; elems];
+                ctx.read_gather(&src, &idx, &mut vals);
+                ctx.add_flops(elems as u64 * 12);
+                let enc = encode_block(&vals, rank, self.rate);
+                ctx.write_span(&dst, b * bbytes, &enc);
+            })
+        };
+        Ok((out, CodecArtifacts { kernels: vec![stats] }))
+    }
+
+    fn decompress_bytes(&self, bytes: &[u8]) -> Result<(NdArray<f32>, CodecArtifacts), CuszError> {
+        let (shape, rate) = read_header(bytes, MAGIC)?;
+        if !(rate > 0.0 && rate <= 34.0) {
+            return Err(CuszError::CorruptArchive("zfp rate out of range"));
+        }
+        let rank = shape.rank();
+        let elems = 4usize.pow(rank as u32);
+        let bbytes = block_bytes(rate, elems);
+        // Validate the payload size arithmetically *before* materializing
+        // the origin table: a corrupt header with huge dims must not
+        // drive the table allocation.
+        let dims = shape.dims3();
+        let expected_blocks: u64 = [
+            if rank == 3 { dims[0].div_ceil(4) } else { 1 },
+            if rank >= 2 { dims[1].div_ceil(4) } else { 1 },
+            dims[2].div_ceil(4),
+        ]
+        .iter()
+        .map(|&c| c as u64)
+        .product();
+        let payload = &bytes[crate::common::BASE_HEADER_LEN..];
+        if payload.len() as u64 != expected_blocks * bbytes as u64 {
+            return Err(CuszError::CorruptArchive("zfp payload size mismatch"));
+        }
+        let (origins, _) = block_grid(shape);
+
+        let mut out = vec![0f32; shape.len()];
+        let failed: Mutex<Option<CuszError>> = Mutex::new(None);
+        let stats = {
+            let src = GlobalRead::new(payload);
+            let dst = GlobalWrite::new(&mut out);
+            launch(&self.device, Grid::linear(origins.len().max(1) as u32, 256), |ctx| {
+                let b = ctx.block_linear() as usize;
+                if b >= origins.len() {
+                    return;
+                }
+                let mut buf = vec![0u8; bbytes];
+                ctx.read_span(&src, b * bbytes, &mut buf);
+                let vals = match decode_block(&buf, rank, rate) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        *failed.lock() = Some(e);
+                        return;
+                    }
+                };
+                ctx.add_flops(elems as u64 * 12);
+                // Scatter the valid (unpadded) region.
+                let o = origins[b];
+                let ext = |a: usize| if a >= 3 - rank { 4 } else { 1 };
+                let mut idx = Vec::new();
+                let mut v = Vec::new();
+                for z in 0..ext(0) {
+                    for y in 0..ext(1) {
+                        for x in 0..ext(2) {
+                            if o[0] + z < dims[0] && o[1] + y < dims[1] && o[2] + x < dims[2] {
+                                idx.push(shape.index3(o[0] + z, o[1] + y, o[2] + x));
+                                v.push(vals[(z * ext(1) + y) * ext(2) + x]);
+                            }
+                        }
+                    }
+                }
+                ctx.write_scatter(&dst, &idx, &v);
+            })
+        };
+        if let Some(e) = failed.into_inner() {
+            return Err(e);
+        }
+        Ok((NdArray::from_vec(shape, out), CodecArtifacts { kernels: vec![stats] }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_gpu_sim::A100;
+    use cuszi_metrics::distortion;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fwd2_inv2_roundtrip_exhaustive_small() {
+        for a in -50i32..50 {
+            for b in -50i32..50 {
+                let (s, d) = fwd2(a, b);
+                assert_eq!(inv2(s, d), (a, b), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip_3d() {
+        let mut block: Vec<i32> = (0..64).map(|i| (i * i) as i32 - 1000).collect();
+        let orig = block.clone();
+        transform_block(&mut block, 3, true);
+        assert_ne!(block, orig, "transform must do something");
+        transform_block(&mut block, 3, false);
+        assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn negabinary_roundtrip() {
+        for x in [0i32, 1, -1, 12345, -54321, i32::MAX / 2, i32::MIN / 2] {
+            assert_eq!(from_negabinary(negabinary(x)), x);
+        }
+    }
+
+    #[test]
+    fn negabinary_of_small_values_has_high_zero_planes() {
+        // The property bit-plane truncation relies on: small magnitudes
+        // occupy only low planes.
+        assert_eq!(negabinary(0), 0);
+        assert!(negabinary(3).leading_zeros() >= 28);
+    }
+
+    #[test]
+    fn reorder_puts_dc_first() {
+        let r3 = reorder(3);
+        assert_eq!(r3[0], 0);
+        assert_eq!(r3.len(), 64);
+        let mut sorted = r3.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn high_rate_block_is_near_lossless() {
+        let vals: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.3).sin() * 7.0).collect();
+        let enc = encode_block(&vals, 3, 30.0);
+        let dec = decode_block(&enc, 3, 30.0).unwrap();
+        for (a, b) in vals.iter().zip(&dec) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_block_is_exact() {
+        let vals = vec![0.0f32; 64];
+        let enc = encode_block(&vals, 3, 8.0);
+        assert_eq!(decode_block(&enc, 3, 8.0).unwrap(), vals);
+    }
+
+    #[test]
+    fn rate_controls_archive_size_exactly() {
+        let data = NdArray::from_fn(Shape::d3(16, 16, 16), |z, y, x| {
+            ((x + y + z) as f32 * 0.2).sin()
+        });
+        for rate in [2.0, 4.0, 8.0] {
+            let codec = Cuzfp::new(rate, A100);
+            let (bytes, _) = codec.compress_bytes(&data).unwrap();
+            let blocks = 4 * 4 * 4;
+            assert_eq!(
+                bytes.len(),
+                crate::common::BASE_HEADER_LEN + blocks * block_bytes(rate, 64)
+            );
+        }
+    }
+
+    #[test]
+    fn higher_rate_gives_higher_psnr() {
+        let data = NdArray::from_fn(Shape::d3(20, 20, 20), |z, y, x| {
+            ((x as f32) * 0.15).sin() * 2.0 + ((y as f32) * 0.1).cos() + (z as f32) * 0.05
+        });
+        let mut last = 0.0;
+        for rate in [2.0, 6.0, 12.0] {
+            let codec = Cuzfp::new(rate, A100);
+            let (bytes, _) = codec.compress_bytes(&data).unwrap();
+            let (recon, _) = codec.decompress_bytes(&bytes).unwrap();
+            let p = distortion(data.as_slice(), recon.as_slice()).unwrap().psnr;
+            assert!(p > last, "rate {rate}: {p} !> {last}");
+            last = p;
+        }
+        assert!(last > 60.0, "12 bits/value should exceed 60 dB: {last}");
+    }
+
+    #[test]
+    fn non_multiple_dims_roundtrip() {
+        let data = NdArray::from_fn(Shape::d3(7, 9, 11), |z, y, x| {
+            (x as f32) * 0.1 + (y as f32) * 0.2 + (z as f32) * 0.3
+        });
+        let codec = Cuzfp::new(16.0, A100);
+        let (bytes, _) = codec.compress_bytes(&data).unwrap();
+        let (recon, _) = codec.decompress_bytes(&bytes).unwrap();
+        let d = distortion(data.as_slice(), recon.as_slice()).unwrap();
+        assert!(d.psnr > 50.0, "{}", d.psnr);
+    }
+
+    #[test]
+    fn corrupt_archive_errors() {
+        let data = NdArray::from_fn(Shape::d2(8, 8), |_, y, x| (x + y) as f32);
+        let codec = Cuzfp::new(8.0, A100);
+        let (bytes, _) = codec.compress_bytes(&data).unwrap();
+        assert!(codec.decompress_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(codec.decompress_bytes(&bytes[..10]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transform_invertible(vals in proptest::collection::vec(-(1 << 25)..(1 << 25), 64)) {
+            let mut block: Vec<i32> = vals.clone();
+            transform_block(&mut block, 3, true);
+            transform_block(&mut block, 3, false);
+            prop_assert_eq!(block, vals);
+        }
+
+        #[test]
+        fn prop_block_roundtrip_bounded(vals in proptest::collection::vec(-100.0f32..100.0, 16)) {
+            let enc = encode_block(&vals, 2, 24.0);
+            let dec = decode_block(&enc, 2, 24.0).unwrap();
+            let maxv = vals.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let tol = (maxv as f64) * 1e-3 + 1e-5;
+            for (a, b) in vals.iter().zip(&dec) {
+                prop_assert!(((a - b).abs() as f64) < tol, "{} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion wall-clock benches of each pipeline stage (the per-kernel
+//! complement of the modelled Fig. 9 throughputs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuszi_datagen::{generate, DatasetKind, Scale};
+use cuszi_gpu_sim::A100;
+use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook};
+use cuszi_predict::tuning::InterpConfig;
+use cuszi_predict::{ginterp, lorenzo};
+use cuszi_tensor::stats::ValueRange;
+
+fn stage_benches(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Miranda, Scale::Small, 42);
+    let field = &ds.fields[0].data;
+    let bytes = (field.len() * 4) as u64;
+    let range = ValueRange::of(field.as_slice()).unwrap().range() as f64;
+    let eb = 1e-3 * range;
+    let cfg = InterpConfig::untuned(3);
+
+    let mut g = c.benchmark_group("predictors");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("ginterp_compress", |b| {
+        b.iter(|| ginterp::compress(field, eb, 512, &cfg, &A100))
+    });
+    g.bench_function("lorenzo_compress", |b| b.iter(|| lorenzo::compress(field, eb, 512, &A100)));
+    let gi = ginterp::compress(field, eb, 512, &cfg, &A100);
+    g.bench_function("ginterp_decompress", |b| {
+        b.iter(|| {
+            ginterp::decompress(
+                &gi.codes, &gi.anchors, &gi.outliers, field.shape(), eb, 512, &cfg, &A100,
+            )
+        })
+    });
+    let lo = lorenzo::compress(field, eb, 512, &A100);
+    g.bench_function("lorenzo_decompress", |b| {
+        b.iter(|| lorenzo::decompress(&lo.codes, &lo.outliers, field.shape(), eb, 512, &A100))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("lossless");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for k in [0usize, 32] {
+        g.bench_with_input(BenchmarkId::new("histogram_topk", k), &k, |b, &k| {
+            b.iter(|| histogram_gpu(&gi.codes, 1024, 512, k, &A100))
+        });
+    }
+    let (hist, _) = histogram_gpu(&gi.codes, 1024, 512, 32, &A100);
+    let book = Codebook::from_histogram(&hist).unwrap();
+    g.bench_function("codebook_build_cpu", |b| b.iter(|| Codebook::from_histogram(&hist)));
+    g.bench_function("huffman_encode", |b| b.iter(|| encode_gpu(&gi.codes, &book, &A100)));
+    let (stream, _) = encode_gpu(&gi.codes, &book, &A100);
+    g.bench_function("huffman_decode", |b| b.iter(|| decode_gpu(&stream, &book, &A100)));
+    let payload = stream.to_bytes();
+    g.bench_function("bitcomp_compress", |b| b.iter(|| cuszi_bitcomp::compress(&payload, &A100)));
+    let (packed, _) = cuszi_bitcomp::compress(&payload, &A100);
+    g.bench_function("bitcomp_decompress", |b| {
+        b.iter(|| cuszi_bitcomp::decompress(&packed, &A100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, stage_benches);
+criterion_main!(benches);

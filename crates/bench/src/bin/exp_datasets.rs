@@ -1,0 +1,33 @@
+//! Table II analogue: the evaluation datasets.
+//!
+//! Prints each synthetic dataset's fields, dimensions, size and basic
+//! statistics, alongside the production dataset it stands in for.
+
+use cuszi_bench::{parse_args, Table};
+use cuszi_datagen::{generate, DatasetKind};
+use cuszi_tensor::stats::ValueRange;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!("== Table II: evaluation datasets (synthetic analogues) ==\n");
+    let mut t = Table::new(vec!["dataset", "field", "dims", "MB", "min", "max"]);
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, scale, seed);
+        for f in &ds.fields {
+            let r = ValueRange::of(f.data.as_slice()).unwrap();
+            t.row(vec![
+                kind.name().to_string(),
+                f.name.to_string(),
+                f.data.shape().to_string(),
+                format!("{:.1}", f.data.len() as f64 * 4.0 / 1e6),
+                format!("{:.3}", r.min),
+                format!("{:.3}", r.max),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper dims available via --paper (JHTDB 512^3, Miranda 256x384x384, Nyx 512^3,\n\
+         QMCPack 33120x69x69, RTM 449x449x235, S3D 500^3)."
+    );
+}

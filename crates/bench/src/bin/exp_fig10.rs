@@ -1,0 +1,88 @@
+//! Fig. 10: distributed lossy data transmission — (transfer time)-PSNR
+//! curves on the six datasets over a ~1 GB/s Globus link, full
+//! pipelines (Bitcomp applied to every codec, as the paper does).
+//!
+//! total time = t_compress + archive/bandwidth + t_decompress, with the
+//! GPU codec times from the roofline model and QoZ at its published
+//! CPU rates. Local I/O excluded (as in the paper).
+
+use cuszi_baselines::qoz::QOZ_CPU_THROUGHPUT_GBPS;
+use cuszi_bench::roster::qoz_reference;
+use cuszi_bench::run::QOZ_DECOMP_GBPS;
+use cuszi_bench::{codec_roster, eval_codec, parse_args, Table};
+use cuszi_core::Codec;
+use cuszi_datagen::{generate, DatasetKind};
+use cuszi_gpu_sim::{TimingModel, A100};
+use cuszi_transfer::Scenario;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let scenario = Scenario::globus();
+    let model = TimingModel::new(A100);
+
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, scale, seed);
+        let field = &ds.fields[0];
+        let input = (field.data.len() * 4) as u64;
+        println!(
+            "\n== Fig. 10: transfer time vs PSNR on {} ({:.1} MB field, 1 GB/s link) ==\n",
+            kind.name(),
+            input as f64 / 1e6
+        );
+        let mut t = Table::new(vec!["codec", "eb", "PSNR dB", "time ms", "breakdown c/t/d ms"]);
+        for &eb in &[1e-2, 1e-3, 1e-4] {
+            for entry in codec_roster(eb, A100, true) {
+                if let Ok(r) = eval_codec(entry.codec.as_ref(), field) {
+                    let cost = scenario.cost_from_kernels(
+                        input,
+                        r.archive_bytes,
+                        &model,
+                        &r.comp_kernels,
+                        &r.decomp_kernels,
+                    );
+                    t.row(vec![
+                        entry.label.to_string(),
+                        format!("{eb:.0e}"),
+                        format!("{:.1}", r.psnr),
+                        format!("{:.1}", cost.total_s() * 1e3),
+                        format!(
+                            "{:.1}/{:.1}/{:.1}",
+                            cost.compress_s * 1e3,
+                            cost.transfer_s * 1e3,
+                            cost.decompress_s * 1e3
+                        ),
+                    ]);
+                }
+            }
+            // QoZ at published CPU rates.
+            let q = qoz_reference(eb);
+            if let Ok(r) = eval_codec(&q, field) {
+                let cost = scenario.cost(
+                    input,
+                    r.archive_bytes,
+                    QOZ_CPU_THROUGHPUT_GBPS,
+                    QOZ_DECOMP_GBPS,
+                );
+                t.row(vec![
+                    q.name().to_string(),
+                    format!("{eb:.0e}"),
+                    format!("{:.1}", r.psnr),
+                    format!("{:.1}", cost.total_s() * 1e3),
+                    format!(
+                        "{:.1}/{:.1}/{:.1}",
+                        cost.compress_s * 1e3,
+                        cost.transfer_s * 1e3,
+                        cost.decompress_s * 1e3
+                    ),
+                ]);
+            }
+        }
+        let raw = scenario.uncompressed_s(input) * 1e3;
+        t.print();
+        println!("uncompressed transfer: {raw:.1} ms");
+    }
+    println!(
+        "\n(Paper expectation: cuSZ-i best time at every PSNR >= 70 dB; QoZ's ratio\n\
+         advantage is erased by its CPU-speed compression.)"
+    );
+}

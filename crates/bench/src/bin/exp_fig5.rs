@@ -1,0 +1,79 @@
+//! Fig. 5: counts of nonzero quant-codes on Miranda-pressure for the
+//! CPU SZ3 interpolator, GPU G-Interp and GPU Lorenzo, at two
+//! value-range-relative error bounds.
+//!
+//! The paper's visual shows G-Interp's nonzero codes far sparser and
+//! smaller than Lorenzo's, approaching CPU SZ3; we print the counts and
+//! an amplitude histogram of |q|.
+
+use cuszi_bench::{parse_args, Table};
+use cuszi_datagen::{generate, DatasetKind};
+use cuszi_gpu_sim::A100;
+use cuszi_predict::cpu_interp::{self, CpuInterpParams};
+use cuszi_predict::tuning::InterpConfig;
+use cuszi_predict::{ginterp, lorenzo};
+use cuszi_tensor::stats::ValueRange;
+
+fn amplitude_buckets(codes: &[u16], radius: u16) -> (usize, [usize; 4]) {
+    // Buckets of |q|: 1-2, 3-8, 9-64, >64 (code 0 = outlier counts in the last).
+    let mut nonzero = 0usize;
+    let mut b = [0usize; 4];
+    for &c in codes {
+        let amp = if c == 0 { u32::MAX } else { (c as i32 - radius as i32).unsigned_abs() };
+        if amp == 0 {
+            continue;
+        }
+        nonzero += 1;
+        match amp {
+            1..=2 => b[0] += 1,
+            3..=8 => b[1] += 1,
+            9..=64 => b[2] += 1,
+            _ => b[3] += 1,
+        }
+    }
+    (nonzero, b)
+}
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let ds = generate(DatasetKind::Miranda, scale, seed);
+    let field = ds.fields.iter().find(|f| f.name == "pressure").expect("pressure field");
+    let range = ValueRange::of(field.data.as_slice()).unwrap().range() as f64;
+    let n = field.data.len();
+
+    println!("== Fig. 5: nonzero quant-codes on Miranda-pressure ==\n");
+    for rel_eb in [4e-3, 1e-3] {
+        let eb = rel_eb * range;
+        println!("relative eb = {rel_eb:.0e} (abs {eb:.3e}), {n} elements");
+        let mut t = Table::new(vec!["predictor", "nonzero", "%", "|q|1-2", "3-8", "9-64", ">64"]);
+
+        let cfg = InterpConfig::untuned(3);
+        let sz3 = cpu_interp::compress(
+            &field.data,
+            eb,
+            512,
+            &cfg,
+            CpuInterpParams::sz3_for(field.data.shape()),
+        );
+        let gi = ginterp::compress(&field.data, eb, 512, &cfg, &A100);
+        let lo = lorenzo::compress(&field.data, eb, 512, &A100);
+
+        for (name, codes) in
+            [("SZ3 (CPU)", &sz3.codes), ("G-Interp (GPU)", &gi.codes), ("Lorenzo (GPU)", &lo.codes)]
+        {
+            let (nz, b) = amplitude_buckets(codes, 512);
+            t.row(vec![
+                name.to_string(),
+                nz.to_string(),
+                format!("{:.2}", nz as f64 / n as f64 * 100.0),
+                b[0].to_string(),
+                b[1].to_string(),
+                b[2].to_string(),
+                b[3].to_string(),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!("(Expected ordering per the paper: SZ3 <= G-Interp << Lorenzo in nonzeros\n and amplitudes.)");
+}

@@ -1,0 +1,73 @@
+//! Fig. 6: decompression PSNR of interpolation vs Lorenzo over the RTM
+//! time series (one snapshot per 100 timesteps, skipping the
+//! initialization phase), at relative error bounds 1e-2 and 1e-3.
+//!
+//! Series: GPU G-Interp (cuSZ-i predictor), GPU Lorenzo (cuSZ), and the
+//! CPU SZ3 interpolator — the paper finds G-Interp 2.5-10 dB above
+//! Lorenzo and at/above CPU SZ3 thanks to the anchor points.
+
+use cuszi_bench::{parse_args, Table};
+use cuszi_datagen::rtm_series;
+use cuszi_gpu_sim::A100;
+use cuszi_metrics::{distortion, error_autocorrelation};
+use cuszi_predict::cpu_interp::{self, CpuInterpParams};
+use cuszi_predict::tuning::InterpConfig;
+use cuszi_predict::{ginterp, lorenzo};
+use cuszi_tensor::stats::ValueRange;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    // 37 snapshots sampled every 100 steps from t=600 (earlier snapshots
+    // are initialization, which the paper excludes). Small scale: 13.
+    let count = if matches!(scale, cuszi_datagen::Scale::Paper) { 37 } else { 13 };
+    let series = rtm_series(scale, 600, 100, count, seed);
+
+    for rel_eb in [1e-2, 1e-3] {
+        println!("\n== Fig. 6: PSNR over RTM snapshots, relative eb = {rel_eb:.0e} ==\n");
+        let mut t = Table::new(vec![
+            "t", "G-Interp dB", "Lorenzo dB", "SZ3-CPU dB", "GI-Lo gain", "GI rho1", "Lo rho1",
+        ]);
+        let mut gains = Vec::new();
+        for (i, f) in series.iter().enumerate() {
+            let range = ValueRange::of(f.data.as_slice()).unwrap().range() as f64;
+            let eb = rel_eb * range;
+            let cfg = InterpConfig::untuned(3);
+
+            let gi = ginterp::compress(&f.data, eb, 512, &cfg, &A100);
+            let (gi_recon, _) = ginterp::decompress(
+                &gi.codes, &gi.anchors, &gi.outliers, f.data.shape(), eb, 512, &cfg, &A100,
+            );
+            let gi_psnr = distortion(f.data.as_slice(), gi_recon.as_slice()).unwrap().psnr;
+
+            let lo = lorenzo::compress(&f.data, eb, 512, &A100);
+            let (lo_recon, _) =
+                lorenzo::decompress(&lo.codes, &lo.outliers, f.data.shape(), eb, 512, &A100);
+            let lo_psnr = distortion(f.data.as_slice(), lo_recon.as_slice()).unwrap().psnr;
+
+            let params = CpuInterpParams::sz3_for(f.data.shape());
+            let sz = cpu_interp::compress(&f.data, eb, 512, &cfg, params);
+            let sz_recon = cpu_interp::decompress(
+                &sz.codes, &sz.anchors, &sz.outliers, f.data.shape(), eb, 512, &cfg, params,
+            );
+            let sz_psnr = distortion(f.data.as_slice(), sz_recon.as_slice()).unwrap().psnr;
+
+            gains.push(gi_psnr - lo_psnr);
+            let gi_rho = error_autocorrelation(f.data.as_slice(), gi_recon.as_slice())
+                .unwrap_or(f64::NAN);
+            let lo_rho = error_autocorrelation(f.data.as_slice(), lo_recon.as_slice())
+                .unwrap_or(f64::NAN);
+            t.row(vec![
+                (600 + i as u32 * 100).to_string(),
+                format!("{gi_psnr:.2}"),
+                format!("{lo_psnr:.2}"),
+                format!("{sz_psnr:.2}"),
+                format!("{:+.2}", gi_psnr - lo_psnr),
+                format!("{gi_rho:.3}"),
+                format!("{lo_rho:.3}"),
+            ]);
+        }
+        t.print();
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        println!("\nmean G-Interp PSNR gain over Lorenzo: {mean:+.2} dB (paper: +2.5 to +10 dB)");
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 7a/7b: rate-distortion ((bit rate)-PSNR) curves on the six
+//! datasets, in two series — without and with Bitcomp-lossless — for
+//! the five error-bounded codecs, the rate-swept cuZFP, and the QoZ CPU
+//! reference. Fig. 7b reports the fixed-PSNR bit-rate reduction the
+//! Bitcomp pass buys cuSZ-i.
+
+use cuszi_baselines::Cuzfp;
+use cuszi_bench::{codec_roster, eval_codec, parse_args, Csv, Table};
+use cuszi_bench::roster::qoz_reference;
+use cuszi_core::Codec;
+use cuszi_datagen::{generate, DatasetKind};
+use cuszi_gpu_sim::A100;
+
+const REL_EBS: [f64; 5] = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
+const ZFP_RATES: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let mut csv = Csv::new(vec!["dataset", "codec", "param", "bitrate", "psnr"]);
+    // One representative field per dataset (the paper plots per-dataset
+    // curves over all fields; the first field keeps runtime sane).
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, scale, seed);
+        let field = &ds.fields[0];
+        println!("\n== Fig. 7a: rate-distortion on {} ({}) ==\n", kind.name(), field.name);
+        let mut t = Table::new(vec!["codec", "eb/rate", "bitrate", "PSNR dB"]);
+
+        for bitcomp in [false, true] {
+            for &eb in &REL_EBS {
+                for entry in codec_roster(eb, A100, bitcomp) {
+                    let label = if bitcomp {
+                        format!("{}+BC", entry.label)
+                    } else {
+                        entry.label.to_string()
+                    };
+                    match eval_codec(entry.codec.as_ref(), field) {
+                        Ok(r) => {
+                            csv.row(vec![
+                                kind.name().to_string(),
+                                label.clone(),
+                                format!("{eb:e}"),
+                                format!("{}", r.bitrate),
+                                format!("{}", r.psnr),
+                            ]);
+                            t.row(vec![
+                                label,
+                                format!("{eb:.0e}"),
+                                format!("{:.3}", r.bitrate),
+                                format!("{:.2}", r.psnr),
+                            ])
+                        }
+                        Err(e) => t.row(vec![label, format!("{eb:.0e}"), "-".into(), format!("{e}")]),
+                    }
+                }
+            }
+        }
+        // cuZFP: rate-swept (error bounds unsupported, as in the paper).
+        for &rate in &ZFP_RATES {
+            let z = Cuzfp::new(rate, A100);
+            if let Ok(r) = eval_codec(&z, field) {
+                csv.row(vec![
+                    kind.name().to_string(),
+                    "cuZFP".to_string(),
+                    format!("{rate}"),
+                    format!("{}", r.bitrate),
+                    format!("{}", r.psnr),
+                ]);
+                t.row(vec![
+                    "cuZFP".to_string(),
+                    format!("{rate}bpv"),
+                    format!("{:.3}", r.bitrate),
+                    format!("{:.2}", r.psnr),
+                ]);
+            }
+        }
+        // QoZ CPU reference.
+        for &eb in &REL_EBS {
+            let q = qoz_reference(eb);
+            if let Ok(r) = eval_codec(&q, field) {
+                csv.row(vec![
+                    kind.name().to_string(),
+                    q.name().to_string(),
+                    format!("{eb:e}"),
+                    format!("{}", r.bitrate),
+                    format!("{}", r.psnr),
+                ]);
+                t.row(vec![
+                    q.name().to_string(),
+                    format!("{eb:.0e}"),
+                    format!("{:.3}", r.bitrate),
+                    format!("{:.2}", r.psnr),
+                ]);
+            }
+        }
+        t.print();
+    }
+
+    csv.save("fig7_rate_distortion");
+
+    // Fig. 7b: the leftward shift — cuSZ-i bitrate without vs with
+    // Bitcomp at each bound (same PSNR by construction: the Bitcomp
+    // pass is lossless).
+    println!("\n== Fig. 7b: cuSZ-i fixed-PSNR bitrate shift from Bitcomp ==\n");
+    let mut t = Table::new(vec!["dataset", "eb", "PSNR dB", "bitrate w/o", "bitrate w/", "shift %"]);
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, scale, seed);
+        let field = &ds.fields[0];
+        for &eb in &[1e-2, 1e-3, 1e-4] {
+            let without = &codec_roster(eb, A100, false)[4];
+            let with = &codec_roster(eb, A100, true)[4];
+            if let (Ok(a), Ok(b)) = (
+                eval_codec(without.codec.as_ref(), field),
+                eval_codec(with.codec.as_ref(), field),
+            ) {
+                t.row(vec![
+                    kind.name().to_string(),
+                    format!("{eb:.0e}"),
+                    format!("{:.1}", a.psnr),
+                    format!("{:.3}", a.bitrate),
+                    format!("{:.3}", b.bitrate),
+                    format!("{:.1}", (1.0 - b.bitrate / a.bitrate) * 100.0),
+                ]);
+            }
+        }
+    }
+    t.print();
+}

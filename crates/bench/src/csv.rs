@@ -1,0 +1,87 @@
+//! Minimal CSV writing for the experiment binaries (plotting-ready
+//! mirrors of the text tables; written under `results/csv/`).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A CSV file under construction.
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Start with column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Csv { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "csv row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// RFC-4180-ish escaping: quote fields containing commas/quotes/
+    /// newlines, doubling embedded quotes.
+    fn escape(field: &str) -> String {
+        if field.contains([',', '"', '\n']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let line = |cells: &[String]| -> String {
+            cells.iter().map(|c| Self::escape(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write to `results/csv/<name>.csv` (creating directories), best
+    /// effort: experiment binaries should not fail over a CSV mirror.
+    pub fn save(&self, name: &str) {
+        let dir = Path::new("results/csv");
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        if let Ok(mut f) = fs::File::create(dir.join(format!("{name}.csv"))) {
+            let _ = f.write_all(self.render().as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_with_escaping() {
+        let mut c = Csv::new(vec!["name", "value"]);
+        c.row(vec!["plain", "1.5"]);
+        c.row(vec!["with,comma", "say \"hi\""]);
+        let text = c.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1.5");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut c = Csv::new(vec!["a", "b"]);
+        c.row(vec!["only"]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared harness for the experiment regenerators.
+//!
+//! Each `exp_*` binary in `src/bin/` regenerates one table or figure of
+//! the paper (see DESIGN.md § 3 for the index); this library holds the
+//! codec roster, the evaluation loop, and the plain-text table printers
+//! they share.
+
+pub mod csv;
+pub mod report;
+pub mod roster;
+pub mod run;
+
+pub use csv::Csv;
+pub use report::Table;
+pub use roster::{codec_roster, CodecEntry};
+pub use run::{eval_codec, throughput_gbps, EvalRow, QOZ_DECOMP_GBPS};
+
+use cuszi_datagen::Scale;
+
+/// Parse the common CLI arguments of the `exp_*` binaries:
+/// `[--paper]` selects Table II dimensions, `[--seed N]` the dataset
+/// seed. Unknown arguments are ignored.
+pub fn parse_args() -> (Scale, u64) {
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--seed" => {
+                if let Some(s) = args.next() {
+                    seed = s.parse().unwrap_or(seed);
+                }
+            }
+            _ => {}
+        }
+    }
+    (scale, seed)
+}

@@ -1,0 +1,83 @@
+//! The codec roster of the paper's evaluation.
+
+use cuszi_baselines::{with_bitcomp, Cusz, Cuszp, Cuszx, FzGpu, Qoz};
+use cuszi_core::{Codec, Config, CuszI};
+use cuszi_gpu_sim::DeviceSpec;
+use cuszi_quant::ErrorBound;
+
+/// One roster entry: a boxed codec plus table metadata.
+pub struct CodecEntry {
+    /// Column label (Table III order).
+    pub label: &'static str,
+    /// Whether this is the paper's contribution (bold column).
+    pub is_ours: bool,
+    /// The codec.
+    pub codec: Box<dyn Codec + Send + Sync>,
+}
+
+/// Build the Table III roster at a relative error bound: cuSZ, cuSZp,
+/// cuSZx, FZ-GPU, cuSZ-i — without the Bitcomp pass, or with it applied
+/// to every codec's output ("for fairness", § VII-C.1). cuZFP is absent
+/// by design: it does not support error bounds.
+pub fn codec_roster(rel_eb: f64, device: DeviceSpec, bitcomp: bool) -> Vec<CodecEntry> {
+    let eb = ErrorBound::Rel(rel_eb);
+    let mut entries: Vec<CodecEntry> = Vec::new();
+
+    fn boxed<C: Codec + Send + Sync + 'static>(
+        label: &'static str,
+        is_ours: bool,
+        codec: C,
+        bitcomp: bool,
+        device: DeviceSpec,
+    ) -> CodecEntry {
+        if bitcomp {
+            CodecEntry { label, is_ours, codec: Box::new(with_bitcomp(codec, device)) }
+        } else {
+            CodecEntry { label, is_ours, codec: Box::new(codec) }
+        }
+    }
+
+    entries.push(boxed("cuSZ", false, Cusz::new(eb, device), bitcomp, device));
+    entries.push(boxed("cuSZp", false, Cuszp::new(eb, device), bitcomp, device));
+    entries.push(boxed("cuSZx", false, Cuszx::new(eb, device), bitcomp, device));
+    entries.push(boxed("FZ-GPU", false, FzGpu::new(eb, device), bitcomp, device));
+    // cuSZ-i's own pipeline controls its Bitcomp stage internally.
+    let cfg = if bitcomp {
+        Config::new(eb).on_device(device)
+    } else {
+        Config::new(eb).on_device(device).without_bitcomp()
+    };
+    entries.push(CodecEntry { label: "cuSZ-i", is_ours: true, codec: Box::new(CuszI::new(cfg)) });
+    entries
+}
+
+/// The QoZ CPU reference at a relative bound (Fig. 7's dashed curve).
+pub fn qoz_reference(rel_eb: f64) -> Qoz {
+    Qoz::new(ErrorBound::Rel(rel_eb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_gpu_sim::A100;
+
+    #[test]
+    fn roster_matches_table3_columns() {
+        let r = codec_roster(1e-3, A100, false);
+        let labels: Vec<&str> = r.iter().map(|e| e.label).collect();
+        assert_eq!(labels, vec!["cuSZ", "cuSZp", "cuSZx", "FZ-GPU", "cuSZ-i"]);
+        assert_eq!(r.iter().filter(|e| e.is_ours).count(), 1);
+        assert!(r.last().unwrap().is_ours);
+    }
+
+    #[test]
+    fn bitcomp_roster_changes_codec_names_consistently() {
+        let plain = codec_roster(1e-2, A100, false);
+        let bc = codec_roster(1e-2, A100, true);
+        // Wrapped baselines keep their display name; cuSZ-i switches to
+        // its full-pipeline name.
+        assert_eq!(plain[0].codec.name(), bc[0].codec.name());
+        assert_eq!(plain[4].codec.name(), "cuSZ-i");
+        assert_eq!(bc[4].codec.name(), "cuSZ-i w/ Bitcomp");
+    }
+}

@@ -1,0 +1,136 @@
+//! The evaluation loop: codec x field -> metrics row.
+
+use cuszi_core::{Codec, CuszError};
+use cuszi_datagen::Field;
+use cuszi_gpu_sim::{KernelStats, TimingModel};
+use cuszi_metrics::{bit_rate, compression_ratio, distortion};
+
+/// The paper's QoZ decompression rate assumption (single core, GB/s);
+/// its compression rate is `cuszi_baselines::qoz::QOZ_CPU_THROUGHPUT_GBPS`.
+pub const QOZ_DECOMP_GBPS: f64 = 0.5;
+
+/// One evaluated (codec, field) pair.
+#[derive(Clone, Debug)]
+pub struct EvalRow {
+    pub codec: &'static str,
+    pub field: &'static str,
+    /// Compression ratio (input bytes / archive bytes).
+    pub cr: f64,
+    /// Bits per input element.
+    pub bitrate: f64,
+    /// Decompression PSNR in dB.
+    pub psnr: f64,
+    /// Max absolute pointwise error.
+    pub max_err: f64,
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Archive size in bytes.
+    pub archive_bytes: u64,
+    /// Kernels launched during compression.
+    pub comp_kernels: Vec<KernelStats>,
+    /// Kernels launched during decompression.
+    pub decomp_kernels: Vec<KernelStats>,
+}
+
+/// Run one codec over one field, end to end, verifying shape.
+pub fn eval_codec(codec: &dyn Codec, field: &Field) -> Result<EvalRow, CuszError> {
+    let (bytes, comp_art) = codec.compress_bytes(&field.data)?;
+    let (recon, decomp_art) = codec.decompress_bytes(&bytes)?;
+    assert_eq!(recon.shape(), field.data.shape(), "{}: shape mismatch", codec.name());
+    let d = distortion(field.data.as_slice(), recon.as_slice())
+        .expect("non-empty field");
+    let input_bytes = (field.data.len() * 4) as u64;
+    Ok(EvalRow {
+        codec: codec.name(),
+        field: field.name,
+        cr: compression_ratio(input_bytes as usize, bytes.len()),
+        bitrate: bit_rate(field.data.len(), bytes.len()),
+        psnr: d.psnr,
+        max_err: d.max_abs_err,
+        input_bytes,
+        archive_bytes: bytes.len() as u64,
+        comp_kernels: comp_art.kernels,
+        decomp_kernels: decomp_art.kernels,
+    })
+}
+
+/// Modelled throughput for a kernel sequence over an input (Fig. 9's
+/// metric). Returns `None` when the codec launched no kernels (CPU
+/// codecs) — callers substitute the published CPU rates.
+pub fn throughput_gbps(model: &TimingModel, input_bytes: u64, kernels: &[KernelStats]) -> Option<f64> {
+    if kernels.is_empty() {
+        return None;
+    }
+    Some(model.throughput_gbps(input_bytes, kernels))
+}
+
+/// Aggregate compression ratio across rows (total in / total out), the
+/// Table III convention over a dataset's files.
+pub fn aggregate_cr(rows: &[EvalRow]) -> f64 {
+    let inp: u64 = rows.iter().map(|r| r.input_bytes).sum();
+    let out: u64 = rows.iter().map(|r| r.archive_bytes).sum();
+    if out == 0 {
+        return f64::INFINITY;
+    }
+    inp as f64 / out as f64
+}
+
+/// Mean PSNR across rows.
+pub fn mean_psnr(rows: &[EvalRow]) -> f64 {
+    if rows.is_empty() {
+        return f64::NAN;
+    }
+    rows.iter().map(|r| r.psnr).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_core::{Codec, Config, CuszI};
+    use cuszi_gpu_sim::A100;
+    use cuszi_quant::ErrorBound;
+    use cuszi_tensor::{NdArray, Shape};
+
+    fn row(cr_denominator: u64, psnr: f64) -> EvalRow {
+        EvalRow {
+            codec: "x",
+            field: "f",
+            cr: 0.0,
+            bitrate: 0.0,
+            psnr,
+            max_err: 0.0,
+            input_bytes: 1000,
+            archive_bytes: cr_denominator,
+            comp_kernels: Vec::new(),
+            decomp_kernels: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregate_cr_pools_bytes_not_ratios() {
+        // 1000/100 and 1000/900 -> aggregate (2000)/(1000) = 2.0,
+        // not the mean of 10 and 1.1.
+        let rows = vec![row(100, 50.0), row(900, 70.0)];
+        assert!((aggregate_cr(&rows) - 2.0).abs() < 1e-12);
+        assert!((mean_psnr(&rows) - 60.0).abs() < 1e-12);
+        assert!(mean_psnr(&[]).is_nan());
+    }
+
+    #[test]
+    fn eval_codec_produces_consistent_row() {
+        let data = NdArray::from_fn(Shape::d3(12, 12, 12), |z, y, x| {
+            ((x + y + z) as f32 * 0.1).sin()
+        });
+        let field = cuszi_datagen::Field { name: "t", data };
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+        let r = eval_codec(&codec, &field).unwrap();
+        assert_eq!(r.codec, codec.name());
+        assert!((r.cr - r.input_bytes as f64 / r.archive_bytes as f64).abs() < 1e-9);
+        assert!((r.bitrate - 32.0 / r.cr).abs() < 1e-9);
+        assert!(r.psnr > 40.0);
+        assert!(!r.comp_kernels.is_empty() && !r.decomp_kernels.is_empty());
+        let model = cuszi_gpu_sim::TimingModel::new(A100);
+        assert!(throughput_gbps(&model, r.input_bytes, &r.comp_kernels).unwrap() > 0.0);
+        assert!(throughput_gbps(&model, r.input_bytes, &[]).is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! A GPULZ-style block-parallel LZSS codec — the dictionary-encoder
+//! alternative § VI-B weighed against Bitcomp ("sophisticated
+//! dictionary-based encoders are either limited in throughput (e.g.,
+//! GPU-LZ) or compression ratio on GPU") and rejected. It is included
+//! so the lossless-synergy ablation can reproduce that design-space
+//! comparison rather than assert it.
+//!
+//! Classic LZSS over independent 4 KiB blocks: a flag bit per token,
+//! literals as raw bytes, matches as 12-bit offset + 4-bit length
+//! (lengths 3..18) against a sliding window within the block.
+
+use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
+use parking_lot::Mutex;
+
+use crate::BitcompError;
+
+/// Block granularity (matches the Bitcomp substitute).
+pub const BLOCK: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+const WINDOW: usize = 4095;
+
+/// Encode one block body: a token stream of `[flags byte][8 tokens]`
+/// groups, where flag bit `i` set means token `i` is a literal byte,
+/// clear means a 2-byte `(offset << 4 | len-MIN_MATCH)` match.
+fn encode_block(src: &[u8], out: &mut Vec<u8>) {
+    let mut i = 0usize;
+    // Greedy matcher with a tiny 2-byte-hash chain head (single probe),
+    // the compromise real GPU LZ implementations make for parallelism.
+    let mut head = [usize::MAX; 65536];
+    let mut flags_at = usize::MAX;
+    let mut nflags = 8; // force a new flag byte at first token
+    while i < src.len() {
+        let mut match_len = 0usize;
+        let mut match_off = 0usize;
+        if i + MIN_MATCH <= src.len() {
+            let h = (src[i] as usize) << 8 | src[i + 1] as usize;
+            let cand = head[h];
+            head[h] = i;
+            if cand != usize::MAX && i - cand <= WINDOW {
+                let mut l = 0usize;
+                let max = MAX_MATCH.min(src.len() - i);
+                while l < max && src[cand + l] == src[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH {
+                    match_len = l;
+                    match_off = i - cand;
+                }
+            }
+        }
+        if nflags == 8 {
+            flags_at = out.len();
+            out.push(0);
+            nflags = 0;
+        }
+        if match_len > 0 {
+            let token = ((match_off as u16) << 4) | (match_len - MIN_MATCH) as u16;
+            out.extend_from_slice(&token.to_le_bytes());
+            i += match_len;
+        } else {
+            out[flags_at] |= 1 << nflags;
+            out.push(src[i]);
+            i += 1;
+        }
+        nflags += 1;
+    }
+}
+
+fn decode_block(src: &[u8], expect: usize) -> Result<Vec<u8>, BitcompError> {
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 0usize;
+    while i < src.len() && out.len() < expect {
+        let flags = src[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= src.len() || out.len() >= expect {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                out.push(src[i]);
+                i += 1;
+            } else {
+                if i + 2 > src.len() {
+                    return Err(BitcompError("lzss match token truncated"));
+                }
+                let token = u16::from_le_bytes([src[i], src[i + 1]]);
+                i += 2;
+                let off = (token >> 4) as usize;
+                let len = (token & 0xF) as usize + MIN_MATCH;
+                if off == 0 || off > out.len() {
+                    return Err(BitcompError("lzss match offset out of range"));
+                }
+                for _ in 0..len {
+                    let b = out[out.len() - off];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if out.len() != expect {
+        return Err(BitcompError("lzss block decodes to wrong size"));
+    }
+    Ok(out)
+}
+
+/// Compress a byte stream with block-parallel LZSS. Same archive shape
+/// as the Bitcomp substitute: header + offsets + per-block payloads
+/// (mode byte 0 = raw fallback, 1 = LZSS).
+pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>) {
+    let nblocks = data.len().div_ceil(BLOCK);
+    let blocks: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::with_capacity(nblocks));
+    let mut stats = Vec::new();
+    if nblocks > 0 {
+        let src = GlobalRead::new(data);
+        stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+            let b = ctx.block_linear() as usize;
+            let start = b * BLOCK;
+            let end = (start + BLOCK).min(data.len());
+            let mut buf = vec![0u8; end - start];
+            ctx.read_span(&src, start, &mut buf);
+            ctx.add_flops(buf.len() as u64 * 4);
+            let mut enc = Vec::with_capacity(buf.len());
+            encode_block(&buf, &mut enc);
+            let body = if enc.len() >= buf.len() {
+                let mut raw = Vec::with_capacity(buf.len() + 1);
+                raw.push(0u8);
+                raw.extend_from_slice(&buf);
+                raw
+            } else {
+                let mut z = Vec::with_capacity(enc.len() + 1);
+                z.push(1u8);
+                z.extend_from_slice(&enc);
+                z
+            };
+            blocks.lock().push((b, body));
+        }));
+    }
+    let mut blocks = blocks.into_inner();
+    blocks.sort_by_key(|(b, _)| *b);
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(BLOCK as u32).to_le_bytes());
+    out.extend_from_slice(&(nblocks as u32).to_le_bytes());
+    let mut off = 0u64;
+    for (_, blk) in &blocks {
+        out.extend_from_slice(&off.to_le_bytes());
+        off += blk.len() as u64;
+    }
+    let base = out.len();
+    let total: usize = blocks.iter().map(|(_, b)| b.len()).sum();
+    out.resize(base + total, 0);
+    if nblocks > 0 {
+        let offsets: Vec<usize> = {
+            let mut v = Vec::with_capacity(nblocks);
+            let mut acc = 0;
+            for (_, blk) in &blocks {
+                v.push(acc);
+                acc += blk.len();
+            }
+            v
+        };
+        let dst = GlobalWrite::new(&mut out[base..]);
+        stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+            let b = ctx.block_linear() as usize;
+            ctx.write_span(&dst, offsets[b], &blocks[b].1);
+        }));
+    }
+    (out, stats)
+}
+
+/// Decompress an LZSS archive produced by [`compress`].
+pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelStats), BitcompError> {
+    if data.len() < 16 {
+        return Err(BitcompError("truncated header"));
+    }
+    let orig_len = u64::from_le_bytes(data[0..8].try_into().unwrap()) as usize;
+    let block = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+    let nblocks = u32::from_le_bytes(data[12..16].try_into().unwrap()) as usize;
+    // See the sibling codec: only the encoder's fixed block size is
+    // valid, or a corrupt header can demand an absurd allocation.
+    if block != BLOCK || nblocks != orig_len.div_ceil(block) {
+        return Err(BitcompError("inconsistent block geometry"));
+    }
+    let table_end = 16 + nblocks * 8;
+    if data.len() < table_end {
+        return Err(BitcompError("truncated offset table"));
+    }
+    let offsets: Vec<usize> = (0..nblocks)
+        .map(|i| u64::from_le_bytes(data[16 + i * 8..24 + i * 8].try_into().unwrap()) as usize)
+        .collect();
+    let payload = &data[table_end..];
+    if offsets.windows(2).any(|w| w[0] > w[1]) || offsets.last().is_some_and(|&o| o > payload.len())
+    {
+        return Err(BitcompError("bad offset table"));
+    }
+    let mut out = vec![0u8; orig_len];
+    if nblocks == 0 {
+        return Ok((out, KernelStats::default()));
+    }
+    let failed: Mutex<Option<BitcompError>> = Mutex::new(None);
+    let stats = {
+        let src = GlobalRead::new(payload);
+        let dst = GlobalWrite::new(&mut out);
+        launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+            let b = ctx.block_linear() as usize;
+            let start = offsets[b];
+            let end = if b + 1 < nblocks { offsets[b + 1] } else { payload.len() };
+            if start >= end {
+                *failed.lock() = Some(BitcompError("empty block"));
+                return;
+            }
+            let mut buf = vec![0u8; end - start];
+            ctx.read_span(&src, start, &mut buf);
+            let expect = block.min(orig_len - b * block);
+            let decoded = match buf[0] {
+                0 => {
+                    if buf.len() - 1 != expect {
+                        *failed.lock() = Some(BitcompError("raw block size mismatch"));
+                        return;
+                    }
+                    buf[1..].to_vec()
+                }
+                1 => match decode_block(&buf[1..], expect) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        *failed.lock() = Some(e);
+                        return;
+                    }
+                },
+                _ => {
+                    *failed.lock() = Some(BitcompError("unknown block mode"));
+                    return;
+                }
+            };
+            ctx.add_flops(decoded.len() as u64);
+            ctx.write_span(&dst, b * block, &decoded);
+        })
+    };
+    if let Some(e) = failed.into_inner() {
+        return Err(e);
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_gpu_sim::A100;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let (arc, _) = compress(data, &A100);
+        let (back, _) = decompress(&arc, &A100).unwrap();
+        assert_eq!(back, data);
+        arc.len()
+    }
+
+    #[test]
+    fn repeated_patterns_compress() {
+        let data: Vec<u8> = b"abcabcabcabc".iter().cycle().take(40_000).copied().collect();
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 3, "{n} vs {}", data.len());
+    }
+
+    #[test]
+    fn zero_runs_compress_but_less_than_rle() {
+        let data = vec![0u8; 1 << 16];
+        let lz = roundtrip(&data);
+        let (bc, _) = crate::compress(&data, &A100);
+        assert!(lz < data.len() / 4);
+        // The zero-run-aware Bitcomp substitute beats generic LZSS here —
+        // the § VI-B trade the paper describes.
+        assert!(bc.len() < lz, "bitcomp {} !< lzss {lz}", bc.len());
+    }
+
+    #[test]
+    fn incompressible_bounded_expansion() {
+        let data: Vec<u8> = (0..50_000u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 29) as u8)
+            .collect();
+        let n = roundtrip(&data);
+        assert!(n < data.len() + data.len() / 50 + 64);
+    }
+
+    #[test]
+    fn odd_sizes_roundtrip() {
+        for len in [0usize, 1, 2, 3, 4095, 4096, 4097, 9000] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 11) as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn corrupt_archives_error() {
+        let data = vec![7u8; 20_000];
+        let (arc, _) = compress(&data, &A100);
+        assert!(decompress(&arc[..8], &A100).is_err());
+        let mut bad = arc.clone();
+        bad.truncate(arc.len() - 10);
+        let _ = decompress(&bad, &A100); // error or wrong content, no panic
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..12_000)) {
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn prop_roundtrip_structured(
+            pat in proptest::collection::vec(any::<u8>(), 1..40),
+            reps in 1usize..400,
+        ) {
+            let data: Vec<u8> = pat.iter().cycle().take(pat.len() * reps).copied().collect();
+            roundtrip(&data);
+        }
+    }
+}

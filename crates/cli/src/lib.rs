@@ -1,0 +1,698 @@
+//! The `cuszi` command-line tool, as a library so its plumbing is
+//! testable.
+//!
+//! ```text
+//! cuszi compress   -i field.f32 -o field.cszi --dims 256x384x384 --rel-eb 1e-3
+//! cuszi decompress -i field.cszi -o recon.f32
+//! cuszi info       -i field.cszi
+//! ```
+//!
+//! Input fields are raw little-endian `f32` streams in row-major order
+//! (the SDRBench distribution format the paper's datasets use).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use cuszi_core::{
+    compress_pw_rel, compress_slabs, compress_to_psnr, decompress_pw_rel, decompress_slabs,
+    Config, CuszError, CuszI,
+};
+use cuszi_core::archive::Header;
+use cuszi_metrics::{bit_rate, compression_ratio, distortion};
+use cuszi_quant::ErrorBound;
+use cuszi_tensor::{NdArray, Shape};
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    Compress {
+        input: String,
+        output: String,
+        shape: Shape,
+        mode: BoundMode,
+        bitcomp: bool,
+        verify: bool,
+        /// Stream the field in z-slabs of this thickness (bounded
+        /// memory; 3-d only, --rel-eb/--abs-eb only).
+        slab: Option<usize>,
+    },
+    Decompress {
+        input: String,
+        output: String,
+    },
+    Info {
+        input: String,
+    },
+}
+
+/// How the bound was specified.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BoundMode {
+    Rel(f64),
+    Abs(f64),
+    Psnr(f64),
+    /// Point-wise relative bound with its magnitude floor.
+    PwRel(f64, f32),
+}
+
+/// CLI errors carry a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<CuszError> for CliError {
+    fn from(e: CuszError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+cuszi — cuSZ-i error-bounded lossy compression for raw f32 fields
+
+USAGE:
+  cuszi compress   -i <in.f32> -o <out.cszi> --dims ZxYxX
+                   (--rel-eb E | --abs-eb E | --psnr DB | --pw-rel E [--floor F])
+                   [--no-bitcomp] [--verify] [--slab Z]
+  cuszi decompress -i <in.cszi> -o <out.f32>
+  cuszi info       -i <in.cszi>
+
+Dims are slowest-to-fastest (z x y x x), e.g. --dims 256x384x384;
+1-d and 2-d fields use fewer components (--dims 1000 or --dims 384x384).";
+
+/// Parse `ZxYxX` dims.
+pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
+    let parts: Result<Vec<usize>, _> = s.split('x').map(str::parse).collect();
+    let parts = parts.map_err(|_| CliError(format!("bad --dims '{s}'")))?;
+    Shape::from_dims(&parts).ok_or_else(|| CliError(format!("bad --dims '{s}' (1-3 nonzero extents)")))
+}
+
+/// Parse an argument vector (without `argv[0]`).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let sub = args.first().ok_or_else(|| CliError(USAGE.into()))?;
+    let mut input = None;
+    let mut output = None;
+    let mut dims = None;
+    let mut mode = None;
+    let mut bitcomp = true;
+    let mut verify = false;
+    let mut slab = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().cloned().ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "-i" | "--input" => input = Some(val("-i")?),
+            "-o" | "--output" => output = Some(val("-o")?),
+            "--dims" => dims = Some(parse_dims(&val("--dims")?)?),
+            "--rel-eb" => {
+                mode = Some(BoundMode::Rel(
+                    val("--rel-eb")?.parse().map_err(|_| CliError("bad --rel-eb".into()))?,
+                ))
+            }
+            "--abs-eb" => {
+                mode = Some(BoundMode::Abs(
+                    val("--abs-eb")?.parse().map_err(|_| CliError("bad --abs-eb".into()))?,
+                ))
+            }
+            "--psnr" => {
+                mode = Some(BoundMode::Psnr(
+                    val("--psnr")?.parse().map_err(|_| CliError("bad --psnr".into()))?,
+                ))
+            }
+            "--pw-rel" => {
+                mode = Some(BoundMode::PwRel(
+                    val("--pw-rel")?.parse().map_err(|_| CliError("bad --pw-rel".into()))?,
+                    1e-6,
+                ))
+            }
+            "--floor" => {
+                let f: f32 =
+                    val("--floor")?.parse().map_err(|_| CliError("bad --floor".into()))?;
+                match mode {
+                    Some(BoundMode::PwRel(e, _)) => mode = Some(BoundMode::PwRel(e, f)),
+                    _ => return Err(CliError("--floor requires --pw-rel first".into())),
+                }
+            }
+            "--no-bitcomp" => bitcomp = false,
+            "--verify" => verify = true,
+            "--slab" => {
+                slab = Some(
+                    val("--slab")?.parse().map_err(|_| CliError("bad --slab".into()))?,
+                )
+            }
+            other => return Err(CliError(format!("unknown argument '{other}'\n\n{USAGE}"))),
+        }
+    }
+    let input = input.ok_or_else(|| CliError("missing -i".into()))?;
+    match sub.as_str() {
+        "compress" => Ok(Command::Compress {
+            input,
+            output: output.ok_or_else(|| CliError("missing -o".into()))?,
+            shape: dims.ok_or_else(|| CliError("missing --dims".into()))?,
+            mode: mode.ok_or_else(|| CliError("missing --rel-eb/--abs-eb/--psnr/--pw-rel".into()))?,
+            bitcomp,
+            verify,
+            slab,
+        }),
+        "decompress" => Ok(Command::Decompress {
+            input,
+            output: output.ok_or_else(|| CliError("missing -o".into()))?,
+        }),
+        "info" => Ok(Command::Info { input }),
+        other => Err(CliError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
+    }
+}
+
+/// Load a raw little-endian f32 field.
+pub fn read_f32_field(path: &Path, shape: Shape) -> Result<NdArray<f32>, CliError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() != shape.len() * 4 {
+        return Err(CliError(format!(
+            "{} holds {} bytes but dims {shape} need {}",
+            path.display(),
+            bytes.len(),
+            shape.len() * 4
+        )));
+    }
+    let data: Vec<f32> =
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+    Ok(NdArray::from_vec(shape, data))
+}
+
+/// Write a field as raw little-endian f32.
+pub fn write_f32_field(path: &Path, data: &NdArray<f32>) -> Result<(), CliError> {
+    let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+    fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Execute a command; returns the text to print.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Compress { input, output, shape, mode, bitcomp, verify, slab } => {
+            if let Some(slab_z) = slab {
+                return compress_streamed(&input, &output, shape, mode, bitcomp, slab_z);
+            }
+            let data = read_f32_field(Path::new(&input), shape)?;
+            let base = match mode {
+                BoundMode::Rel(e) => Config::new(ErrorBound::Rel(e)),
+                BoundMode::Abs(e) => Config::new(ErrorBound::Abs(e)),
+                BoundMode::Psnr(_) | BoundMode::PwRel(..) => Config::new(ErrorBound::Rel(1e-3)),
+            };
+            let base = if bitcomp { base } else { base.without_bitcomp() };
+            let (bytes, eb_abs) = match mode {
+                BoundMode::Psnr(db) => {
+                    let r = compress_to_psnr(&data, db, 1.0, base)?;
+                    writeln!(out, "psnr target {db:.1} dB -> achieved {:.1} dB", r.achieved_psnr)
+                        .ok();
+                    (r.compressed.bytes, r.compressed.eb_abs)
+                }
+                BoundMode::PwRel(eps, floor) => {
+                    let r = compress_pw_rel(&data, eps, floor, base)?;
+                    writeln!(out, "point-wise relative eps {eps:.1e}, floor {floor:.1e}").ok();
+                    (r.bytes, r.log_eb)
+                }
+                _ => {
+                    let c = CuszI::new(base).compress(&data)?;
+                    (c.bytes, c.eb_abs)
+                }
+            };
+            writeln!(
+                out,
+                "{input} ({shape}, {:.1} MB) -> {output} ({:.1} KB), CR {:.1}, {:.3} bits/elem, abs eb {eb_abs:.3e}",
+                (data.len() * 4) as f64 / 1e6,
+                bytes.len() as f64 / 1e3,
+                compression_ratio(data.len() * 4, bytes.len()),
+                bit_rate(data.len(), bytes.len()),
+            )
+            .ok();
+            if verify {
+                let d = match mode {
+                    BoundMode::PwRel(..) => cuszi_core::Decompressed {
+                        data: decompress_pw_rel(&bytes, base)?,
+                        kernels: Vec::new(),
+                    },
+                    _ => CuszI::new(base).decompress(&bytes)?,
+                };
+                let m = distortion(data.as_slice(), d.data.as_slice())
+                    .ok_or_else(|| CliError("empty field".into()))?;
+                let abs_mode = !matches!(mode, BoundMode::PwRel(..));
+                if abs_mode && m.max_abs_err > eb_abs * (1.0 + 1e-6) {
+                    return Err(CliError(format!(
+                        "VERIFY FAILED: max error {:.3e} exceeds bound {eb_abs:.3e}",
+                        m.max_abs_err
+                    )));
+                }
+                writeln!(out, "verified: PSNR {:.1} dB, max err {:.3e}", m.psnr, m.max_abs_err)
+                    .ok();
+            }
+            fs::write(&output, &bytes)?;
+        }
+        Command::Decompress { input, output } => {
+            let bytes = fs::read(&input)?;
+            let base = Config::new(ErrorBound::Rel(1e-3));
+            if bytes.starts_with(b"CSZS") {
+                return decompress_streamed(&bytes, &input, &output, base);
+            }
+            let d = if bytes.starts_with(b"CSZR") {
+                cuszi_core::Decompressed { data: decompress_pw_rel(&bytes, base)?, kernels: Vec::new() }
+            } else {
+                CuszI::new(base).decompress(&bytes)?
+            };
+            writeln!(
+                out,
+                "{input} -> {output} ({}, {:.1} MB)",
+                d.data.shape(),
+                (d.data.len() * 4) as f64 / 1e6
+            )
+            .ok();
+            write_f32_field(Path::new(&output), &d.data)?;
+        }
+        Command::Info { input } => {
+            let bytes = fs::read(&input)?;
+            if bytes.starts_with(b"CSZR") {
+                if bytes.len() < 36 {
+                    return Err(CliError("truncated pw-rel archive".into()));
+                }
+                let eps = f64::from_le_bytes(bytes[4..12].try_into().unwrap());
+                let floor = f64::from_le_bytes(bytes[12..20].try_into().unwrap());
+                writeln!(out, "cuSZ-i point-wise-relative archive").ok();
+                writeln!(out, "  eps:    {eps:.3e}").ok();
+                writeln!(out, "  floor:  {floor:.3e}").ok();
+                writeln!(out, "  total:  {} B", bytes.len()).ok();
+                return Ok(out);
+            }
+            let h = Header::from_bytes(&bytes)?;
+            writeln!(out, "cuSZ-i archive v{}", h.version).ok();
+            writeln!(out, "  dims:       {}", h.shape).ok();
+            writeln!(out, "  abs eb:     {:.6e}", h.eb_abs).ok();
+            writeln!(out, "  alpha:      {:.4}", h.alpha).ok();
+            writeln!(out, "  radius:     {}", h.radius).ok();
+            writeln!(out, "  dim order:  {:?}", h.order).ok();
+            writeln!(out, "  bitcomp:    {}", h.flags & cuszi_core::archive::FLAG_BITCOMP != 0)
+                .ok();
+            writeln!(
+                out,
+                "  sections:   anchors {} B, codebook {} B, huffman {} B, outliers {} B",
+                h.sections[0],
+                h.sections[1],
+                h.sections[2],
+                h.sections[3] + h.sections[4]
+            )
+            .ok();
+            writeln!(
+                out,
+                "  total:      {} B (CR {:.1} vs raw f32)",
+                bytes.len(),
+                compression_ratio(h.shape.len() * 4, bytes.len())
+            )
+            .ok();
+        }
+    }
+    Ok(out)
+}
+
+/// Slab-streamed compression: reads the input file one z-slab at a
+/// time, never holding the whole field.
+fn compress_streamed(
+    input: &str,
+    output: &str,
+    shape: Shape,
+    mode: BoundMode,
+    bitcomp: bool,
+    slab_z: usize,
+) -> Result<String, CliError> {
+    let eb = match mode {
+        BoundMode::Rel(e) => ErrorBound::Rel(e),
+        BoundMode::Abs(e) => ErrorBound::Abs(e),
+        _ => return Err(CliError("--slab supports --rel-eb/--abs-eb only".into())),
+    };
+    if shape.rank() != 3 {
+        return Err(CliError("--slab requires 3-d dims".into()));
+    }
+    let meta = fs::metadata(input)?;
+    if meta.len() as usize != shape.len() * 4 {
+        return Err(CliError(format!(
+            "{input} holds {} bytes but dims {shape} need {}",
+            meta.len(),
+            shape.len() * 4
+        )));
+    }
+    use std::io::{Read, Seek, SeekFrom};
+    let mut note = String::new();
+    if matches!(mode, BoundMode::Rel(_)) {
+        // The stream never sees the whole field, so the relative bound
+        // resolves against each slab's own value range.
+        note = "note: --rel-eb resolves per slab in --slab mode; use --abs-eb for a \
+                globally uniform bound\n"
+            .into();
+    }
+    let mut f = fs::File::open(input)?;
+    let [_, ny, nx] = shape.dims3();
+    let mut failure: Option<CliError> = None;
+    let bytes = compress_slabs(
+        shape,
+        slab_z,
+        if bitcomp {
+            Config::new(eb)
+        } else {
+            Config::new(eb).without_bitcomp()
+        },
+        |z0, nz| {
+            let plane = ny * nx;
+            let mut buf = vec![0u8; nz * plane * 4];
+            let read = f
+                .seek(SeekFrom::Start((z0 * plane * 4) as u64))
+                .and_then(|_| f.read_exact(&mut buf));
+            if let Err(e) = read {
+                failure.get_or_insert(CliError(e.to_string()));
+                return NdArray::zeros(Shape::d3(nz, ny, nx));
+            }
+            let vals: Vec<f32> = buf
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            NdArray::from_vec(Shape::d3(nz, ny, nx), vals)
+        },
+    )?;
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    fs::write(output, &bytes)?;
+    Ok(format!(
+        "{note}{input} ({shape}) -> {output} ({:.1} KB, {} z-slabs of {slab_z}, CR {:.1})\n",
+        bytes.len() as f64 / 1e3,
+        shape.dims3()[0].div_ceil(slab_z),
+        compression_ratio(shape.len() * 4, bytes.len()),
+    ))
+}
+
+/// Slab-streamed decompression: writes each slab as it decodes.
+fn decompress_streamed(
+    bytes: &[u8],
+    input: &str,
+    output: &str,
+    base: Config,
+) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let mut f = fs::File::create(output)?;
+    let mut io_err: Option<std::io::Error> = None;
+    let shape = decompress_slabs(bytes, base, |_z0, slab| {
+        if io_err.is_some() {
+            return;
+        }
+        let raw: Vec<u8> = slab.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+        if let Err(e) = f.write_all(&raw) {
+            io_err = Some(e);
+        }
+    })?;
+    if let Some(e) = io_err {
+        return Err(e.into());
+    }
+    Ok(format!("{input} -> {output} ({shape}, streamed)\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cuszi-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_dims_variants() {
+        assert_eq!(parse_dims("256x384x384").unwrap(), Shape::d3(256, 384, 384));
+        assert_eq!(parse_dims("384x384").unwrap(), Shape::d2(384, 384));
+        assert_eq!(parse_dims("1000").unwrap(), Shape::d1(1000));
+        assert!(parse_dims("0x3").is_err());
+        assert!(parse_dims("a").is_err());
+        assert!(parse_dims("1x2x3x4").is_err());
+    }
+
+    #[test]
+    fn parse_full_compress_command() {
+        let cmd = parse_args(&strings(&[
+            "compress", "-i", "a.f32", "-o", "a.cszi", "--dims", "8x8x8", "--rel-eb", "1e-3",
+            "--no-bitcomp", "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compress {
+                input: "a.f32".into(),
+                output: "a.cszi".into(),
+                shape: Shape::d3(8, 8, 8),
+                mode: BoundMode::Rel(1e-3),
+                bitcomp: false,
+                verify: true,
+                slab: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_missing_pieces() {
+        assert!(parse_args(&strings(&["compress", "-i", "a.f32"])).is_err());
+        assert!(parse_args(&strings(&["frobnicate"])).is_err());
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&strings(&["compress", "-i"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_file_roundtrip() {
+        let shape = Shape::d3(16, 16, 16);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            ((x + y) as f32 * 0.1).sin() + z as f32 * 0.05
+        });
+        let fin = tmp("in.f32");
+        let farc = tmp("a.cszi");
+        let fout = tmp("out.f32");
+        write_f32_field(&fin, &data).unwrap();
+
+        let msg = run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::Rel(1e-3),
+            bitcomp: true,
+            verify: true,
+            slab: None,
+        })
+        .unwrap();
+        assert!(msg.contains("verified"), "{msg}");
+
+        run(Command::Decompress {
+            input: farc.to_string_lossy().into(),
+            output: fout.to_string_lossy().into(),
+        })
+        .unwrap();
+        let recon = read_f32_field(&fout, shape).unwrap();
+        let m = distortion(data.as_slice(), recon.as_slice()).unwrap();
+        assert!(m.psnr > 50.0);
+
+        let info = run(Command::Info { input: farc.to_string_lossy().into() }).unwrap();
+        assert!(info.contains("16x16x16"), "{info}");
+
+        for f in [fin, farc, fout] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn psnr_mode_reports_achieved() {
+        let shape = Shape::d2(48, 48);
+        let data =
+            NdArray::from_fn(shape, |_, y, x| ((x as f32) * 0.2).sin() + (y as f32) * 0.01);
+        let fin = tmp("p.f32");
+        let farc = tmp("p.cszi");
+        write_f32_field(&fin, &data).unwrap();
+        let msg = run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::Psnr(60.0),
+            bitcomp: true,
+            verify: false,
+            slab: None,
+        })
+        .unwrap();
+        assert!(msg.contains("achieved"), "{msg}");
+        for f in [fin, farc] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn size_mismatch_is_a_clean_error() {
+        let fin = tmp("short.f32");
+        fs::write(&fin, [0u8; 10]).unwrap();
+        let err = read_f32_field(&fin, Shape::d1(100)).unwrap_err();
+        assert!(err.0.contains("need"), "{err}");
+        let _ = fs::remove_file(fin);
+    }
+}
+
+#[cfg(test)]
+mod pwrel_cli_tests {
+    use super::*;
+    use cuszi_tensor::{NdArray, Shape};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cuszi-cli-pwrel-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn parse_pw_rel_with_floor() {
+        let args: Vec<String> = [
+            "compress", "-i", "a.f32", "-o", "a.cszi", "--dims", "8x8", "--pw-rel", "1e-2",
+            "--floor", "1e-5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cmd = parse_args(&args).unwrap();
+        match cmd {
+            Command::Compress { mode: BoundMode::PwRel(e, f), .. } => {
+                assert_eq!(e, 1e-2);
+                assert_eq!(f, 1e-5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --floor before --pw-rel is rejected.
+        let bad: Vec<String> =
+            ["compress", "-i", "a", "-o", "b", "--dims", "4", "--floor", "1e-5"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert!(parse_args(&bad).is_err());
+    }
+
+    #[test]
+    fn pw_rel_file_roundtrip_via_magic_dispatch() {
+        let shape = Shape::d3(8, 10, 12);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            ((x + y) as f32 * 0.3).sin() * 10f32.powi((z % 3) as i32 - 1)
+        });
+        let fin = tmp("in.f32");
+        let farc = tmp("a.cszr");
+        let fout = tmp("out.f32");
+        write_f32_field(&fin, &data).unwrap();
+        run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::PwRel(1e-2, 1e-6),
+            bitcomp: true,
+            verify: true,
+            slab: None,
+        })
+        .unwrap();
+        // Decompress auto-detects the CSZR magic.
+        run(Command::Decompress {
+            input: farc.to_string_lossy().into(),
+            output: fout.to_string_lossy().into(),
+        })
+        .unwrap();
+        let recon = read_f32_field(&fout, shape).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(recon.as_slice()) {
+            // pw-rel contract: relative above the floor, ~floor below.
+            let tol = (1.02e-2 * (a.abs() as f64)).max(1.02e-6) + 1e-12;
+            assert!(((a as f64) - (b as f64)).abs() <= tol, "{a} vs {b}");
+        }
+        for f in [fin, farc, fout] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod slab_cli_tests {
+    use super::*;
+    use cuszi_tensor::{NdArray, Shape};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cuszi-cli-slab-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn slab_roundtrip_through_files() {
+        let shape = Shape::d3(20, 12, 16);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            ((x + y) as f32 * 0.2).sin() + (z as f32) * 0.03
+        });
+        let fin = tmp("in.f32");
+        let farc = tmp("a.cszs");
+        let fout = tmp("out.f32");
+        write_f32_field(&fin, &data).unwrap();
+        let msg = run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::Abs(1e-3),
+            bitcomp: true,
+            verify: false,
+            slab: Some(8),
+        })
+        .unwrap();
+        assert!(msg.contains("z-slabs of 8"), "{msg}");
+        run(Command::Decompress {
+            input: farc.to_string_lossy().into(),
+            output: fout.to_string_lossy().into(),
+        })
+        .unwrap();
+        let recon = read_f32_field(&fout, shape).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(recon.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.000001);
+        }
+        for f in [fin, farc, fout] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn slab_rejects_psnr_mode_and_non_3d() {
+        let shape = Shape::d3(8, 8, 8);
+        let fin = tmp("p.f32");
+        write_f32_field(&fin, &NdArray::zeros(shape)).unwrap();
+        let err = run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: "/dev/null".into(),
+            shape,
+            mode: BoundMode::Psnr(70.0),
+            bitcomp: true,
+            verify: false,
+            slab: Some(4),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("--slab supports"), "{err}");
+        let _ = std::fs::remove_file(fin);
+    }
+}

@@ -1,0 +1,18 @@
+//! `cuszi` binary entry point.
+
+use cuszi_cli::{parse_args, run, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
+        println!("{USAGE}");
+        return;
+    }
+    match parse_args(&args).and_then(run) {
+        Ok(msg) => print!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Multi-field containers: compress a whole dataset (several named
+//! fields) into one self-describing archive.
+//!
+//! The paper's datasets are multi-file (Table II: 3-37 files each) and
+//! its Table III ratios aggregate over them; this module provides that
+//! workflow as an API. Container format:
+//!
+//! ```text
+//! magic "CSZM" | u32 field count |
+//! per field: [u16 name len][name utf-8][u64 archive len][archive]
+//! ```
+
+use cuszi_tensor::NdArray;
+
+use crate::config::Config;
+use crate::error::CuszError;
+use crate::pipeline::{Compressed, CuszI};
+
+const MAGIC: &[u8; 4] = b"CSZM";
+
+/// A named field to compress.
+pub struct NamedField<'a> {
+    pub name: &'a str,
+    pub data: &'a NdArray<f32>,
+}
+
+/// Per-field result inside a [`compress_fields`] container.
+#[derive(Clone, Debug)]
+pub struct FieldSummary {
+    pub name: String,
+    pub input_bytes: u64,
+    pub archive_bytes: u64,
+}
+
+/// A compressed multi-field container.
+#[derive(Clone, Debug)]
+pub struct Container {
+    pub bytes: Vec<u8>,
+    pub fields: Vec<FieldSummary>,
+}
+
+impl Container {
+    /// Aggregate compression ratio over all fields (Table III's
+    /// convention).
+    pub fn aggregate_cr(&self) -> f64 {
+        let inp: u64 = self.fields.iter().map(|f| f.input_bytes).sum();
+        let out: u64 = self.fields.iter().map(|f| f.archive_bytes).sum();
+        if out == 0 {
+            f64::INFINITY
+        } else {
+            inp as f64 / out as f64
+        }
+    }
+}
+
+/// Compress several named fields with one configuration. Fields are
+/// compressed in parallel (each pipeline is itself block-parallel, so
+/// this mainly hides per-field serial stages like the CPU codebook
+/// build); the container layout is deterministic regardless.
+pub fn compress_fields(fields: &[NamedField<'_>], cfg: Config) -> Result<Container, CuszError> {
+    use rayon::prelude::*;
+    if let Some(f) = fields.iter().find(|f| f.name.len() > u16::MAX as usize) {
+        let _ = f;
+        return Err(CuszError::InvalidConfig("field name too long"));
+    }
+    let codec = CuszI::new(cfg);
+    let archives: Result<Vec<Compressed>, CuszError> =
+        fields.par_iter().map(|f| codec.compress(f.data)).collect();
+    let archives = archives?;
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    let mut summaries = Vec::with_capacity(fields.len());
+    for (f, c) in fields.iter().zip(&archives) {
+        bytes.extend_from_slice(&(f.name.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(f.name.as_bytes());
+        bytes.extend_from_slice(&(c.bytes.len() as u64).to_le_bytes());
+        summaries.push(FieldSummary {
+            name: f.name.to_string(),
+            input_bytes: (f.data.len() * 4) as u64,
+            archive_bytes: c.bytes.len() as u64,
+        });
+        bytes.extend_from_slice(&c.bytes);
+    }
+    Ok(Container { bytes, fields: summaries })
+}
+
+/// Decompress a container into `(name, field)` pairs.
+pub fn decompress_fields(
+    bytes: &[u8],
+    cfg: Config,
+) -> Result<Vec<(String, NdArray<f32>)>, CuszError> {
+    if bytes.len() < 8 || &bytes[0..4] != MAGIC {
+        return Err(CuszError::CorruptArchive("container magic"));
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let codec = CuszI::new(cfg);
+    let mut at = 8usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if at + 2 > bytes.len() {
+            return Err(CuszError::CorruptArchive("container name length"));
+        }
+        let nlen = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as usize;
+        at += 2;
+        if at + nlen + 8 > bytes.len() {
+            return Err(CuszError::CorruptArchive("container name"));
+        }
+        let name = std::str::from_utf8(&bytes[at..at + nlen])
+            .map_err(|_| CuszError::CorruptArchive("container name utf-8"))?
+            .to_string();
+        at += nlen;
+        let alen = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        at += 8;
+        if at + alen > bytes.len() {
+            return Err(CuszError::CorruptArchive("container archive truncated"));
+        }
+        let d = codec.decompress(&bytes[at..at + alen])?;
+        at += alen;
+        out.push((name, d.data));
+    }
+    if at != bytes.len() {
+        return Err(CuszError::CorruptArchive("container trailing bytes"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_quant::ErrorBound;
+    use cuszi_tensor::Shape;
+
+    fn fields() -> Vec<(String, NdArray<f32>)> {
+        vec![
+            (
+                "pressure".into(),
+                NdArray::from_fn(Shape::d3(12, 12, 12), |z, y, x| {
+                    ((x + y + z) as f32 * 0.1).sin()
+                }),
+            ),
+            (
+                "velocity".into(),
+                NdArray::from_fn(Shape::d2(30, 40), |_, y, x| (x as f32) * 0.1 - (y as f32) * 0.2),
+            ),
+            ("trace".into(), NdArray::from_fn(Shape::d1(500), |_, _, x| (x as f32 * 0.02).cos())),
+        ]
+    }
+
+    #[test]
+    fn container_roundtrip_preserves_names_shapes_and_bounds() {
+        let fs = fields();
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let named: Vec<NamedField> =
+            fs.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+        let container = compress_fields(&named, cfg).unwrap();
+        assert_eq!(container.fields.len(), 3);
+        assert!(container.aggregate_cr() > 1.0);
+
+        let back = decompress_fields(&container.bytes, cfg).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((name, orig), (bname, recon)) in fs.iter().zip(&back) {
+            assert_eq!(name, bname);
+            assert_eq!(orig.shape(), recon.shape());
+            let range = {
+                let s = orig.as_slice();
+                s.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+                    - s.iter().cloned().fold(f32::INFINITY, f32::min)
+            };
+            assert_eq!(
+                cuszi_metrics::check_error_bound(
+                    orig.as_slice(),
+                    recon.as_slice(),
+                    1e-3 * range as f64
+                ),
+                None,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let container = compress_fields(&[], cfg).unwrap();
+        assert!(decompress_fields(&container.bytes, cfg).unwrap().is_empty());
+        assert_eq!(container.aggregate_cr(), f64::INFINITY);
+    }
+
+    #[test]
+    fn corrupt_containers_error() {
+        let fs = fields();
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let named: Vec<NamedField> =
+            fs.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+        let c = compress_fields(&named, cfg).unwrap();
+        assert!(decompress_fields(&c.bytes[..6], cfg).is_err());
+        assert!(decompress_fields(&c.bytes[..c.bytes.len() - 4], cfg).is_err());
+        let mut bad = c.bytes.clone();
+        bad[1] = b'X';
+        assert!(decompress_fields(&bad, cfg).is_err());
+        // Trailing garbage is rejected too.
+        let mut padded = c.bytes.clone();
+        padded.extend_from_slice(&[0, 1, 2]);
+        assert!(decompress_fields(&padded, cfg).is_err());
+    }
+}

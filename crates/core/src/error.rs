@@ -1,0 +1,38 @@
+//! Typed errors of the public API.
+
+/// Everything that can go wrong compressing or decompressing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CuszError {
+    /// Input contains NaN or infinities — error-bounded compression of
+    /// non-finite values is undefined in the SZ framework.
+    NonFiniteInput,
+    /// The error bound is non-positive, non-finite, or resolves to zero
+    /// (relative bound on a constant field).
+    InvalidErrorBound,
+    /// Archive is structurally invalid (bad magic, truncated section,
+    /// inconsistent geometry). The payload describes what failed.
+    CorruptArchive(&'static str),
+    /// Archive was produced by an incompatible format version.
+    VersionMismatch { found: u16, expected: u16 },
+    /// A lossless-stage failure surfaced during decompression.
+    LosslessStage(&'static str),
+    /// The requested configuration is unsupported (e.g. radius 0).
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for CuszError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CuszError::NonFiniteInput => write!(f, "input contains non-finite values"),
+            CuszError::InvalidErrorBound => write!(f, "error bound must be positive and finite"),
+            CuszError::CorruptArchive(m) => write!(f, "corrupt archive: {m}"),
+            CuszError::VersionMismatch { found, expected } => {
+                write!(f, "archive version {found} (expected {expected})")
+            }
+            CuszError::LosslessStage(m) => write!(f, "lossless stage failed: {m}"),
+            CuszError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CuszError {}

@@ -1,0 +1,50 @@
+//! **cuSZ-i**: GPU error-bounded lossy compression for scientific data
+//! with optimized multi-level interpolation — a faithful Rust
+//! reproduction of the SC'24 paper, executing its kernels on the
+//! `cuszi-gpu-sim` GPU execution model.
+//!
+//! # Pipeline (paper Fig. 1)
+//!
+//! ```text
+//! input ──▶ profiling/auto-tuning (§V-C) ──▶ G-Interp predict+quantize (§V)
+//!       ──▶ histogram (top-k privatized, §VI-A) ──▶ CPU canonical codebook
+//!       ──▶ coarse-grained Huffman encode ──▶ [Bitcomp-lossless] (§VI-B)
+//!       ──▶ archive
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use cuszi_core::{CuszI, Config};
+//! use cuszi_quant::ErrorBound;
+//! use cuszi_tensor::{NdArray, Shape};
+//!
+//! let data = NdArray::from_fn(Shape::d3(32, 32, 32), |z, y, x| {
+//!     ((x as f32) * 0.1).sin() + (y as f32) * 0.02 + (z as f32) * 0.01
+//! });
+//! let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+//! let compressed = codec.compress(&data).unwrap();
+//! let decompressed = codec.decompress(&compressed.bytes).unwrap();
+//! assert_eq!(decompressed.data.shape(), data.shape());
+//! ```
+
+pub mod archive;
+pub mod batch;
+pub mod config;
+pub mod error;
+pub mod pipeline;
+pub mod quality;
+pub mod pwrel;
+pub mod report;
+pub mod stream;
+pub mod traits;
+
+pub use config::Config;
+pub use error::CuszError;
+pub use pipeline::{Compressed, CuszI, Decompressed, SectionSizes};
+pub use quality::{compress_to_psnr, QualityResult};
+pub use batch::{compress_fields, decompress_fields, Container, NamedField};
+pub use pwrel::{compress_pw_rel, decompress_pw_rel, PwRelCompressed};
+pub use report::{render_breakdown, stage_breakdown, StageCost};
+pub use stream::{compress_slabs, decompress_slabs};
+pub use traits::{Codec, CodecArtifacts};

@@ -1,0 +1,456 @@
+//! The end-to-end cuSZ-i pipeline.
+
+use cuszi_gpu_sim::KernelStats;
+use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook, EncodedStream};
+use cuszi_predict::ginterp;
+use cuszi_predict::tuning::{alpha_from_rel_eb, profile_and_tune, InterpConfig};
+use cuszi_quant::Outliers;
+use cuszi_tensor::stats::ValueRange;
+use cuszi_tensor::NdArray;
+
+use crate::archive::{
+    f32_section, split_sections, u64_section, Header, FLAG_BITCOMP, FLAG_CONSTANT, HEADER_LEN,
+    VERSION,
+};
+use crate::config::Config;
+use crate::error::CuszError;
+use crate::traits::{Codec, CodecArtifacts};
+
+/// Byte sizes of the archive's logical parts (pre-Bitcomp), for the
+/// ratio breakdowns in the evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SectionSizes {
+    pub header: usize,
+    pub anchors: usize,
+    pub codebook: usize,
+    pub huffman: usize,
+    pub outliers: usize,
+}
+
+/// A compression result: the archive plus measurement artifacts.
+#[derive(Clone, Debug)]
+pub struct Compressed {
+    /// The self-describing archive.
+    pub bytes: Vec<u8>,
+    /// Kernel stats in launch order (predictor, histogram, Huffman
+    /// passes, Bitcomp passes).
+    pub kernels: Vec<KernelStats>,
+    /// Logical section sizes before the Bitcomp pass.
+    pub sections: SectionSizes,
+    /// The absolute error bound actually applied.
+    pub eb_abs: f64,
+    /// The tuned interpolation configuration.
+    pub interp: InterpConfig,
+}
+
+/// A decompression result.
+#[derive(Clone, Debug)]
+pub struct Decompressed {
+    pub data: NdArray<f32>,
+    pub kernels: Vec<KernelStats>,
+}
+
+/// The cuSZ-i compressor.
+#[derive(Clone, Copy, Debug)]
+pub struct CuszI {
+    cfg: Config,
+}
+
+impl CuszI {
+    /// Build a compressor from a configuration.
+    pub fn new(cfg: Config) -> Self {
+        CuszI { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Compress a field.
+    pub fn compress(&self, data: &NdArray<f32>) -> Result<Compressed, CuszError> {
+        let cfg = &self.cfg;
+        if cfg.radius == 0 {
+            return Err(CuszError::InvalidConfig("radius must be >= 1"));
+        }
+        if !cfg.error_bound.is_valid() {
+            return Err(CuszError::InvalidErrorBound);
+        }
+        let range = ValueRange::of(data.as_slice()).ok_or(CuszError::NonFiniteInput)?;
+
+        // Constant-field fast path: nothing to predict or encode.
+        if range.range() == 0.0 {
+            let header = Header {
+                version: VERSION,
+                flags: FLAG_CONSTANT,
+                shape: data.shape(),
+                eb_abs: 0.0,
+                alpha: 1.0,
+                radius: cfg.radius,
+                variants: Default::default(),
+                order: cuszi_predict::sweep::active_axes(data.shape().rank()).to_vec(),
+                const_value: range.min,
+                sections: [0; 5],
+            };
+            return Ok(Compressed {
+                bytes: header.to_bytes(),
+                kernels: Vec::new(),
+                sections: SectionSizes { header: HEADER_LEN, ..Default::default() },
+                eb_abs: 0.0,
+                interp: InterpConfig::untuned(data.shape().rank()),
+            });
+        }
+
+        let eb_abs = cfg.error_bound.absolute(range.range() as f64);
+        let rel_eb = cfg.error_bound.relative(range.range() as f64);
+        if !(eb_abs.is_finite() && eb_abs > 0.0) {
+            return Err(CuszError::InvalidErrorBound);
+        }
+
+        // § V-C: profiling + auto-tuning (or the untuned ablation,
+        // which still applies Eq. 1's alpha — the paper's "lightweight"
+        // path always computes alpha from the relative bound).
+        let interp = if cfg.auto_tune {
+            profile_and_tune(data, rel_eb).0
+        } else {
+            InterpConfig {
+                alpha: alpha_from_rel_eb(rel_eb),
+                ..InterpConfig::untuned(data.shape().rank())
+            }
+        };
+
+        // § V: G-Interp prediction + quantization.
+        let pred = ginterp::compress(data, eb_abs, cfg.radius, &interp, &cfg.device);
+        let mut kernels = pred.kernels.clone();
+
+        // § VI-A: histogram + CPU codebook + coarse-grained Huffman.
+        let alphabet = 2 * cfg.radius as usize;
+        let (hist, hstats) = histogram_gpu(
+            &pred.codes,
+            alphabet,
+            cfg.radius,
+            cfg.histogram_topk,
+            &cfg.device,
+        );
+        kernels.push(hstats);
+        let book = Codebook::from_histogram(&hist)
+            .map_err(|_| CuszError::LosslessStage("codebook construction"))?;
+        let (stream, estats) = encode_gpu(&pred.codes, &book, &cfg.device);
+        kernels.extend(estats);
+
+        // Assemble the payload.
+        let anchors_bytes: Vec<u8> =
+            pred.anchors.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let book_bytes = book.to_bytes();
+        let stream_bytes = stream.to_bytes();
+        let oidx_bytes: Vec<u8> =
+            pred.outliers.indices().iter().flat_map(|v| v.to_le_bytes()).collect();
+        let oval_bytes: Vec<u8> =
+            pred.outliers.values().iter().flat_map(|v| v.to_le_bytes()).collect();
+        let sections = [
+            anchors_bytes.len() as u64,
+            book_bytes.len() as u64,
+            stream_bytes.len() as u64,
+            oidx_bytes.len() as u64,
+            oval_bytes.len() as u64,
+        ];
+        let mut payload =
+            Vec::with_capacity(sections.iter().map(|&s| s as usize).sum::<usize>());
+        payload.extend_from_slice(&anchors_bytes);
+        payload.extend_from_slice(&book_bytes);
+        payload.extend_from_slice(&stream_bytes);
+        payload.extend_from_slice(&oidx_bytes);
+        payload.extend_from_slice(&oval_bytes);
+
+        let section_sizes = SectionSizes {
+            header: HEADER_LEN,
+            anchors: anchors_bytes.len(),
+            codebook: book_bytes.len(),
+            huffman: stream_bytes.len(),
+            outliers: oidx_bytes.len() + oval_bytes.len(),
+        };
+
+        // § VI-B: optional Bitcomp-lossless pass over the whole payload.
+        let mut flags = 0u8;
+        let payload = if cfg.bitcomp {
+            flags |= FLAG_BITCOMP;
+            let (packed, bstats) = cuszi_bitcomp::compress(&payload, &cfg.device);
+            kernels.extend(bstats);
+            packed
+        } else {
+            payload
+        };
+
+        let header = Header {
+            version: VERSION,
+            flags,
+            shape: data.shape(),
+            eb_abs,
+            alpha: interp.alpha,
+            radius: cfg.radius,
+            variants: interp.variants,
+            order: interp.order.clone(),
+            const_value: 0.0,
+            sections,
+        };
+        let mut bytes = header.to_bytes();
+        bytes.extend_from_slice(&payload);
+        Ok(Compressed { bytes, kernels, sections: section_sizes, eb_abs, interp })
+    }
+
+    /// Decompress an archive produced by [`CuszI::compress`].
+    ///
+    /// The archive is self-describing; only the device model comes from
+    /// this codec's configuration.
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Decompressed, CuszError> {
+        let header = Header::from_bytes(bytes)?;
+        let mut kernels = Vec::new();
+
+        if header.flags & FLAG_CONSTANT != 0 {
+            let mut data = NdArray::zeros(header.shape);
+            data.as_mut_slice().fill(header.const_value);
+            return Ok(Decompressed { data, kernels });
+        }
+        if header.eb_abs <= 0.0 {
+            return Err(CuszError::CorruptArchive("non-positive error bound"));
+        }
+
+        let raw = &bytes[HEADER_LEN..];
+        let payload: Vec<u8> = if header.flags & FLAG_BITCOMP != 0 {
+            let (p, bstats) = cuszi_bitcomp::decompress(raw, &self.cfg.device)
+                .map_err(|e| CuszError::LosslessStage(e.0))?;
+            kernels.push(bstats);
+            p
+        } else {
+            raw.to_vec()
+        };
+        let [anchors_b, book_b, stream_b, oidx_b, oval_b] =
+            split_sections(&payload, &header.sections)?;
+
+        let anchors = f32_section(anchors_b)?;
+        let book =
+            Codebook::from_bytes(book_b).map_err(|_| CuszError::CorruptArchive("codebook"))?;
+        let stream = EncodedStream::from_bytes(stream_b)
+            .ok_or(CuszError::CorruptArchive("huffman stream"))?;
+        if stream.n as usize != header.shape.len() {
+            return Err(CuszError::CorruptArchive("stream length != shape"));
+        }
+        let outliers = Outliers::from_parts(u64_section(oidx_b)?, f32_section(oval_b)?)
+            .ok_or(CuszError::CorruptArchive("outlier sections disagree"))?;
+        if outliers.indices().iter().any(|&i| i as usize >= header.shape.len()) {
+            return Err(CuszError::CorruptArchive("outlier index out of range"));
+        }
+
+        let (codes, dstats) =
+            decode_gpu(&stream, &book, &self.cfg.device).map_err(|e| CuszError::LosslessStage(e.0))?;
+        kernels.push(dstats);
+
+        let expected_anchors = ginterp::anchor_len(
+            header.shape,
+            ginterp::anchor_stride_for_rank(header.shape.rank()),
+        );
+        if anchors.len() != expected_anchors {
+            return Err(CuszError::CorruptArchive("anchor section length"));
+        }
+
+        let interp = header.interp_config();
+        let (data, gstats) = ginterp::decompress(
+            &codes,
+            &anchors,
+            &outliers,
+            header.shape,
+            header.eb_abs,
+            header.radius,
+            &interp,
+            &self.cfg.device,
+        );
+        kernels.extend(gstats);
+        Ok(Decompressed { data, kernels })
+    }
+}
+
+impl Codec for CuszI {
+    fn name(&self) -> &'static str {
+        if self.cfg.bitcomp {
+            "cuSZ-i w/ Bitcomp"
+        } else {
+            "cuSZ-i"
+        }
+    }
+
+    fn compress_bytes(&self, data: &NdArray<f32>) -> Result<(Vec<u8>, CodecArtifacts), CuszError> {
+        let c = self.compress(data)?;
+        Ok((c.bytes, CodecArtifacts { kernels: c.kernels }))
+    }
+
+    fn decompress_bytes(&self, bytes: &[u8]) -> Result<(NdArray<f32>, CodecArtifacts), CuszError> {
+        let d = self.decompress(bytes)?;
+        Ok((d.data, CodecArtifacts { kernels: d.kernels }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_metrics::{check_error_bound, compression_ratio, distortion};
+    use cuszi_quant::ErrorBound;
+    use cuszi_tensor::Shape;
+
+    fn field(shape: Shape) -> NdArray<f32> {
+        NdArray::from_fn(shape, |z, y, x| {
+            ((x as f32) * 0.07).sin() * 3.0
+                + ((y as f32) * 0.05).cos() * 2.0
+                + ((z as f32) * 0.06).sin()
+                + 0.3 * ((x + 2 * y + 3 * z) as f32 * 0.11).sin()
+        })
+    }
+
+    #[test]
+    fn roundtrip_respects_relative_bound() {
+        let data = field(Shape::d3(32, 32, 48));
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+        let c = codec.compress(&data).unwrap();
+        let d = codec.decompress(&c.bytes).unwrap();
+        assert_eq!(d.data.shape(), data.shape());
+        assert_eq!(check_error_bound(data.as_slice(), d.data.as_slice(), c.eb_abs), None);
+    }
+
+    #[test]
+    fn roundtrip_absolute_bound_all_ranks() {
+        for shape in [Shape::d1(2000), Shape::d2(50, 60), Shape::d3(20, 24, 28)] {
+            let data = field(shape);
+            let codec = CuszI::new(Config::new(ErrorBound::Abs(5e-3)));
+            let c = codec.compress(&data).unwrap();
+            let d = codec.decompress(&c.bytes).unwrap();
+            assert_eq!(
+                check_error_bound(data.as_slice(), d.data.as_slice(), 5e-3),
+                None,
+                "{shape}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitcomp_improves_ratio_on_smooth_data() {
+        let data = field(Shape::d3(32, 32, 64));
+        let with = CuszI::new(Config::new(ErrorBound::Rel(1e-2)));
+        let without = CuszI::new(Config::new(ErrorBound::Rel(1e-2)).without_bitcomp());
+        let cw = with.compress(&data).unwrap();
+        let co = without.compress(&data).unwrap();
+        let n = data.len() * 4;
+        let crw = compression_ratio(n, cw.bytes.len());
+        let cro = compression_ratio(n, co.bytes.len());
+        assert!(crw > cro, "bitcomp {crw:.1} !> plain {cro:.1}");
+        // Roundtrip both.
+        for (codec, c) in [(&with, &cw), (&without, &co)] {
+            let d = codec.decompress(&c.bytes).unwrap();
+            assert_eq!(check_error_bound(data.as_slice(), d.data.as_slice(), c.eb_abs), None);
+        }
+    }
+
+    #[test]
+    fn tighter_bound_means_higher_psnr_lower_ratio() {
+        let data = field(Shape::d3(24, 32, 40));
+        let loose = CuszI::new(Config::new(ErrorBound::Rel(1e-2)));
+        let tight = CuszI::new(Config::new(ErrorBound::Rel(1e-4)));
+        let cl = loose.compress(&data).unwrap();
+        let ct = tight.compress(&data).unwrap();
+        assert!(cl.bytes.len() < ct.bytes.len());
+        let dl = loose.decompress(&cl.bytes).unwrap();
+        let dt = tight.decompress(&ct.bytes).unwrap();
+        let pl = distortion(data.as_slice(), dl.data.as_slice()).unwrap().psnr;
+        let pt = distortion(data.as_slice(), dt.data.as_slice()).unwrap().psnr;
+        assert!(pt > pl + 20.0, "tight {pt:.1} dB vs loose {pl:.1} dB");
+    }
+
+    #[test]
+    fn constant_field_fast_path() {
+        let data = NdArray::from_vec(Shape::d3(8, 8, 8), vec![3.25f32; 512]);
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+        let c = codec.compress(&data).unwrap();
+        assert_eq!(c.bytes.len(), HEADER_LEN);
+        let d = codec.decompress(&c.bytes).unwrap();
+        assert_eq!(d.data.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn non_finite_input_rejected() {
+        let mut data = NdArray::zeros(Shape::d1(100));
+        data.as_mut_slice()[3] = f32::NAN;
+        let codec = CuszI::new(Config::new(ErrorBound::Abs(0.1)));
+        assert!(matches!(codec.compress(&data), Err(CuszError::NonFiniteInput)));
+    }
+
+    #[test]
+    fn invalid_bound_rejected() {
+        let data = field(Shape::d1(64));
+        for eb in [ErrorBound::Abs(0.0), ErrorBound::Rel(-1.0), ErrorBound::Abs(f64::NAN)] {
+            assert!(matches!(
+                CuszI::new(Config::new(eb)).compress(&data),
+                Err(CuszError::InvalidErrorBound)
+            ));
+        }
+    }
+
+    #[test]
+    fn corrupt_archives_yield_errors_not_panics() {
+        let data = field(Shape::d3(16, 16, 16));
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+        let c = codec.compress(&data).unwrap();
+
+        assert!(codec.decompress(&[]).is_err());
+        assert!(codec.decompress(&c.bytes[..HEADER_LEN - 1]).is_err());
+        assert!(codec.decompress(&c.bytes[..HEADER_LEN + 3]).is_err());
+
+        let mut bad = c.bytes.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            codec.decompress(&bad),
+            Err(CuszError::CorruptArchive("bad magic"))
+        ));
+
+        // Flip payload bytes: must error or produce a different field,
+        // never panic.
+        let mut bad = c.bytes.clone();
+        let span = 32.min(bad.len() - HEADER_LEN);
+        for b in bad[HEADER_LEN..HEADER_LEN + span].iter_mut() {
+            *b ^= 0xFF;
+        }
+        let _ = codec.decompress(&bad);
+    }
+
+    #[test]
+    fn untuned_config_still_roundtrips() {
+        let data = field(Shape::d3(20, 20, 20));
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)).without_tuning());
+        let c = codec.compress(&data).unwrap();
+        let d = codec.decompress(&c.bytes).unwrap();
+        assert_eq!(check_error_bound(data.as_slice(), d.data.as_slice(), c.eb_abs), None);
+    }
+
+    #[test]
+    fn section_sizes_accounted() {
+        let data = field(Shape::d3(24, 24, 24));
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)).without_bitcomp());
+        let c = codec.compress(&data).unwrap();
+        let s = c.sections;
+        assert_eq!(
+            s.header + s.anchors + s.codebook + s.huffman + s.outliers,
+            c.bytes.len()
+        );
+        // 3-d anchors are 1/512 of elements (rounded up per axis).
+        assert_eq!(s.anchors, cuszi_predict::ginterp::anchor_len(data.shape(), 8) * 4);
+    }
+
+    #[test]
+    fn kernel_stats_cover_all_stages() {
+        let data = field(Shape::d3(16, 16, 32));
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+        let c = codec.compress(&data).unwrap();
+        // anchors + interp + histogram + 2 huffman passes + 2 bitcomp.
+        assert_eq!(c.kernels.len(), 7);
+        let d = codec.decompress(&c.bytes).unwrap();
+        // bitcomp + huffman decode + interp.
+        assert_eq!(d.kernels.len(), 3);
+    }
+}

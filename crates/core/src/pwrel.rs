@@ -1,0 +1,222 @@
+//! Point-wise relative error bounds: `|x - x'| <= eps * |x|`.
+//!
+//! The SZ family supports this mode (§ II: "various modes of user-set
+//! error bounds") through a logarithmic pre-transform: compressing
+//! `y = ln|x|` with the *absolute* bound `ln(1 + eps)` guarantees the
+//! point-wise relative bound on `x` after `x' = sign(x) * exp(y')`.
+//! Signs travel in a bit-plane side channel; magnitudes below an
+//! absolute `floor` are flushed to the floor lattice (their relative
+//! error is unbounded at x -> 0 by any finite code, so every pw-rel
+//! compressor takes a floor parameter).
+
+use cuszi_quant::ErrorBound;
+use cuszi_tensor::{NdArray, Shape};
+
+use crate::config::Config;
+use crate::error::CuszError;
+use crate::pipeline::CuszI;
+
+const MAGIC: &[u8; 4] = b"CSZR";
+
+/// Result of a point-wise relative compression.
+#[derive(Clone, Debug)]
+pub struct PwRelCompressed {
+    /// The archive (self-describing; decompress with
+    /// [`decompress_pw_rel`]).
+    pub bytes: Vec<u8>,
+    /// The log-domain absolute bound actually applied.
+    pub log_eb: f64,
+}
+
+/// Compress with `|x - x'| <= max(eps * |x|, (1 + eps) * floor)`:
+/// values at or above `floor` in magnitude get the point-wise relative
+/// bound; sub-floor values (including zeros) are flushed to the floor
+/// lattice with that small absolute error.
+///
+/// `base` supplies device/Bitcomp/tuning; its error bound is replaced by
+/// the derived log-domain bound. `floor` must be positive.
+pub fn compress_pw_rel(
+    data: &NdArray<f32>,
+    eps: f64,
+    floor: f32,
+    base: Config,
+) -> Result<PwRelCompressed, CuszError> {
+    if !(eps.is_finite() && eps > 0.0 && eps < 1.0) {
+        return Err(CuszError::InvalidConfig("pw-rel eps must be in (0, 1)"));
+    }
+    if !(floor.is_finite() && floor > 0.0) {
+        return Err(CuszError::InvalidConfig("pw-rel floor must be positive"));
+    }
+    if !data.all_finite() {
+        return Err(CuszError::NonFiniteInput);
+    }
+
+    // Sign bit-plane + log magnitudes.
+    let n = data.len();
+    let mut signs = vec![0u8; n.div_ceil(8)];
+    let mut logs = Vec::with_capacity(n);
+    for (i, &v) in data.as_slice().iter().enumerate() {
+        if v.is_sign_negative() {
+            signs[i / 8] |= 1 << (i % 8);
+        }
+        logs.push(v.abs().max(floor).ln());
+    }
+    let log_field = NdArray::from_vec(data.shape(), logs);
+
+    // |y - y'| <= ln(1+eps) ==> x'/x in [1/(1+eps), 1+eps] ==>
+    // |x - x'| <= eps * |x| (the lower branch is even tighter).
+    let log_eb = (1.0 + eps).ln();
+    let inner_cfg = Config { error_bound: ErrorBound::Abs(log_eb), ..base };
+    let inner = CuszI::new(inner_cfg).compress(&log_field)?;
+
+    // Signs compress superbly under the bitcomp pass (long same-sign
+    // runs in physical fields).
+    let (sign_packed, _) = cuszi_bitcomp::compress(&signs, &base.device);
+
+    let mut bytes = Vec::with_capacity(inner.bytes.len() + sign_packed.len() + 64);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&eps.to_le_bytes());
+    bytes.extend_from_slice(&(floor as f64).to_le_bytes());
+    bytes.extend_from_slice(&(sign_packed.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(inner.bytes.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&sign_packed);
+    bytes.extend_from_slice(&inner.bytes);
+    Ok(PwRelCompressed { bytes, log_eb })
+}
+
+/// Decompress a [`compress_pw_rel`] archive.
+pub fn decompress_pw_rel(bytes: &[u8], base: Config) -> Result<NdArray<f32>, CuszError> {
+    if bytes.len() < 36 || &bytes[0..4] != MAGIC {
+        return Err(CuszError::CorruptArchive("pw-rel magic"));
+    }
+    let eps = f64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let floor = f64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if !(eps > 0.0 && floor > 0.0) {
+        return Err(CuszError::CorruptArchive("pw-rel parameters"));
+    }
+    let sign_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
+    let inner_len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+    if bytes.len() != 36 + sign_len + inner_len {
+        return Err(CuszError::CorruptArchive("pw-rel section lengths"));
+    }
+    let (signs, _) = cuszi_bitcomp::decompress(&bytes[36..36 + sign_len], &base.device)
+        .map_err(|e| CuszError::LosslessStage(e.0))?;
+    let inner = CuszI::new(base).decompress(&bytes[36 + sign_len..])?;
+    let shape: Shape = inner.data.shape();
+    if signs.len() != shape.len().div_ceil(8) {
+        return Err(CuszError::CorruptArchive("pw-rel sign plane length"));
+    }
+    let mut out = Vec::with_capacity(shape.len());
+    for (i, &y) in inner.data.as_slice().iter().enumerate() {
+        let mag = (y as f64).exp() as f32;
+        let neg = signs[i / 8] >> (i % 8) & 1 != 0;
+        out.push(if neg { -mag } else { mag });
+    }
+    Ok(NdArray::from_vec(shape, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> NdArray<f32> {
+        // Several decades of magnitude plus sign flips — the workload
+        // pw-rel bounds exist for (e.g. Nyx baryon density spans 1e-3
+        // to 1e3 and an ABS bound would destroy the low end).
+        NdArray::from_fn(Shape::d3(16, 20, 24), |z, y, x| {
+            let m = (((x + 2 * y + 3 * z) as f32) * 0.05).sin();
+            let scale = 10f32.powi((x % 5) as i32 - 2);
+            m * scale
+        })
+    }
+
+    fn check_pw_rel(orig: &NdArray<f32>, recon: &NdArray<f32>, eps: f64, floor: f32) {
+        for (i, (&a, &b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+            // The contract: relative above the floor, absolute ~floor
+            // below it.
+            let tol = (eps * (a.abs() as f64)).max((1.0 + eps) * floor as f64) * (1.0 + 1e-5)
+                + 1e-12;
+            assert!(
+                ((a as f64) - (b as f64)).abs() <= tol,
+                "idx {i}: |{a} - {b}| > {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_respects_pointwise_relative_bound() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let eps = 1e-2;
+        let floor = 1e-6;
+        let c = compress_pw_rel(&data, eps, floor, base).unwrap();
+        let recon = decompress_pw_rel(&c.bytes, base).unwrap();
+        check_pw_rel(&data, &recon, eps, floor);
+    }
+
+    #[test]
+    fn tiny_values_flush_to_floor_not_blowup() {
+        let mut data = field();
+        data.as_mut_slice()[3] = 1e-30;
+        data.as_mut_slice()[4] = -0.0;
+        data.as_mut_slice()[5] = 0.0;
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let c = compress_pw_rel(&data, 1e-2, 1e-4, base).unwrap();
+        let recon = decompress_pw_rel(&c.bytes, base).unwrap();
+        for i in 3..6 {
+            assert!(recon.as_slice()[i].abs() <= 1.1e-4, "idx {i}: {}", recon.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn relative_mode_preserves_low_magnitudes_better_than_abs() {
+        // On a multi-decade field, pw-rel keeps small values' *relative*
+        // accuracy where a comparable-size ABS archive loses them.
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let c = compress_pw_rel(&data, 5e-3, 1e-6, base).unwrap();
+        let recon = decompress_pw_rel(&c.bytes, base).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(recon.as_slice()) {
+            if a.abs() > 1e-3 {
+                let rel = ((a - b).abs() / a.abs()) as f64;
+                assert!(rel <= 5.1e-3, "rel err {rel} at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn signs_are_exact() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let c = compress_pw_rel(&data, 1e-2, 1e-6, base).unwrap();
+        let recon = decompress_pw_rel(&c.bytes, base).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(recon.as_slice()) {
+            if a != 0.0 {
+                assert_eq!(a.is_sign_negative(), b.is_sign_negative(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        assert!(compress_pw_rel(&data, 0.0, 1e-6, base).is_err());
+        assert!(compress_pw_rel(&data, 1.5, 1e-6, base).is_err());
+        assert!(compress_pw_rel(&data, 1e-2, 0.0, base).is_err());
+    }
+
+    #[test]
+    fn corrupt_archive_rejected() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let c = compress_pw_rel(&data, 1e-2, 1e-6, base).unwrap();
+        assert!(decompress_pw_rel(&c.bytes[..20], base).is_err());
+        let mut bad = c.bytes.clone();
+        bad[0] = b'X';
+        assert!(decompress_pw_rel(&bad, base).is_err());
+        let mut bad2 = c.bytes.clone();
+        bad2.truncate(c.bytes.len() - 1);
+        assert!(decompress_pw_rel(&bad2, base).is_err());
+    }
+}

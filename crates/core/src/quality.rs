@@ -1,0 +1,158 @@
+//! Quality-targeted compression: fix the decompression PSNR instead of
+//! the error bound.
+//!
+//! The paper's rate-distortion comparisons (Fig. 7, Fig. 10) are framed
+//! "at the same PSNR", and its QoZ ancestor [SC'22] made quality-metric
+//! targeting a first-class mode. This module adds that mode on top of
+//! [`CuszI`]: a log-domain secant search over the relative error bound,
+//! exploiting that PSNR is close to linear in `log10(eb)` (each 10x of
+//! bound is ~20 dB).
+
+use cuszi_metrics::distortion;
+use cuszi_quant::ErrorBound;
+use cuszi_tensor::NdArray;
+
+use crate::config::Config;
+use crate::error::CuszError;
+use crate::pipeline::{Compressed, CuszI};
+
+/// Result of a PSNR-targeted compression.
+#[derive(Clone, Debug)]
+pub struct QualityResult {
+    /// The archive (from the final accepted iteration).
+    pub compressed: Compressed,
+    /// The achieved decompression PSNR in dB.
+    pub achieved_psnr: f64,
+    /// The relative error bound the search settled on.
+    pub rel_eb: f64,
+    /// Search iterations spent.
+    pub iterations: u32,
+}
+
+/// Compress `data` so the decompressed PSNR lands within `tol_db` of
+/// `target_db` (or as close as the bound range [1e-7, 0.5] allows).
+///
+/// `base` supplies everything except the error bound (device, Bitcomp,
+/// tuning, radius). Each iteration runs a full compress+decompress, so
+/// expect a handful of pipeline invocations.
+pub fn compress_to_psnr(
+    data: &NdArray<f32>,
+    target_db: f64,
+    tol_db: f64,
+    base: Config,
+) -> Result<QualityResult, CuszError> {
+    if !(target_db.is_finite() && target_db > 0.0 && tol_db > 0.0) {
+        return Err(CuszError::InvalidConfig("target PSNR must be positive and finite"));
+    }
+    // Initial guess from the uniform-quantization-noise model:
+    // PSNR ~ 20 log10(range / eb_abs) + C  =>  rel_eb ~ 10^(-(target-C)/20),
+    // with C ~ 7 dB for the quantizer's noise shape.
+    let mut rel = 10f64.powf(-(target_db - 7.0) / 20.0).clamp(1e-7, 0.5);
+
+    let mut best: Option<(f64, f64, Compressed)> = None; // (|gap|, psnr, result)
+    let mut prev: Option<(f64, f64)> = None; // (log10 rel, psnr)
+    let mut iterations = 0;
+    for _ in 0..10 {
+        iterations += 1;
+        let codec = CuszI::new(Config { error_bound: ErrorBound::Rel(rel), ..base });
+        let c = codec.compress(data)?;
+        let d = codec.decompress(&c.bytes)?;
+        let psnr = distortion(data.as_slice(), d.data.as_slice())
+            .map(|m| m.psnr)
+            .unwrap_or(f64::INFINITY);
+        let gap = psnr - target_db;
+        if best.as_ref().is_none_or(|(g, _, _)| gap.abs() < *g) {
+            best = Some((gap.abs(), psnr, c));
+        }
+        if gap.abs() <= tol_db {
+            break;
+        }
+        // Secant step in (log10 eb, PSNR); fall back to the -20 dB/decade
+        // slope when we only have one sample or a degenerate pair.
+        let lg = rel.log10();
+        let slope = match prev {
+            Some((plg, ppsnr)) if (lg - plg).abs() > 1e-9 && (psnr - ppsnr).abs() > 1e-6 => {
+                (psnr - ppsnr) / (lg - plg)
+            }
+            _ => -20.0,
+        };
+        prev = Some((lg, psnr));
+        let next = lg - gap / slope;
+        let next_rel = 10f64.powf(next).clamp(1e-7, 0.5);
+        if (next_rel / rel - 1.0).abs() < 1e-6 {
+            break; // pinned at the range edge
+        }
+        rel = next_rel;
+    }
+    let (_, achieved_psnr, compressed) = best.expect("at least one iteration ran");
+    let rel_eb = compressed.eb_abs; // absolute; recover relative below
+    let range = {
+        let s = data.as_slice();
+        let (mn, mx) = s
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+        (mx - mn) as f64
+    };
+    Ok(QualityResult {
+        compressed,
+        achieved_psnr,
+        rel_eb: if range > 0.0 { rel_eb / range } else { 0.0 },
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_tensor::Shape;
+
+    fn field() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(32, 32, 32), |z, y, x| {
+            ((x as f32) * 0.07).sin() * 2.0 + ((y as f32) * 0.05).cos() + (z as f32) * 0.02
+                + 0.15 * ((x * y) as f32 * 0.011).sin()
+        })
+    }
+
+    #[test]
+    fn hits_a_moderate_target() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let r = compress_to_psnr(&data, 70.0, 1.5, base).unwrap();
+        assert!(
+            (r.achieved_psnr - 70.0).abs() <= 1.5,
+            "achieved {:.2} dB after {} iters",
+            r.achieved_psnr,
+            r.iterations
+        );
+        assert!(r.iterations <= 10);
+    }
+
+    #[test]
+    fn higher_target_costs_more_bytes() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let lo = compress_to_psnr(&data, 55.0, 2.0, base).unwrap();
+        let hi = compress_to_psnr(&data, 90.0, 2.0, base).unwrap();
+        assert!(hi.compressed.bytes.len() > lo.compressed.bytes.len());
+        assert!(hi.rel_eb < lo.rel_eb);
+    }
+
+    #[test]
+    fn rejects_nonsense_targets() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        assert!(compress_to_psnr(&data, -5.0, 1.0, base).is_err());
+        assert!(compress_to_psnr(&data, f64::NAN, 1.0, base).is_err());
+        assert!(compress_to_psnr(&data, 60.0, 0.0, base).is_err());
+    }
+
+    #[test]
+    fn archive_is_a_normal_cuszi_archive() {
+        let data = field();
+        let base = Config::new(ErrorBound::Rel(1e-3));
+        let r = compress_to_psnr(&data, 65.0, 2.0, base).unwrap();
+        let codec = CuszI::new(base);
+        let d = codec.decompress(&r.compressed.bytes).unwrap();
+        assert_eq!(d.data.shape(), data.shape());
+    }
+}

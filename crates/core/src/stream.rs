@@ -1,0 +1,221 @@
+//! Streaming slab compression: process a huge 3-d field in bounded
+//! memory, one `z` slab at a time.
+//!
+//! The paper's motivating scenarios (§ I) never hold the whole dataset:
+//! simulations emit snapshots from device memory and instruments stream
+//! at up to 1 TB/s. This module compresses a field slab-by-slab — each
+//! slab is an independent cuSZ-i archive, so a consumer can likewise
+//! decompress incrementally (or in parallel). The cost is that
+//! prediction cannot cross slab seams; keep slabs at least a few anchor
+//! strides thick (>= 32 z-planes) to make the seam overhead marginal.
+//!
+//! Format: `magic "CSZS" | u8 rank | dims [u64;3] | u32 slab_z |
+//! u32 slab count | per slab: [u64 len][cuSZ-i archive]`.
+
+use cuszi_tensor::{NdArray, Shape};
+
+use crate::config::Config;
+use crate::error::CuszError;
+use crate::pipeline::CuszI;
+
+const MAGIC: &[u8; 4] = b"CSZS";
+
+/// Compress `shape` slab-by-slab. `produce(z0, nz)` must return the
+/// slab covering global planes `z0 .. z0+nz` as an `nz x ny x nx`
+/// field; it is called in ascending `z0` order and each slab is
+/// dropped before the next is requested.
+///
+/// A [`cuszi_quant::ErrorBound::Rel`] bound resolves against each
+/// *slab's* value range (the stream never sees the whole field);
+/// pass an absolute bound for a globally uniform guarantee.
+pub fn compress_slabs(
+    shape: Shape,
+    slab_z: usize,
+    cfg: Config,
+    mut produce: impl FnMut(usize, usize) -> NdArray<f32>,
+) -> Result<Vec<u8>, CuszError> {
+    if shape.rank() != 3 {
+        return Err(CuszError::InvalidConfig("slab streaming requires a 3-d shape"));
+    }
+    if slab_z == 0 {
+        return Err(CuszError::InvalidConfig("slab thickness must be positive"));
+    }
+    let [nz, ny, nx] = shape.dims3();
+    let nslabs = nz.div_ceil(slab_z);
+    if nslabs > u32::MAX as usize {
+        return Err(CuszError::InvalidConfig("too many slabs for the stream header"));
+    }
+    let codec = CuszI::new(cfg);
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(3u8);
+    for d in shape.dims3() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(slab_z as u32).to_le_bytes());
+    out.extend_from_slice(&(nslabs as u32).to_le_bytes());
+
+    for s in 0..nslabs {
+        let z0 = s * slab_z;
+        let znum = slab_z.min(nz - z0);
+        let slab = produce(z0, znum);
+        if slab.shape() != Shape::d3(znum, ny, nx) {
+            return Err(CuszError::InvalidConfig("produced slab has the wrong shape"));
+        }
+        let c = codec.compress(&slab)?;
+        out.extend_from_slice(&(c.bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&c.bytes);
+    }
+    Ok(out)
+}
+
+/// Decompress a slab stream, handing each slab to `consume(z0, slab)`
+/// in ascending order. Returns the full-field shape.
+pub fn decompress_slabs(
+    bytes: &[u8],
+    cfg: Config,
+    mut consume: impl FnMut(usize, NdArray<f32>),
+) -> Result<Shape, CuszError> {
+    if bytes.len() < 4 + 1 + 24 + 8 || &bytes[0..4] != MAGIC {
+        return Err(CuszError::CorruptArchive("slab stream magic"));
+    }
+    if bytes[4] != 3 {
+        return Err(CuszError::CorruptArchive("slab stream rank"));
+    }
+    let mut dims = [0usize; 3];
+    for (i, d) in dims.iter_mut().enumerate() {
+        let v = u64::from_le_bytes(bytes[5 + i * 8..13 + i * 8].try_into().unwrap());
+        if v == 0 || v > (1 << 40) {
+            return Err(CuszError::CorruptArchive("slab stream dims"));
+        }
+        *d = v as usize;
+    }
+    dims.iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+        .filter(|&t| t <= 1 << 40)
+        .ok_or(CuszError::CorruptArchive("slab stream element count"))?;
+    let shape =
+        Shape::from_dims(&dims).ok_or(CuszError::CorruptArchive("slab stream shape"))?;
+    let slab_z = u32::from_le_bytes(bytes[29..33].try_into().unwrap()) as usize;
+    let nslabs = u32::from_le_bytes(bytes[33..37].try_into().unwrap()) as usize;
+    if slab_z == 0 || nslabs != dims[0].div_ceil(slab_z) {
+        return Err(CuszError::CorruptArchive("slab geometry"));
+    }
+
+    let codec = CuszI::new(cfg);
+    let mut at = 37usize;
+    for s in 0..nslabs {
+        if at + 8 > bytes.len() {
+            return Err(CuszError::CorruptArchive("slab length truncated"));
+        }
+        let len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        at += 8;
+        if at + len > bytes.len() {
+            return Err(CuszError::CorruptArchive("slab body truncated"));
+        }
+        let d = codec.decompress(&bytes[at..at + len])?;
+        at += len;
+        let z0 = s * slab_z;
+        let expect_z = slab_z.min(dims[0] - z0);
+        if d.data.shape() != Shape::d3(expect_z, dims[1], dims[2]) {
+            return Err(CuszError::CorruptArchive("slab shape mismatch"));
+        }
+        consume(z0, d.data);
+    }
+    if at != bytes.len() {
+        return Err(CuszError::CorruptArchive("slab stream trailing bytes"));
+    }
+    Ok(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_metrics::check_error_bound;
+    use cuszi_quant::ErrorBound;
+
+    fn full_field(shape: Shape) -> NdArray<f32> {
+        NdArray::from_fn(shape, |z, y, x| {
+            ((x as f32) * 0.08).sin() + ((y as f32) * 0.05).cos() + ((z as f32) * 0.03).sin()
+        })
+    }
+
+    fn slab_of(full: &NdArray<f32>, z0: usize, nz: usize) -> NdArray<f32> {
+        let [_, ny, nx] = full.shape().dims3();
+        NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| full.get3(z0 + z, y, x))
+    }
+
+    #[test]
+    fn slab_stream_roundtrips_with_bounds() {
+        let shape = Shape::d3(50, 24, 28);
+        let full = full_field(shape);
+        let cfg = Config::new(ErrorBound::Abs(1e-3));
+        let bytes = compress_slabs(shape, 16, cfg, |z0, nz| slab_of(&full, z0, nz)).unwrap();
+
+        let mut recon = NdArray::<f32>::zeros(shape);
+        let got_shape = decompress_slabs(&bytes, cfg, |z0, slab| {
+            let [snz, ny, nx] = slab.shape().dims3();
+            for z in 0..snz {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        recon.set3(z0 + z, y, x, slab.get3(z, y, x));
+                    }
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(got_shape, shape);
+        assert_eq!(check_error_bound(full.as_slice(), recon.as_slice(), 1e-3), None);
+    }
+
+    #[test]
+    fn slab_order_and_coverage() {
+        let shape = Shape::d3(10, 8, 8);
+        let full = full_field(shape);
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let bytes = compress_slabs(shape, 4, cfg, |z0, nz| slab_of(&full, z0, nz)).unwrap();
+        let mut seen = Vec::new();
+        decompress_slabs(&bytes, cfg, |z0, slab| {
+            seen.push((z0, slab.shape().dims3()[0]));
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(0, 4), (4, 4), (8, 2)]);
+    }
+
+    #[test]
+    fn seam_overhead_is_modest_for_thick_slabs() {
+        // The whole-field archive vs the slab stream: thick slabs should
+        // cost only a few percent.
+        let shape = Shape::d3(64, 32, 32);
+        let full = full_field(shape);
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let whole = CuszI::new(cfg).compress(&full).unwrap().bytes.len();
+        let slabs =
+            compress_slabs(shape, 32, cfg, |z0, nz| slab_of(&full, z0, nz)).unwrap().len();
+        assert!(
+            (slabs as f64) < whole as f64 * 1.25,
+            "slab stream {slabs} vs whole {whole}"
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let shape = Shape::d3(10, 8, 8);
+        let full = full_field(shape);
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        assert!(compress_slabs(shape, 0, cfg, |z0, nz| slab_of(&full, z0, nz)).is_err());
+        assert!(compress_slabs(Shape::d2(8, 8).into(), 4, cfg, |_, _| full.clone()).is_err());
+        // Wrong produced shape.
+        assert!(compress_slabs(shape, 4, cfg, |_, _| full.clone()).is_err());
+        // Corrupt stream.
+        let bytes = compress_slabs(shape, 4, cfg, |z0, nz| slab_of(&full, z0, nz)).unwrap();
+        assert!(decompress_slabs(&bytes[..bytes.len() - 3], cfg, |_, _| {}).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decompress_slabs(&bad, cfg, |_, _| {}).is_err());
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(decompress_slabs(&padded, cfg, |_, _| {}).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! The compressor interface shared by cuSZ-i and every baseline.
+
+use cuszi_gpu_sim::KernelStats;
+use cuszi_tensor::NdArray;
+
+use crate::error::CuszError;
+
+/// Per-direction artifacts: the bytes plus the kernels that produced
+/// them (the Fig. 9 timing inputs).
+#[derive(Clone, Debug, Default)]
+pub struct CodecArtifacts {
+    /// Kernel stats in launch order.
+    pub kernels: Vec<KernelStats>,
+}
+
+/// An error-bounded lossy codec. The bound is fixed at construction
+/// (how Table III sweeps are run); implementations decide how to honour
+/// it.
+pub trait Codec {
+    /// Display name used in tables/figures.
+    fn name(&self) -> &'static str;
+
+    /// Compress a field to archive bytes.
+    fn compress_bytes(&self, data: &NdArray<f32>) -> Result<(Vec<u8>, CodecArtifacts), CuszError>;
+
+    /// Decompress archive bytes back to a field.
+    fn decompress_bytes(&self, bytes: &[u8]) -> Result<(NdArray<f32>, CodecArtifacts), CuszError>;
+}

@@ -1,0 +1,91 @@
+//! Device specifications (paper Table I).
+
+/// Static description of a GPU used by the timing model.
+///
+/// Bandwidth and FP32 throughput for the two testbeds come directly from
+/// Table I of the paper; the remaining architectural constants are the
+/// published values for GA100/GA102.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"A100-40GB"`.
+    pub name: &'static str,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Peak FP32 throughput in TFLOPS.
+    pub fp32_tflops: f64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Shared memory available per block, in bytes.
+    pub shared_mem_per_block: u32,
+    /// Threads per warp (32 on every NVIDIA architecture).
+    pub warp_size: u32,
+    /// Fixed per-kernel launch overhead, in microseconds.
+    pub kernel_launch_overhead_us: f64,
+}
+
+/// NVIDIA A100 40 GB (ALCF ThetaGPU / Purdue Anvil testbeds, Table I).
+pub const A100: DeviceSpec = DeviceSpec {
+    name: "A100-40GB",
+    mem_bw_gbps: 1555.0,
+    fp32_tflops: 19.49,
+    sm_count: 108,
+    max_threads_per_block: 1024,
+    shared_mem_per_block: 164 * 1024,
+    warp_size: 32,
+    kernel_launch_overhead_us: 5.0,
+};
+
+/// NVIDIA A40 48 GB (ANL JLSE testbed, Table I).
+pub const A40: DeviceSpec = DeviceSpec {
+    name: "A40-48GB",
+    mem_bw_gbps: 695.8,
+    fp32_tflops: 37.42,
+    sm_count: 84,
+    max_threads_per_block: 1024,
+    shared_mem_per_block: 100 * 1024,
+    warp_size: 32,
+    kernel_launch_overhead_us: 5.0,
+};
+
+impl DeviceSpec {
+    /// Peak bandwidth in bytes/second.
+    pub fn mem_bw_bytes_per_s(&self) -> f64 {
+        self.mem_bw_gbps * 1e9
+    }
+
+    /// Peak FP32 rate in FLOP/second.
+    pub fn fp32_flops_per_s(&self) -> f64 {
+        self.fp32_tflops * 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(A100.mem_bw_gbps, 1555.0);
+        assert_eq!(A100.fp32_tflops, 19.49);
+        assert_eq!(A40.mem_bw_gbps, 695.8);
+        assert_eq!(A40.fp32_tflops, 37.42);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(A100.mem_bw_bytes_per_s(), 1.555e12);
+        assert_eq!(A40.fp32_flops_per_s(), 3.742e13);
+    }
+
+    #[test]
+    fn a100_memory_bound_for_fp32_streams() {
+        // Sanity: on A100 a kernel doing 1 FLOP per loaded float is
+        // memory-bound (the regime all compression kernels live in).
+        let bytes_per_flop = 4.0;
+        let t_mem = bytes_per_flop / A100.mem_bw_bytes_per_s();
+        let t_cmp = 1.0 / A100.fp32_flops_per_s();
+        assert!(t_mem > t_cmp);
+    }
+}

@@ -1,0 +1,659 @@
+//! Kernel launching, block contexts and counting global-memory views.
+//!
+//! A "kernel" is a closure executed once per thread block of a launch
+//! [`Grid`]. Blocks run in parallel across CPU cores (rayon); the body of
+//! one block runs sequentially, with [`BlockCtx::sync`] marking the
+//! positions of the CUDA `__syncthreads()` barriers. This is semantically
+//! equivalent to the barrier-phased CUDA original: everything before a
+//! barrier completes before anything after it, and blocks are independent.
+//!
+//! All global-memory access goes through [`GlobalRead`] / [`GlobalWrite`]
+//! views that count 32-byte DRAM sectors with warp-granularity coalescing,
+//! feeding [`KernelStats`].
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+use rayon::prelude::*;
+
+use crate::device::DeviceSpec;
+use crate::shared::SharedTile;
+use crate::stats::{KernelStats, SECTOR_BYTES};
+
+/// CUDA-style 3-component launch extent (`x` fastest-varying).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-d extent.
+    pub fn new(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A full 3-d extent.
+    pub fn xyz(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total number of entries.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+/// Launch geometry: a grid of blocks, each with a logical thread count.
+///
+/// The thread count does not change how the block body executes (it is
+/// sequential CPU code) but is validated against the device limit and
+/// used by kernels to dynamically partition per-level work exactly as
+/// § V-D describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    pub blocks: Dim3,
+    pub threads_per_block: u32,
+}
+
+impl Grid {
+    /// A 1-d grid.
+    pub fn linear(nblocks: u32, threads_per_block: u32) -> Self {
+        Grid { blocks: Dim3::new(nblocks), threads_per_block }
+    }
+
+    /// A 3-d grid.
+    pub fn new(blocks: Dim3, threads_per_block: u32) -> Self {
+        Grid { blocks, threads_per_block }
+    }
+}
+
+/// Count the 32-byte sectors covered by the byte range `[start, end)`.
+#[inline]
+fn sectors_spanned(start_byte: u64, end_byte: u64) -> u64 {
+    if end_byte <= start_byte {
+        return 0;
+    }
+    (end_byte - 1) / SECTOR_BYTES - start_byte / SECTOR_BYTES + 1
+}
+
+/// Per-block execution context handed to the kernel closure.
+pub struct BlockCtx<'l> {
+    /// This block's coordinates in the grid.
+    pub block: Dim3,
+    /// The launch geometry.
+    pub grid: Grid,
+    /// The device being modelled.
+    pub device: &'l DeviceSpec,
+    stats: KernelStats,
+    shared_alloc_bytes: usize,
+    shared_traffic: Rc<Cell<u64>>,
+}
+
+impl<'l> BlockCtx<'l> {
+    fn new(block: Dim3, grid: Grid, device: &'l DeviceSpec) -> Self {
+        BlockCtx {
+            block,
+            grid,
+            device,
+            stats: KernelStats { blocks: 1, ..Default::default() },
+            shared_alloc_bytes: 0,
+            shared_traffic: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Linear block id (`x` fastest).
+    pub fn block_linear(&self) -> u64 {
+        let b = self.block;
+        let g = self.grid.blocks;
+        (b.z as u64 * g.y as u64 + b.y as u64) * g.x as u64 + b.x as u64
+    }
+
+    /// Record a `__syncthreads()`-equivalent barrier.
+    #[inline]
+    pub fn sync(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Record `n` floating-point operations.
+    #[inline]
+    pub fn add_flops(&mut self, n: u64) {
+        self.stats.flops += n;
+    }
+
+    /// Allocate a shared-memory tile of `len` elements of `T`.
+    ///
+    /// Panics if the block's cumulative shared allocation exceeds the
+    /// device's per-block shared memory — the same hard failure a CUDA
+    /// launch would produce.
+    pub fn alloc_shared<T: Copy + Default>(&mut self, len: usize) -> SharedTile<T> {
+        let bytes = len * std::mem::size_of::<T>();
+        self.shared_alloc_bytes += bytes;
+        assert!(
+            self.shared_alloc_bytes <= self.device.shared_mem_per_block as usize,
+            "shared memory over-allocation: {} > {} bytes on {}",
+            self.shared_alloc_bytes,
+            self.device.shared_mem_per_block,
+            self.device.name
+        );
+        SharedTile::new(len, Rc::clone(&self.shared_traffic))
+    }
+
+    /// Read a contiguous span from a global view (fully coalesced).
+    pub fn read_span<T: Copy>(&mut self, view: &GlobalRead<'_, T>, start: usize, out: &mut [T]) {
+        let elt = std::mem::size_of::<T>() as u64;
+        assert!(start + out.len() <= view.len(), "read_span out of bounds");
+        out.copy_from_slice(&view.data[start..start + out.len()]);
+        let sb = start as u64 * elt;
+        let eb = (start + out.len()) as u64 * elt;
+        self.stats.load_sectors += sectors_spanned(sb, eb);
+        self.stats.load_bytes += eb - sb;
+    }
+
+    /// Read one element, charging a whole sector (a solitary access).
+    #[inline]
+    pub fn read_one<T: Copy>(&mut self, view: &GlobalRead<'_, T>, idx: usize) -> T {
+        self.stats.load_sectors += 1;
+        self.stats.load_bytes += std::mem::size_of::<T>() as u64;
+        view.data[idx]
+    }
+
+    /// Gather arbitrary indices. Indices are grouped into warps of
+    /// `device.warp_size` in order; each warp is charged the number of
+    /// distinct sectors it touches, modelling hardware coalescing.
+    pub fn read_gather<T: Copy>(
+        &mut self,
+        view: &GlobalRead<'_, T>,
+        indices: &[usize],
+        out: &mut [T],
+    ) {
+        assert_eq!(indices.len(), out.len(), "gather index/out length mismatch");
+        let elt = std::mem::size_of::<T>() as u64;
+        for (i, &idx) in indices.iter().enumerate() {
+            out[i] = view.data[idx];
+        }
+        self.stats.load_bytes += indices.len() as u64 * elt;
+        self.stats.load_sectors += self.warp_sector_count(indices, elt);
+    }
+
+    /// Write a contiguous span to a global view (fully coalesced).
+    pub fn write_span<T: Copy>(&mut self, view: &GlobalWrite<'_, T>, start: usize, src: &[T]) {
+        let elt = std::mem::size_of::<T>() as u64;
+        view.write_range(start, src);
+        let sb = start as u64 * elt;
+        let eb = (start + src.len()) as u64 * elt;
+        self.stats.store_sectors += sectors_spanned(sb, eb);
+        self.stats.store_bytes += eb - sb;
+    }
+
+    /// Write one element, charging a whole sector.
+    #[inline]
+    pub fn write_one<T: Copy>(&mut self, view: &GlobalWrite<'_, T>, idx: usize, v: T) {
+        view.write_range(idx, std::slice::from_ref(&v));
+        self.stats.store_sectors += 1;
+        self.stats.store_bytes += std::mem::size_of::<T>() as u64;
+    }
+
+    /// Gather arbitrary indices from a *writable* view (global memory is
+    /// readable and writable in CUDA; scans read a line before rewriting
+    /// it in place). Coalescing accounting matches [`Self::read_gather`].
+    pub fn read_gather_rw<T: Copy>(
+        &mut self,
+        view: &GlobalWrite<'_, T>,
+        indices: &[usize],
+        out: &mut [T],
+    ) {
+        assert_eq!(indices.len(), out.len(), "gather index/out length mismatch");
+        let elt = std::mem::size_of::<T>() as u64;
+        for (i, &idx) in indices.iter().enumerate() {
+            out[i] = view.read_at(idx);
+        }
+        self.stats.load_bytes += indices.len() as u64 * elt;
+        self.stats.load_sectors += self.warp_sector_count(indices, elt);
+    }
+
+    /// Read a contiguous span from a writable view.
+    pub fn read_span_rw<T: Copy>(
+        &mut self,
+        view: &GlobalWrite<'_, T>,
+        start: usize,
+        out: &mut [T],
+    ) {
+        let elt = std::mem::size_of::<T>() as u64;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = view.read_at(start + i);
+        }
+        let sb = start as u64 * elt;
+        let eb = (start + out.len()) as u64 * elt;
+        self.stats.load_sectors += sectors_spanned(sb, eb);
+        self.stats.load_bytes += eb - sb;
+    }
+
+    /// Scatter to arbitrary indices with warp-granularity coalescing
+    /// accounting (the mirror of [`Self::read_gather`]).
+    pub fn write_scatter<T: Copy>(
+        &mut self,
+        view: &GlobalWrite<'_, T>,
+        indices: &[usize],
+        src: &[T],
+    ) {
+        assert_eq!(indices.len(), src.len(), "scatter index/src length mismatch");
+        let elt = std::mem::size_of::<T>() as u64;
+        for (&idx, &v) in indices.iter().zip(src) {
+            view.write_range(idx, std::slice::from_ref(&v));
+        }
+        self.stats.store_bytes += indices.len() as u64 * elt;
+        self.stats.store_sectors += self.warp_sector_count(indices, elt);
+    }
+
+    /// Atomically add to a shared counter array, charging one sector per
+    /// warp-grouped access batch (atomics serialise on conflicts in real
+    /// hardware; the roofline absorbs that into the efficiency factor).
+    pub fn atomic_add(&mut self, view: &GlobalAtomicU32<'_>, idx: usize, v: u32) -> u32 {
+        self.stats.store_sectors += 1;
+        self.stats.store_bytes += 4;
+        view.data[idx].fetch_add(v, Ordering::Relaxed)
+    }
+
+    fn warp_sector_count(&self, indices: &[usize], elt_bytes: u64) -> u64 {
+        let warp = self.device.warp_size as usize;
+        let mut total = 0u64;
+        let mut sector_buf: Vec<u64> = Vec::with_capacity(warp);
+        for chunk in indices.chunks(warp) {
+            sector_buf.clear();
+            for &idx in chunk {
+                let sector = (idx as u64 * elt_bytes) / SECTOR_BYTES;
+                sector_buf.push(sector);
+            }
+            sector_buf.sort_unstable();
+            sector_buf.dedup();
+            total += sector_buf.len() as u64;
+        }
+        total
+    }
+
+    fn finish(mut self) -> KernelStats {
+        self.stats.shared_bytes += self.shared_traffic.get();
+        self.stats
+    }
+}
+
+/// Read-only counting view over a global buffer.
+pub struct GlobalRead<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Copy> GlobalRead<'a, T> {
+    /// Wrap a buffer that lives in "global memory".
+    pub fn new(data: &'a [T]) -> Self {
+        GlobalRead { data }
+    }
+
+    /// Buffer length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Writable counting view over a global buffer, shareable across blocks.
+///
+/// Like real global memory, disjointness of writes across blocks is the
+/// kernel's responsibility. [`GlobalWrite::new_checked`] attaches a
+/// per-element write detector that panics on overlapping writes — used in
+/// tests to prove kernels partition their output correctly.
+pub struct GlobalWrite<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    writes: Option<Vec<AtomicU8>>,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: blocks write disjoint regions (verified in tests via
+// `new_checked`); the raw pointer is only dereferenced through
+// bounds-checked `write_range`.
+unsafe impl<T: Send> Sync for GlobalWrite<'_, T> {}
+unsafe impl<T: Send> Send for GlobalWrite<'_, T> {}
+
+impl<'a, T: Copy> GlobalWrite<'a, T> {
+    /// Wrap a mutable buffer.
+    pub fn new(data: &'a mut [T]) -> Self {
+        GlobalWrite { ptr: data.as_mut_ptr(), len: data.len(), writes: None, _marker: PhantomData }
+    }
+
+    /// Wrap a mutable buffer with double-write detection (test aid).
+    pub fn new_checked(data: &'a mut [T]) -> Self {
+        let writes = (0..data.len()).map(|_| AtomicU8::new(0)).collect();
+        GlobalWrite {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            writes: Some(writes),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Buffer length in elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn read_at(&self, idx: usize) -> T {
+        assert!(idx < self.len, "global read out of bounds");
+        // SAFETY: bounds checked above; concurrent readers of a location
+        // a block is itself writing are the kernel's contract, exactly
+        // as in CUDA global memory.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    fn write_range(&self, start: usize, src: &[T]) {
+        assert!(start + src.len() <= self.len, "global write out of bounds");
+        if let Some(writes) = &self.writes {
+            for marker in &writes[start..start + src.len()] {
+                let prev = marker.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(prev, 0, "overlapping global write detected at element offset");
+            }
+        }
+        // SAFETY: bounds checked above; cross-block disjointness is the
+        // kernel contract (enforced in tests via `new_checked`).
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(start), src.len());
+        }
+    }
+}
+
+/// Atomic u32 counter array in global memory (histogram merges).
+pub struct GlobalAtomicU32<'a> {
+    data: &'a [AtomicU32],
+}
+
+impl<'a> GlobalAtomicU32<'a> {
+    /// Wrap an atomic counter buffer.
+    pub fn new(data: &'a [AtomicU32]) -> Self {
+        GlobalAtomicU32 { data }
+    }
+
+    /// Buffer length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Execute `kernel` once per block of `grid` on the modelled `device`,
+/// in parallel across CPU cores, and return the merged execution stats.
+pub fn launch<F>(device: &DeviceSpec, grid: Grid, kernel: F) -> KernelStats
+where
+    F: Fn(&mut BlockCtx<'_>) + Sync,
+{
+    assert!(
+        grid.threads_per_block >= 1 && grid.threads_per_block <= device.max_threads_per_block,
+        "threads_per_block {} outside 1..={} on {}",
+        grid.threads_per_block,
+        device.max_threads_per_block,
+        device.name
+    );
+    let total = grid.blocks.count();
+    let gx = grid.blocks.x as u64;
+    let gy = grid.blocks.y as u64;
+    (0..total)
+        .into_par_iter()
+        .map(|i| {
+            let block = Dim3 {
+                x: (i % gx) as u32,
+                y: ((i / gx) % gy) as u32,
+                z: (i / (gx * gy)) as u32,
+            };
+            let mut ctx = BlockCtx::new(block, grid, device);
+            kernel(&mut ctx);
+            ctx.finish()
+        })
+        .reduce(KernelStats::default, KernelStats::merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::A100;
+
+    #[test]
+    fn sectors_spanned_edges() {
+        assert_eq!(sectors_spanned(0, 0), 0);
+        assert_eq!(sectors_spanned(0, 1), 1);
+        assert_eq!(sectors_spanned(0, 32), 1);
+        assert_eq!(sectors_spanned(0, 33), 2);
+        assert_eq!(sectors_spanned(31, 33), 2);
+        assert_eq!(sectors_spanned(32, 64), 1);
+    }
+
+    #[test]
+    fn launch_covers_all_blocks() {
+        let stats = launch(&A100, Grid::new(Dim3::xyz(3, 4, 5), 64), |_ctx| {});
+        assert_eq!(stats.blocks, 60);
+    }
+
+    #[test]
+    fn block_linear_ids_are_unique_and_dense() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(vec![false; 24]);
+        launch(&A100, Grid::new(Dim3::xyz(2, 3, 4), 32), |ctx| {
+            let id = ctx.block_linear() as usize;
+            let mut s = seen.lock().unwrap();
+            assert!(!s[id], "duplicate block id {id}");
+            s[id] = true;
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn coalesced_span_counts_minimal_sectors() {
+        let src = vec![1.0f32; 64];
+        let stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+            let view = GlobalRead::new(&src);
+            let mut buf = [0.0f32; 32];
+            ctx.read_span(&view, 0, &mut buf);
+        });
+        // 32 f32 = 128 bytes = 4 sectors.
+        assert_eq!(stats.load_sectors, 4);
+        assert_eq!(stats.load_bytes, 128);
+        assert_eq!(stats.coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn strided_gather_is_penalised() {
+        let src = vec![0.0f32; 32 * 8];
+        let idx: Vec<usize> = (0..32).map(|i| i * 8).collect();
+        let stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+            let view = GlobalRead::new(&src);
+            let mut out = [0.0f32; 32];
+            ctx.read_gather(&view, &idx, &mut out);
+        });
+        // stride-8 f32 = one element per sector.
+        assert_eq!(stats.load_sectors, 32);
+        assert!(stats.coalescing_efficiency() < 0.2);
+    }
+
+    #[test]
+    fn parallel_blocks_write_disjoint_output() {
+        let mut out = vec![0u32; 256];
+        let stats = {
+            let view = GlobalWrite::new_checked(&mut out);
+            launch(&A100, Grid::linear(8, 32), |ctx| {
+                let b = ctx.block_linear() as usize;
+                let vals: Vec<u32> = (0..32).map(|i| (b * 32 + i) as u32).collect();
+                ctx.write_span(&view, b * 32, &vals);
+            })
+        };
+        assert_eq!(stats.store_bytes, 1024);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping global write")]
+    fn checked_view_catches_double_writes() {
+        let mut out = vec![0u32; 4];
+        let view = GlobalWrite::new_checked(&mut out);
+        launch(&A100, Grid::linear(2, 32), |ctx| {
+            ctx.write_one(&view, 0, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory over-allocation")]
+    fn shared_memory_capacity_is_enforced() {
+        launch(&A100, Grid::linear(1, 32), |ctx| {
+            let _tile = ctx.alloc_shared::<f32>(80 * 1024);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "threads_per_block")]
+    fn thread_limit_is_enforced() {
+        launch(&A100, Grid::linear(1, 2048), |_| {});
+    }
+
+    #[test]
+    fn atomic_add_accumulates_across_blocks() {
+        let counters: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        launch(&A100, Grid::linear(16, 32), |ctx| {
+            let view = GlobalAtomicU32::new(&counters);
+            ctx.atomic_add(&view, 2, 3);
+        });
+        assert_eq!(counters[2].load(Ordering::Relaxed), 48);
+    }
+
+    #[test]
+    fn flops_and_barriers_are_recorded() {
+        let stats = launch(&A100, Grid::linear(4, 32), |ctx| {
+            ctx.add_flops(10);
+            ctx.sync();
+            ctx.sync();
+        });
+        assert_eq!(stats.flops, 40);
+        assert_eq!(stats.barriers, 8);
+    }
+}
+
+#[cfg(test)]
+mod rw_view_tests {
+    use super::*;
+    use crate::device::A100;
+
+    #[test]
+    fn read_span_rw_sees_prior_writes() {
+        let mut buf = vec![0i32; 64];
+        {
+            let view = GlobalWrite::new(&mut buf);
+            launch(&A100, Grid::linear(1, 32), |ctx| {
+                ctx.write_span(&view, 0, &[7i32; 16]);
+                let mut back = [0i32; 16];
+                ctx.read_span_rw(&view, 0, &mut back);
+                assert_eq!(back, [7i32; 16]);
+                // In-place scan pattern: read, transform, rewrite.
+                let doubled: Vec<i32> = back.iter().map(|v| v * 2).collect();
+                ctx.write_span(&view, 0, &doubled);
+            });
+        }
+        assert_eq!(buf[..16], [14i32; 16]);
+    }
+
+    #[test]
+    fn read_gather_rw_counts_coalescing_like_read_gather() {
+        let mut buf = vec![0f32; 32 * 8];
+        let idx_strided: Vec<usize> = (0..32).map(|i| i * 8).collect();
+        let idx_dense: Vec<usize> = (0..32).collect();
+        let stats = {
+            let view = GlobalWrite::new(&mut buf);
+            launch(&A100, Grid::linear(1, 32), |ctx| {
+                let mut out = [0f32; 32];
+                ctx.read_gather_rw(&view, &idx_strided, &mut out);
+                ctx.read_gather_rw(&view, &idx_dense, &mut out);
+            })
+        };
+        // strided: 32 sectors; dense: 4 sectors.
+        assert_eq!(stats.load_sectors, 36);
+        assert_eq!(stats.load_bytes, 2 * 32 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "global read out of bounds")]
+    fn rw_reads_are_bounds_checked() {
+        let mut buf = vec![0u8; 4];
+        let view = GlobalWrite::new(&mut buf);
+        launch(&A100, Grid::linear(1, 32), |ctx| {
+            let mut out = [0u8; 2];
+            ctx.read_span_rw(&view, 3, &mut out);
+        });
+    }
+
+    #[test]
+    fn write_scatter_counts_warp_sectors() {
+        let mut buf = vec![0u64; 256];
+        let idx: Vec<usize> = (0..32).map(|i| i * 4).collect(); // u64 stride 4 = 32B
+        let stats = {
+            let view = GlobalWrite::new(&mut buf);
+            launch(&A100, Grid::linear(1, 32), |ctx| {
+                let vals = [9u64; 32];
+                ctx.write_scatter(&view, &idx, &vals);
+            })
+        };
+        assert_eq!(stats.store_sectors, 32); // one element per sector
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, if i % 4 == 0 && i < 128 { 9 } else { 0 });
+        }
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use crate::device::A100;
+
+    /// The executor must produce identical outputs and stats regardless
+    /// of how many CPU threads the rayon pool has — the archives (and
+    /// therefore the figure regenerators) depend on it.
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| -> (Vec<u32>, KernelStats) {
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut out = vec![0u32; 1024];
+                let stats = {
+                    let dst = GlobalWrite::new(&mut out);
+                    launch(&A100, Grid::linear(32, 64), |ctx| {
+                        let b = ctx.block_linear() as usize;
+                        let vals: Vec<u32> =
+                            (0..32).map(|i| (b * 1000 + i * 7) as u32).collect();
+                        ctx.write_span(&dst, b * 32, &vals);
+                        ctx.add_flops(b as u64);
+                        ctx.sync();
+                    })
+                };
+                (out, stats)
+            })
+        };
+        let (o1, s1) = run(1);
+        let (o8, s8) = run(8);
+        assert_eq!(o1, o8);
+        assert_eq!(s1, s8);
+    }
+}

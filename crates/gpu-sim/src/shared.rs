@@ -1,0 +1,103 @@
+//! Shared-memory tiles.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A block-private shared-memory buffer.
+///
+/// Allocated from [`crate::BlockCtx::alloc_shared`], which enforces the
+/// device's per-block capacity. Access traffic is counted (loads + stores,
+/// in bytes) into the owning block's stats via a shared counter; shared
+/// memory is far off the roofline for these kernels, but the counts let
+/// ablations verify that tiling moves traffic *off* DRAM as intended.
+pub struct SharedTile<T> {
+    data: Vec<T>,
+    traffic: Rc<Cell<u64>>,
+}
+
+impl<T: Copy + Default> SharedTile<T> {
+    pub(crate) fn new(len: usize, traffic: Rc<Cell<u64>>) -> Self {
+        SharedTile { data: vec![T::default(); len], traffic }
+    }
+}
+
+impl<T: Copy> SharedTile<T> {
+    /// Tile length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.traffic.set(self.traffic.get() + std::mem::size_of::<T>() as u64);
+        self.data[i]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.traffic.set(self.traffic.get() + std::mem::size_of::<T>() as u64);
+        self.data[i] = v;
+    }
+
+    /// Bulk-fill a contiguous range (tile initialisation from a staged
+    /// global load).
+    pub fn fill_from(&mut self, start: usize, src: &[T]) {
+        self.traffic
+            .set(self.traffic.get() + std::mem::size_of_val(src) as u64);
+        self.data[start..start + src.len()].copy_from_slice(src);
+    }
+
+    /// Copy a contiguous range out (staged global store).
+    pub fn copy_to(&self, start: usize, dst: &mut [T]) {
+        self.traffic
+            .set(self.traffic.get() + std::mem::size_of_val(dst) as u64);
+        dst.copy_from_slice(&self.data[start..start + dst.len()]);
+    }
+
+    /// Untracked view of the raw buffer (for assertions in tests).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(len: usize) -> (SharedTile<f32>, Rc<Cell<u64>>) {
+        let c = Rc::new(Cell::new(0));
+        (SharedTile::new(len, Rc::clone(&c)), c)
+    }
+
+    #[test]
+    fn get_set_roundtrip_and_traffic() {
+        let (mut t, c) = tile(8);
+        t.set(3, 1.5);
+        assert_eq!(t.get(3), 1.5);
+        assert_eq!(c.get(), 8); // two 4-byte accesses
+    }
+
+    #[test]
+    fn bulk_fill_and_copy() {
+        let (mut t, c) = tile(8);
+        t.fill_from(2, &[1.0, 2.0, 3.0]);
+        let mut out = [0.0f32; 3];
+        t.copy_to(2, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert_eq!(c.get(), 24);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let (t, _c) = tile(4);
+        let _ = t.get(4);
+    }
+}

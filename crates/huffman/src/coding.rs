@@ -1,0 +1,396 @@
+//! Chunked coarse-grained Huffman encoding/decoding kernels.
+//!
+//! cuSZ's coarse-grained scheme: the code plane is split into fixed-size
+//! chunks; pass 1 computes each chunk's encoded bit length, a prefix sum
+//! assigns byte-aligned output offsets, and pass 2 writes the bits —
+//! every chunk independent, so both passes (and decoding) are
+//! block-parallel.
+
+use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
+use parking_lot::Mutex;
+
+use crate::codebook::{Codebook, LUT_BITS};
+
+/// Quant-codes per encoding chunk. Large enough that the per-block
+/// codebook load is amortised (§ VI-A's concern), small enough for good
+/// block-level parallelism.
+pub const ENC_CHUNK: usize = 1 << 14;
+
+/// A chunk-parallel Huffman bitstream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncodedStream {
+    /// Number of encoded symbols.
+    pub n: u64,
+    /// Symbols per chunk.
+    pub chunk_size: u32,
+    /// Byte offset of each chunk in `bits` (ascending; one per chunk).
+    pub offsets: Vec<u64>,
+    /// The concatenated, byte-aligned per-chunk bitstreams.
+    pub bits: Vec<u8>,
+}
+
+impl EncodedStream {
+    /// Total encoded payload size in bytes (excluding metadata).
+    pub fn payload_bytes(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Serialized size in bytes including chunk metadata.
+    pub fn serialized_len(&self) -> usize {
+        8 + 4 + 8 + self.offsets.len() * 8 + self.bits.len()
+    }
+
+    /// Flatten to bytes (little-endian, length-prefixed sections).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.chunk_size.to_le_bytes());
+        out.extend_from_slice(&(self.offsets.len() as u64).to_le_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Inverse of [`EncodedStream::to_bytes`]. Returns `None` on any
+    /// structural inconsistency (truncation, non-monotone offsets).
+    pub fn from_bytes(data: &[u8]) -> Option<EncodedStream> {
+        if data.len() < 20 {
+            return None;
+        }
+        let n = u64::from_le_bytes(data[0..8].try_into().unwrap());
+        let chunk_size = u32::from_le_bytes(data[8..12].try_into().unwrap());
+        let nch = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
+        if chunk_size == 0 || nch != (n as usize).div_ceil(chunk_size as usize).max(usize::from(n == 0)) {
+            // Chunk count must match n (0 symbols -> 0 chunks).
+            if !(n == 0 && nch == 0) {
+                return None;
+            }
+        }
+        let off_end = 20 + nch * 8;
+        if data.len() < off_end {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(nch);
+        for i in 0..nch {
+            offsets.push(u64::from_le_bytes(data[20 + i * 8..28 + i * 8].try_into().unwrap()));
+        }
+        let bits = data[off_end..].to_vec();
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        if offsets.last().is_some_and(|&o| o as usize > bits.len()) {
+            return None;
+        }
+        Some(EncodedStream { n, chunk_size, offsets, bits })
+    }
+}
+
+/// Encode a quant-code plane with a codebook.
+///
+/// Every symbol must have a non-zero code length (guaranteed when the
+/// codebook was built from this plane's histogram); symbols without a
+/// code make the affected chunk panic — a caller contract, screened at
+/// the pipeline layer.
+pub fn encode_gpu(
+    codes: &[u16],
+    book: &Codebook,
+    device: &DeviceSpec,
+) -> (EncodedStream, Vec<KernelStats>) {
+    let nchunks = codes.len().div_ceil(ENC_CHUNK);
+    let mut stats = Vec::new();
+
+    // Pass 1: per-chunk bit lengths.
+    let mut bitlens = vec![0u64; nchunks];
+    if nchunks > 0 {
+        let src = GlobalRead::new(codes);
+        let dst = GlobalWrite::new(&mut bitlens);
+        stats.push(launch(device, Grid::linear(nchunks as u32, 256), |ctx| {
+            let b = ctx.block_linear() as usize;
+            let start = b * ENC_CHUNK;
+            let end = (start + ENC_CHUNK).min(codes.len());
+            let mut buf = vec![0u16; end - start];
+            ctx.read_span(&src, start, &mut buf);
+            let mut bits = 0u64;
+            for &c in &buf {
+                let l = book.len_of(c);
+                assert!(l > 0, "symbol {c} has no Huffman code");
+                bits += l as u64;
+            }
+            ctx.write_one(&dst, b, bits);
+        }));
+    }
+
+    // Prefix sum -> byte-aligned chunk offsets (host side, as in cuSZ's
+    // coarse pipeline; its cost is in the kernels' launch overhead).
+    let mut offsets = vec![0u64; nchunks];
+    let mut acc = 0u64;
+    for (i, &bl) in bitlens.iter().enumerate() {
+        offsets[i] = acc;
+        acc += bl.div_ceil(8);
+    }
+    let total_bytes = acc as usize;
+
+    // Pass 2: emit bits.
+    let mut bits = vec![0u8; total_bytes];
+    if nchunks > 0 {
+        let src = GlobalRead::new(codes);
+        let dst = GlobalWrite::new(&mut bits);
+        stats.push(launch(device, Grid::linear(nchunks as u32, 256), |ctx| {
+            let b = ctx.block_linear() as usize;
+            let start = b * ENC_CHUNK;
+            let end = (start + ENC_CHUNK).min(codes.len());
+            let mut buf = vec![0u16; end - start];
+            ctx.read_span(&src, start, &mut buf);
+
+            let mut out = Vec::with_capacity(ENC_CHUNK * 2);
+            let mut bitbuf = 0u64;
+            let mut nbits = 0u8;
+            for &c in &buf {
+                let (code, len) = book.code_of(c);
+                bitbuf = (bitbuf << len) | code;
+                nbits += len;
+                while nbits >= 8 {
+                    out.push((bitbuf >> (nbits - 8)) as u8);
+                    nbits -= 8;
+                }
+            }
+            if nbits > 0 {
+                out.push((bitbuf << (8 - nbits)) as u8);
+            }
+            ctx.add_flops(buf.len() as u64 * 2);
+            ctx.write_span(&dst, offsets[b] as usize, &out);
+        }));
+    }
+
+    (
+        EncodedStream { n: codes.len() as u64, chunk_size: ENC_CHUNK as u32, offsets, bits },
+        stats,
+    )
+}
+
+/// Decoding failure: the bitstream did not resolve to valid symbols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Huffman decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Chunk-parallel decode.
+pub fn decode_gpu(
+    stream: &EncodedStream,
+    book: &Codebook,
+    device: &DeviceSpec,
+) -> Result<(Vec<u16>, KernelStats), DecodeError> {
+    let n = stream.n as usize;
+    let chunk = stream.chunk_size as usize;
+    if chunk == 0 && n > 0 {
+        return Err(DecodeError("zero chunk size"));
+    }
+    let nchunks = if n == 0 { 0 } else { n.div_ceil(chunk) };
+    if stream.offsets.len() != nchunks {
+        return Err(DecodeError("chunk table length mismatch"));
+    }
+    let mut out = vec![0u16; n];
+    if n == 0 {
+        return Ok((out, KernelStats::default()));
+    }
+    let failed: Mutex<Option<&'static str>> = Mutex::new(None);
+    let stats = {
+        let src = GlobalRead::new(&stream.bits);
+        let dst = GlobalWrite::new(&mut out);
+        launch(device, Grid::linear(nchunks as u32, 256), |ctx| {
+            let b = ctx.block_linear() as usize;
+            let start_sym = b * chunk;
+            let nsyms = chunk.min(n - start_sym);
+            let byte_start = stream.offsets[b] as usize;
+            let byte_end =
+                if b + 1 < nchunks { stream.offsets[b + 1] as usize } else { stream.bits.len() };
+            if byte_start > byte_end || byte_end > stream.bits.len() {
+                *failed.lock() = Some("chunk offsets out of range");
+                return;
+            }
+            let mut buf = vec![0u8; byte_end - byte_start];
+            ctx.read_span(&src, byte_start, &mut buf);
+
+            let mut syms = vec![0u16; nsyms];
+            let mut bitpos = 0usize;
+            let total_bits = buf.len() * 8;
+            let peek_at = |bitpos: usize, l: u8| -> u64 {
+                let mut v = 0u64;
+                for i in 0..l as usize {
+                    let p = bitpos + i;
+                    let bit =
+                        if p < total_bits { (buf[p / 8] >> (7 - (p % 8))) & 1 } else { 0 };
+                    v = (v << 1) | bit as u64;
+                }
+                v
+            };
+            // Fast zero-padded LUT_BITS-wide prefix read: four byte
+            // loads and a shift instead of a per-bit loop.
+            let peek_prefix = |bitpos: usize| -> u64 {
+                let byte = bitpos / 8;
+                let off = bitpos % 8;
+                let mut v = 0u32;
+                for k in 0..4 {
+                    v = (v << 8) | *buf.get(byte + k).unwrap_or(&0) as u32;
+                }
+                ((v >> (32 - LUT_BITS as usize - off)) & ((1 << LUT_BITS) - 1)) as u64
+            };
+            for s in syms.iter_mut() {
+                // Primary table first (one load for short codes), then
+                // the canonical walk for the long tail.
+                if let Some((sym, len)) = book.decode_lut(peek_prefix(bitpos)) {
+                    if bitpos + len as usize > total_bits {
+                        *failed.lock() = Some("bitstream underrun");
+                        return;
+                    }
+                    *s = sym;
+                    bitpos += len as usize;
+                    continue;
+                }
+                let peek = |l: u8| peek_at(bitpos, l);
+                match book.decode_one(peek) {
+                    Some((sym, len)) => {
+                        if bitpos + len as usize > total_bits {
+                            *failed.lock() = Some("bitstream underrun");
+                            return;
+                        }
+                        *s = sym;
+                        bitpos += len as usize;
+                    }
+                    None => {
+                        *failed.lock() = Some("no code matches bitstream");
+                        return;
+                    }
+                }
+            }
+            ctx.add_flops(nsyms as u64 * 2);
+            ctx.write_span(&dst, start_sym, &syms);
+        })
+    };
+    if let Some(msg) = failed.into_inner() {
+        return Err(DecodeError(msg));
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::histogram_reference;
+    use cuszi_gpu_sim::A100;
+
+    fn book_for(codes: &[u16], alphabet: usize) -> Codebook {
+        Codebook::from_histogram(&histogram_reference(codes, alphabet)).unwrap()
+    }
+
+    fn roundtrip(codes: &[u16], alphabet: usize) {
+        let book = book_for(codes, alphabet);
+        let (stream, _) = encode_gpu(codes, &book, &A100);
+        let (back, _) = decode_gpu(&stream, &book, &A100).unwrap();
+        assert_eq!(back, codes);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        roundtrip(&[1, 2, 3, 1, 1, 2, 5, 5, 5, 5], 8);
+    }
+
+    #[test]
+    fn roundtrip_multi_chunk() {
+        let codes: Vec<u16> = (0..100_000).map(|i| ((i * 31 + i / 7) % 600) as u16).collect();
+        roundtrip(&codes, 1024);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&vec![512u16; 40_000], 1024);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let book = book_for(&[3], 8);
+        let (stream, _) = encode_gpu(&[], &book, &A100);
+        assert_eq!(stream.n, 0);
+        let (back, _) = decode_gpu(&stream, &book, &A100).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn centralized_distribution_compresses_near_one_bit() {
+        let codes: Vec<u16> =
+            (0..1 << 16).map(|i| if i % 64 == 0 { 511 } else { 512 }).collect();
+        let book = book_for(&codes, 1024);
+        let (stream, _) = encode_gpu(&codes, &book, &A100);
+        let bits_per_sym = stream.bits.len() as f64 * 8.0 / codes.len() as f64;
+        assert!(bits_per_sym < 1.2, "got {bits_per_sym} bits/sym");
+        // ...which is exactly the >= 1 bit floor § VI-B motivates
+        // Bitcomp with.
+        assert!(bits_per_sym >= 1.0);
+    }
+
+    #[test]
+    fn stream_serialization_roundtrip() {
+        let codes: Vec<u16> = (0..50_000).map(|i| ((i * 7) % 300) as u16).collect();
+        let book = book_for(&codes, 512);
+        let (stream, _) = encode_gpu(&codes, &book, &A100);
+        let back = EncodedStream::from_bytes(&stream.to_bytes()).unwrap();
+        assert_eq!(stream, back);
+    }
+
+    #[test]
+    fn corrupt_stream_is_detected_not_panicking() {
+        let codes: Vec<u16> = (0..20_000).map(|i| ((i * 13) % 40) as u16).collect();
+        let book = book_for(&codes, 64);
+        let (stream, _) = encode_gpu(&codes, &book, &A100);
+
+        // Truncated serialization.
+        let bytes = stream.to_bytes();
+        assert!(EncodedStream::from_bytes(&bytes[..10]).is_none());
+
+        // Bit flips: either decodes to wrong symbols or errors — but
+        // must never panic.
+        let mut corrupted = stream.clone();
+        for b in corrupted.bits.iter_mut().take(50) {
+            *b ^= 0xA5;
+        }
+        let _ = decode_gpu(&corrupted, &book, &A100);
+
+        // Offsets out of range must error.
+        let mut bad = stream.clone();
+        bad.offsets[0] = u64::MAX;
+        assert!(decode_gpu(&bad, &book, &A100).is_err());
+    }
+
+    #[test]
+    fn wrong_book_errors_or_differs_gracefully() {
+        let codes: Vec<u16> = (0..10_000).map(|i| (i % 32) as u16).collect();
+        let book = book_for(&codes, 64);
+        let other: Vec<u16> = (0..10_000).map(|i| (i % 7) as u16).collect();
+        let other_book = book_for(&other, 64);
+        let (stream, _) = encode_gpu(&codes, &book, &A100);
+        match decode_gpu(&stream, &other_book, &A100) {
+            Ok((decoded, _)) => assert_ne!(decoded, codes),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn encode_traffic_is_two_pass() {
+        let codes: Vec<u16> = (0..1 << 17).map(|i| ((i * 3) % 512) as u16).collect();
+        let book = book_for(&codes, 1024);
+        let (_, stats) = encode_gpu(&codes, &book, &A100);
+        assert_eq!(stats.len(), 2);
+        // Both passes read the full code plane.
+        let plane = (codes.len() * 2) as u64;
+        assert!(stats[0].load_bytes >= plane);
+        assert!(stats[1].load_bytes >= plane);
+    }
+}

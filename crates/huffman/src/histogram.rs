@@ -1,0 +1,146 @@
+//! Privatized GPU histogram with top-k register caching (§ VI-A).
+
+use std::sync::atomic::AtomicU32;
+
+use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, Grid, KernelStats};
+use cuszi_gpu_sim::exec::GlobalAtomicU32;
+
+/// Elements processed per thread block.
+pub const HIST_CHUNK: usize = 1 << 16;
+
+/// Build the quant-code histogram.
+///
+/// Each block tallies its chunk into a block-private (shared-memory)
+/// histogram and merges it into the global one with atomics — the
+/// classic privatized scheme. `topk > 0` enables the cuSZ-i register
+/// cache: the `topk` bins centred on `center` (the zero-error code) are
+/// counted in registers, paying no shared-memory read-modify-write; the
+/// paper's graceful-degradation fallback is `topk = 1`.
+///
+/// Returns the counts and the kernel stats (whose `shared_bytes` is what
+/// the top-k ablation measures).
+pub fn histogram_gpu(
+    codes: &[u16],
+    alphabet: usize,
+    center: u16,
+    topk: usize,
+    device: &DeviceSpec,
+) -> (Vec<u32>, KernelStats) {
+    assert!(alphabet > 0 && alphabet <= u16::MAX as usize + 1, "alphabet must fit u16");
+    let global: Vec<AtomicU32> = (0..alphabet).map(|_| AtomicU32::new(0)).collect();
+    let nblocks = codes.len().div_ceil(HIST_CHUNK).max(1) as u32;
+
+    let lo = (center as usize).saturating_sub(topk / 2);
+    let hi = (lo + topk).min(alphabet);
+
+    let stats = {
+        let src = GlobalRead::new(codes);
+        let gview = GlobalAtomicU32::new(&global);
+        launch(device, Grid::linear(nblocks, 256), |ctx| {
+            let b = ctx.block_linear() as usize;
+            let start = b * HIST_CHUNK;
+            let end = (start + HIST_CHUNK).min(codes.len());
+            if start >= end {
+                return;
+            }
+            let mut buf = vec![0u16; end - start];
+            ctx.read_span(&src, start, &mut buf);
+
+            // Thread-private register bins for the hot centre...
+            let mut reg = vec![0u32; hi - lo];
+            // ...and the shared-memory private histogram for the rest.
+            let mut shared = ctx.alloc_shared::<u32>(alphabet);
+            for &c in &buf {
+                let c = c as usize;
+                if c >= lo && c < hi {
+                    reg[c - lo] += 1; // register traffic: free
+                } else {
+                    let v = shared.get(c);
+                    shared.set(c, v + 1);
+                }
+            }
+            ctx.sync();
+
+            // Merge: registers first, then the shared histogram's
+            // non-zero bins, into the global atomics.
+            for (i, &v) in reg.iter().enumerate() {
+                if v > 0 {
+                    ctx.atomic_add(&gview, lo + i, v);
+                }
+            }
+            for s in 0..alphabet {
+                let v = shared.get(s);
+                if v > 0 {
+                    ctx.atomic_add(&gview, s, v);
+                }
+            }
+        })
+    };
+
+    (global.into_iter().map(|a| a.into_inner()).collect(), stats)
+}
+
+/// Reference sequential histogram (for verification).
+pub fn histogram_reference(codes: &[u16], alphabet: usize) -> Vec<u32> {
+    let mut h = vec![0u32; alphabet];
+    for &c in codes {
+        h[c as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_gpu_sim::A100;
+
+    fn codes(n: usize) -> Vec<u16> {
+        (0..n).map(|i| ((i * i + 7 * i) % 1024) as u16).collect()
+    }
+
+    #[test]
+    fn matches_reference_exactly() {
+        let c = codes(200_000);
+        let (h, _) = histogram_gpu(&c, 1024, 512, 32, &A100);
+        assert_eq!(h, histogram_reference(&c, 1024));
+    }
+
+    #[test]
+    fn topk_zero_also_matches() {
+        let c = codes(70_000);
+        let (h, _) = histogram_gpu(&c, 1024, 512, 0, &A100);
+        assert_eq!(h, histogram_reference(&c, 1024));
+    }
+
+    #[test]
+    fn empty_input_yields_zero_counts() {
+        let (h, stats) = histogram_gpu(&[], 16, 8, 4, &A100);
+        assert!(h.iter().all(|&v| v == 0));
+        assert_eq!(stats.blocks, 1);
+    }
+
+    #[test]
+    fn centralized_codes_with_topk_cut_shared_traffic() {
+        // A G-Interp-like distribution: 99% of codes at the centre.
+        let n = 1 << 18;
+        let c: Vec<u16> = (0..n)
+            .map(|i| if i % 100 == 0 { (500 + i % 24) as u16 } else { 512 })
+            .collect();
+        let (h1, s_no) = histogram_gpu(&c, 1024, 512, 0, &A100);
+        let (h2, s_k) = histogram_gpu(&c, 1024, 512, 32, &A100);
+        assert_eq!(h1, h2);
+        assert!(
+            s_k.shared_bytes * 4 < s_no.shared_bytes,
+            "top-k should cut shared traffic: {} vs {}",
+            s_k.shared_bytes,
+            s_no.shared_bytes
+        );
+    }
+
+    #[test]
+    fn topk_window_clamps_at_alphabet_edges() {
+        let c = vec![0u16, 1, 15, 15, 15];
+        let (h, _) = histogram_gpu(&c, 16, 0, 8, &A100);
+        assert_eq!(h, histogram_reference(&c, 16));
+    }
+}

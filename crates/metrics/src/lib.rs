@@ -1,0 +1,365 @@
+//! Rate/distortion metrics used throughout the paper's evaluation
+//! (§ VII-B): fixed-error-bound compression ratio, bit rate, PSNR.
+
+/// Distortion summary between an original and a reconstruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Distortion {
+    /// Peak signal-to-noise ratio in dB, against the value range
+    /// (`PSNR = 20 log10(range) - 10 log10(MSE)`). Infinite for a
+    /// bit-exact reconstruction.
+    pub psnr: f64,
+    /// Root-mean-square error normalised by the value range.
+    pub nrmse: f64,
+    /// Maximum absolute pointwise error.
+    pub max_abs_err: f64,
+    /// Mean squared error.
+    pub mse: f64,
+}
+
+/// Compute the distortion summary. Panics on length mismatch (caller
+/// bug); returns `None` for empty inputs.
+pub fn distortion(original: &[f32], recon: &[f32]) -> Option<Distortion> {
+    assert_eq!(original.len(), recon.len(), "length mismatch");
+    if original.is_empty() {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut se = 0.0f64;
+    let mut max_err = 0.0f64;
+    for (&a, &b) in original.iter().zip(recon) {
+        let (a, b) = (a as f64, b as f64);
+        min = min.min(a);
+        max = max.max(a);
+        let e = (a - b).abs();
+        max_err = max_err.max(e);
+        se += e * e;
+    }
+    let mse = se / original.len() as f64;
+    let range = max - min;
+    let psnr = if mse == 0.0 {
+        f64::INFINITY
+    } else if range == 0.0 {
+        // Constant field convention: PSNR against MSE alone.
+        -10.0 * mse.log10()
+    } else {
+        20.0 * range.log10() - 10.0 * mse.log10()
+    };
+    let nrmse = if range == 0.0 { mse.sqrt() } else { mse.sqrt() / range };
+    Some(Distortion { psnr, nrmse, max_abs_err: max_err, mse })
+}
+
+/// Compression ratio: original bytes over compressed bytes.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    if compressed_bytes == 0 {
+        return f64::INFINITY;
+    }
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// Bit rate: average compressed bits per (f32) input element —
+/// `32 / CR` (§ VII-B).
+pub fn bit_rate(n_elements: usize, compressed_bytes: usize) -> f64 {
+    if n_elements == 0 {
+        return 0.0;
+    }
+    compressed_bytes as f64 * 8.0 / n_elements as f64
+}
+
+/// Verify the error-bound contract with a small relative slack for f32
+/// rounding. Returns the first violating index, if any.
+pub fn check_error_bound(original: &[f32], recon: &[f32], eb: f64) -> Option<usize> {
+    let tol = eb * (1.0 + 1e-6);
+    original
+        .iter()
+        .zip(recon)
+        .position(|(&a, &b)| ((a as f64) - (b as f64)).abs() > tol)
+}
+
+/// Like [`check_error_bound`], but additionally allows one f32 ulp of
+/// the original value. Codecs that reconstruct through an f32 cast of a
+/// lattice point (mean+residual or prequantization designs: cuSZx,
+/// cuSZp, FZ-GPU) can exceed the bound by at most that ulp when the true
+/// error sits exactly at `eb`; cuSZ-i itself avoids this via its
+/// outlier recheck and satisfies the strict checker.
+pub fn check_error_bound_f32(original: &[f32], recon: &[f32], eb: f64) -> Option<usize> {
+    original.iter().zip(recon).position(|(&a, &b)| {
+        let tol = eb * (1.0 + 1e-6) + (a.abs() as f64) * f64::from(f32::EPSILON);
+        ((a as f64) - (b as f64)).abs() > tol
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction_has_infinite_psnr() {
+        let d = distortion(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert!(d.psnr.is_infinite());
+        assert_eq!(d.max_abs_err, 0.0);
+        assert_eq!(d.nrmse, 0.0);
+    }
+
+    #[test]
+    fn known_psnr_value() {
+        // range 1, uniform error 0.1 -> MSE = 0.01 -> PSNR = 20 dB.
+        let orig = vec![0.0f32, 1.0];
+        let recon = vec![0.1f32, 0.9];
+        let d = distortion(&orig, &recon).unwrap();
+        assert!((d.psnr - 20.0).abs() < 1e-5); // f32 0.1 is inexact
+        assert!((d.max_abs_err - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn smaller_error_means_higher_psnr() {
+        let orig: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let r1: Vec<f32> = orig.iter().map(|v| v + 0.5).collect();
+        let r2: Vec<f32> = orig.iter().map(|v| v + 0.05).collect();
+        let d1 = distortion(&orig, &r1).unwrap();
+        let d2 = distortion(&orig, &r2).unwrap();
+        assert!(d2.psnr > d1.psnr + 19.0); // 10x error = +20 dB
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(distortion(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn ratio_and_bitrate() {
+        assert_eq!(compression_ratio(1000, 100), 10.0);
+        assert_eq!(compression_ratio(10, 0), f64::INFINITY);
+        // CR 32 on f32 data = 1 bit per element.
+        assert!((bit_rate(1000, 125) - 1.0).abs() < 1e-12);
+        assert_eq!(bit_rate(0, 10), 0.0);
+    }
+
+    #[test]
+    fn bound_checker_finds_first_violation() {
+        let orig = vec![0.0f32, 0.0, 0.0];
+        let recon = vec![0.05f32, 0.2, 0.0];
+        assert_eq!(check_error_bound(&orig, &recon, 0.1), Some(1));
+        assert_eq!(check_error_bound(&orig, &recon, 0.3), None);
+    }
+
+    #[test]
+    fn constant_field_psnr_is_finite_for_nonzero_error() {
+        let d = distortion(&[5.0f32; 10], &[5.1f32; 10]).unwrap();
+        assert!(d.psnr.is_finite());
+    }
+}
+
+/// Mean structural similarity (SSIM) between two fields, computed over
+/// non-overlapping 8x8 windows of every `z` plane (the quantitative
+/// counterpart of the paper's Fig. 8 visual comparison — PSNR can hide
+/// exactly the blocking/smearing artifacts SSIM punishes).
+///
+/// `dims` are the rank-3-padded extents (`[z, y, x]`). Returns `None`
+/// for empty input, length mismatch, or a constant original field.
+pub fn ssim(original: &[f32], recon: &[f32], dims: [usize; 3]) -> Option<f64> {
+    let [nz, ny, nx] = dims;
+    if original.len() != recon.len() || original.len() != nz * ny * nx || original.is_empty() {
+        return None;
+    }
+    let (mn, mx) = original
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+    let range = (mx - mn) as f64;
+    // NaN range (non-finite input) also lands here.
+    if range.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return None;
+    }
+    let c1 = (0.01 * range).powi(2);
+    let c2 = (0.03 * range).powi(2);
+
+    const W: usize = 8;
+    let mut total = 0.0f64;
+    let mut windows = 0u64;
+    for z in 0..nz {
+        let mut wy = 0;
+        while wy + W <= ny.max(W).min(ny + W) && wy < ny {
+            let hy = W.min(ny - wy);
+            let mut wx = 0;
+            while wx < nx {
+                let hx = W.min(nx - wx);
+                let n = (hy * hx) as f64;
+                let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+                for y in wy..wy + hy {
+                    for x in wx..wx + hx {
+                        let i = (z * ny + y) * nx + x;
+                        let a = original[i] as f64;
+                        let b = recon[i] as f64;
+                        sa += a;
+                        sb += b;
+                        saa += a * a;
+                        sbb += b * b;
+                        sab += a * b;
+                    }
+                }
+                let (ma, mb) = (sa / n, sb / n);
+                let va = (saa / n - ma * ma).max(0.0);
+                let vb = (sbb / n - mb * mb).max(0.0);
+                let cov = sab / n - ma * mb;
+                let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                    / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+                total += s;
+                windows += 1;
+                wx += W;
+            }
+            wy += W;
+        }
+    }
+    if windows == 0 {
+        return None;
+    }
+    Some(total / windows as f64)
+}
+
+#[cfg(test)]
+mod ssim_tests {
+    use super::*;
+
+    fn ramp(dims: [usize; 3]) -> Vec<f32> {
+        let [nz, ny, nx] = dims;
+        (0..nz * ny * nx)
+            .map(|i| {
+                let x = i % nx;
+                let y = (i / nx) % ny;
+                (x as f32 * 0.3).sin() + y as f32 * 0.1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_fields_have_ssim_one() {
+        let d = [2, 16, 16];
+        let a = ramp(d);
+        let s = ssim(&a, &a, d).unwrap();
+        assert!((s - 1.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn noise_lowers_ssim_monotonically() {
+        let d = [2, 32, 32];
+        let a = ramp(d);
+        let noisy = |amp: f32| -> Vec<f32> {
+            a.iter()
+                .enumerate()
+                .map(|(i, &v)| v + amp * (((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5))
+                .collect()
+        };
+        let s1 = ssim(&a, &noisy(0.05), d).unwrap();
+        let s2 = ssim(&a, &noisy(0.5), d).unwrap();
+        assert!(s1 > s2 + 0.02, "{s1} !>> {s2}");
+    }
+
+    #[test]
+    fn structural_damage_hurts_more_than_equal_mse_noise() {
+        // Replace one half with its mean (smearing, as over-compression
+        // does) vs adding white noise of matching MSE: SSIM must punish
+        // the smearing more, which PSNR cannot distinguish by design.
+        let d = [1, 32, 32];
+        let a = ramp(d);
+        let mut smeared = a.clone();
+        let mean: f32 = a[..512].iter().sum::<f32>() / 512.0;
+        for v in smeared[..512].iter_mut() {
+            *v = mean;
+        }
+        let mse_smear: f64 = a
+            .iter()
+            .zip(&smeared)
+            .map(|(x, y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            / a.len() as f64;
+        // White noise with the same MSE.
+        let amp = (12.0 * mse_smear).sqrt() as f32; // uniform noise variance = amp^2/12
+        let noisy: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + amp * (((i * 48271) % 1000) as f32 / 1000.0 - 0.5))
+            .collect();
+        let s_smear = ssim(&a, &smeared, d).unwrap();
+        let s_noise = ssim(&a, &noisy, d).unwrap();
+        assert!(s_smear < s_noise, "smear {s_smear} !< noise {s_noise}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(ssim(&[], &[], [0, 0, 0]).is_none());
+        assert!(ssim(&[1.0; 8], &[1.0; 8], [1, 2, 4]).is_none()); // constant
+        assert!(ssim(&[1.0; 8], &[1.0; 4], [1, 2, 4]).is_none()); // mismatch
+    }
+
+    #[test]
+    fn non_multiple_window_dims_covered() {
+        let d = [1, 19, 21];
+        let a = ramp(d);
+        let s = ssim(&a, &a, d).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Lag-1 autocorrelation of the pointwise error field (along the
+/// contiguous axis). SZ-family papers report it because correlated
+/// compression error aliases into post-analysis (spectra, gradients);
+/// white error (|rho| near 0) is the benign case. Returns `None` for
+/// inputs shorter than 2 or a zero-variance error field.
+pub fn error_autocorrelation(original: &[f32], recon: &[f32]) -> Option<f64> {
+    assert_eq!(original.len(), recon.len(), "length mismatch");
+    if original.len() < 2 {
+        return None;
+    }
+    let err: Vec<f64> = original
+        .iter()
+        .zip(recon)
+        .map(|(&a, &b)| a as f64 - b as f64)
+        .collect();
+    let n = err.len() as f64;
+    let mean = err.iter().sum::<f64>() / n;
+    let var = err.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return None;
+    }
+    let cov = err
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod autocorr_tests {
+    use super::*;
+
+    #[test]
+    fn white_error_has_low_autocorrelation() {
+        let orig = vec![0.0f32; 4096];
+        let recon: Vec<f32> = (0..4096u64)
+            .map(|i| {
+                // splitmix64: properly decorrelated at lag 1.
+                let mut z = i.wrapping_add(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                ((z >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        let rho = error_autocorrelation(&orig, &recon).unwrap();
+        assert!(rho.abs() < 0.1, "rho {rho}");
+    }
+
+    #[test]
+    fn smooth_error_has_high_autocorrelation() {
+        let orig = vec![0.0f32; 4096];
+        let recon: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+        let rho = error_autocorrelation(&orig, &recon).unwrap();
+        assert!(rho > 0.9, "rho {rho}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(error_autocorrelation(&[1.0], &[1.0]).is_none());
+        assert!(error_autocorrelation(&[1.0, 2.0], &[1.0, 2.0]).is_none()); // zero error
+    }
+}

@@ -1,0 +1,356 @@
+//! The prequantised Lorenzo predictor — cuSZ's "dual-quant" kernel
+//! (§ III-A), the baseline the paper measures G-Interp against and the
+//! predictor shared by the cuSZ / cuSZp / FZ-GPU baselines.
+//!
+//! The input is first rounded onto the `2e` lattice
+//! (`cuszi_quant::prequantize`); the Lorenzo delta is then an exact
+//! integer finite difference, fully parallel per element. Decompression
+//! inverts the difference with one inclusive prefix-sum kernel per axis
+//! (the multi-pass partial-sum scheme of the cuSZ decompressor).
+//!
+//! Out-of-band deltas are stream-compacted; the compacted value is the
+//! raw `i32` delta bit-cast into the `f32` outlier channel (lossless,
+//! see [`encode_delta`]).
+
+use cuszi_gpu_sim::{launch, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats};
+use cuszi_quant::{prequantize, Outliers};
+use cuszi_tensor::{NdArray, Shape};
+use parking_lot::Mutex;
+
+use crate::PredictOutput;
+
+/// Tile extents of the Lorenzo kernels (`[z, y, x]`, matching cuSZ's
+/// coarse tiles).
+pub const LORENZO_TILE: [usize; 3] = [8, 8, 32];
+
+/// Threads per block of the Lorenzo kernels.
+pub const THREADS_PER_BLOCK: u32 = 256;
+
+/// Bit-cast an `i32` Lorenzo delta into the `f32` outlier channel.
+pub fn encode_delta(d: i32) -> f32 {
+    f32::from_bits(d as u32)
+}
+
+/// Invert [`encode_delta`].
+pub fn decode_delta(v: f32) -> i32 {
+    v.to_bits() as i32
+}
+
+#[inline]
+fn lorenzo_pred(r: &[i32], shape: Shape, rank: usize, z: usize, y: usize, x: usize) -> i64 {
+    // Out-of-range neighbours contribute 0 (the implicit halo of zeros).
+    let at = |dz: usize, dy: usize, dx: usize| -> i64 {
+        if z < dz || y < dy || x < dx {
+            return 0;
+        }
+        r[shape.index3(z - dz, y - dy, x - dx)] as i64
+    };
+    match rank {
+        1 => at(0, 0, 1),
+        2 => at(0, 0, 1) + at(0, 1, 0) - at(0, 1, 1),
+        3 => {
+            at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) - at(0, 1, 1) - at(1, 0, 1) - at(1, 1, 0)
+                + at(1, 1, 1)
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn grid_for(shape: Shape) -> Grid {
+    let bc = shape.block_counts(LORENZO_TILE);
+    Grid::new(Dim3 { x: bc[2] as u32, y: bc[1] as u32, z: bc[0] as u32 }, THREADS_PER_BLOCK)
+}
+
+/// Compress-side Lorenzo: prequantize + parallel delta + quantize.
+pub fn compress(
+    data: &NdArray<f32>,
+    eb: f64,
+    radius: u16,
+    device: &DeviceSpec,
+) -> PredictOutput {
+    let shape = data.shape();
+    let rank = shape.rank();
+    let r = prequantize(data.as_slice(), eb);
+    let mut codes = vec![0u16; shape.len()];
+    let outlier_parts: Mutex<Vec<(u64, Outliers)>> = Mutex::new(Vec::new());
+    let rad = radius as i64;
+
+    let stats = {
+        let src = GlobalRead::new(&r);
+        let dst = GlobalWrite::new(&mut codes);
+        launch(device, grid_for(shape), |ctx| {
+            let o = [
+                ctx.block.z as usize * LORENZO_TILE[0],
+                ctx.block.y as usize * LORENZO_TILE[1],
+                ctx.block.x as usize * LORENZO_TILE[2],
+            ];
+            let dims = shape.dims3();
+            let ext = [
+                LORENZO_TILE[0].min(dims[0] - o[0]),
+                LORENZO_TILE[1].min(dims[1] - o[1]),
+                LORENZO_TILE[2].min(dims[2] - o[2]),
+            ];
+            let mut outs = Outliers::new();
+            let mut row_codes = vec![0u16; ext[2]];
+            for dz in 0..ext[0] {
+                for dy in 0..ext[1] {
+                    let (z, y) = (o[0] + dz, o[1] + dy);
+                    // Charge the row (plus left halo element) as a
+                    // coalesced load; the stencil's y/z halos re-read
+                    // neighbour rows.
+                    let row_start = shape.index3(z, y, o[2]);
+                    let mut row = vec![0i32; ext[2]];
+                    ctx.read_span(&src, row_start, &mut row);
+                    if y > 0 {
+                        let mut prev = vec![0i32; ext[2]];
+                        ctx.read_span(&src, shape.index3(z, y - 1, o[2]), &mut prev);
+                    }
+                    if z > 0 && rank == 3 {
+                        let mut prev = vec![0i32; ext[2]];
+                        ctx.read_span(&src, shape.index3(z - 1, y, o[2]), &mut prev);
+                    }
+                    for (dx, rc) in row_codes.iter_mut().enumerate().take(ext[2]) {
+                        let x = o[2] + dx;
+                        let delta =
+                            r[shape.index3(z, y, x)] as i64 - lorenzo_pred(&r, shape, rank, z, y, x);
+                        ctx.add_flops(8);
+                        if delta.abs() < rad {
+                            *rc = (delta + rad) as u16;
+                        } else {
+                            *rc = cuszi_quant::OUTLIER_CODE;
+                            // Wrapping cast: the decompressor's scans run
+                            // modulo 2^32, so the wrapped delta replays
+                            // the exact lattice value.
+                            outs.push(shape.index3(z, y, x) as u64, encode_delta(delta as i32));
+                        }
+                    }
+                    ctx.write_span(&dst, row_start, &row_codes[..ext[2]]);
+                }
+            }
+            if !outs.is_empty() {
+                outlier_parts.lock().push((ctx.block_linear(), outs));
+            }
+        })
+    };
+
+    let mut parts = outlier_parts.into_inner();
+    parts.sort_by_key(|(b, _)| *b);
+    let outliers = Outliers::concat(parts.into_iter().map(|(_, o)| o).collect());
+    PredictOutput { codes, outliers, anchors: Vec::new(), kernels: vec![stats] }
+}
+
+/// Decompress-side Lorenzo: rebuild deltas, then one inclusive-scan
+/// kernel per active axis (cumulative sums invert the finite
+/// difference), then dequantize off the `2e` lattice.
+pub fn decompress(
+    codes: &[u16],
+    outliers: &Outliers,
+    shape: Shape,
+    eb: f64,
+    radius: u16,
+    device: &DeviceSpec,
+) -> (NdArray<f32>, Vec<KernelStats>) {
+    assert_eq!(codes.len(), shape.len());
+    let rank = shape.rank();
+    let rad = radius as i64;
+
+    // Delta plane: decode codes, then scatter the compacted raw deltas.
+    // All scan arithmetic is *wrapping* i32: every intermediate partial
+    // sum is exact modulo 2^32 and the final values are true `i32`
+    // lattice indices, so wrap-around in intermediates is harmless — and
+    // i32 lanes halve the scan's DRAM traffic versus i64.
+    let mut deltas: Vec<i32> =
+        codes.iter().map(|&c| (c as i64 - rad) as i32).collect();
+    for (&i, &v) in outliers.indices().iter().zip(outliers.values()) {
+        deltas[i as usize] = decode_delta(v);
+    }
+
+    let dims = shape.dims3();
+    let mut stats = Vec::new();
+
+    stats.push(scan_axis(&mut deltas, dims, 2, device));
+    if rank >= 2 {
+        stats.push(scan_axis(&mut deltas, dims, 1, device));
+    }
+    if rank >= 3 {
+        stats.push(scan_axis(&mut deltas, dims, 0, device));
+    }
+
+    let step = 2.0 * eb;
+    let out: Vec<f32> = deltas.iter().map(|&r| (r as f64 * step) as f32).collect();
+    (NdArray::from_vec(shape, out), stats)
+}
+
+/// Width (in elements) of the cross-line tile of the y/z scans — 32
+/// consecutive `x` positions make every row load/store one coalesced
+/// 128-byte transaction, the shared-memory-transpose scheme of the CUDA
+/// partial-sum kernels.
+const SCAN_TILE_X: usize = 32;
+
+/// Inclusive prefix sum along one axis with coalesced tiled access.
+fn scan_axis(data: &mut [i32], dims: [usize; 3], axis: usize, device: &DeviceSpec) -> KernelStats {
+    let strides = [dims[1] * dims[2], dims[2], 1];
+    let view = GlobalWrite::new(data);
+    if axis == 2 {
+        // Lines are contiguous: one block per (z, y) row.
+        return launch(
+            device,
+            Grid::new(Dim3 { x: dims[1] as u32, y: dims[0] as u32, z: 1 }, THREADS_PER_BLOCK),
+            |ctx| {
+                let base = ctx.block.y as usize * strides[0] + ctx.block.x as usize * strides[1];
+                let n = dims[2];
+                let mut line = vec![0i32; n];
+                ctx.read_span_rw(&view, base, &mut line);
+                let mut acc = 0i32;
+                for v in line.iter_mut() {
+                    acc = acc.wrapping_add(*v);
+                    *v = acc;
+                }
+                ctx.add_flops(n as u64);
+                ctx.write_span(&view, base, &line);
+            },
+        );
+    }
+    // Cross-line scans (y or z): each block owns an x-tile of
+    // `SCAN_TILE_X` columns on one orthogonal plane index, loading rows
+    // coalesced and scanning down the lines in registers.
+    let other = if axis == 1 { 0 } else { 1 };
+    let xtiles = dims[2].div_ceil(SCAN_TILE_X);
+    launch(
+        device,
+        Grid::new(Dim3 { x: xtiles as u32, y: dims[other] as u32, z: 1 }, THREADS_PER_BLOCK),
+        |ctx| {
+            let x0 = ctx.block.x as usize * SCAN_TILE_X;
+            let w = SCAN_TILE_X.min(dims[2] - x0);
+            let o = ctx.block.y as usize;
+            let n = dims[axis];
+            let mut acc = vec![0i32; w];
+            let mut row = vec![0i32; w];
+            for i in 0..n {
+                let base = i * strides[axis] + o * strides[other] + x0;
+                ctx.read_span_rw(&view, base, &mut row);
+                for (a, r) in acc.iter_mut().zip(&row) {
+                    *a = a.wrapping_add(*r);
+                }
+                ctx.add_flops(w as u64);
+                ctx.write_span(&view, base, &acc);
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_gpu_sim::A100;
+
+    fn field(shape: Shape) -> NdArray<f32> {
+        NdArray::from_fn(shape, |z, y, x| {
+            ((x as f32) * 0.1).sin() + ((y as f32) * 0.07).cos() * 2.0 + (z as f32) * 0.05
+        })
+    }
+
+    fn roundtrip(data: &NdArray<f32>, eb: f64) -> NdArray<f32> {
+        let out = compress(data, eb, 512, &A100);
+        let (recon, _) = decompress(&out.codes, &out.outliers, data.shape(), eb, 512, &A100);
+        recon
+    }
+
+    #[test]
+    fn delta_bitcast_roundtrip() {
+        for d in [0, 1, -1, i32::MAX, i32::MIN, 123456789] {
+            assert_eq!(decode_delta(encode_delta(d)), d);
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d_error_bounded() {
+        let data = field(Shape::d3(17, 19, 37));
+        let eb = 1e-3;
+        let recon = roundtrip(&data, eb);
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            assert!(((a - b).abs() as f64) <= eb * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d_and_1d() {
+        for shape in [Shape::d2(33, 47), Shape::d1(1111)] {
+            let data = field(shape);
+            let eb = 5e-4;
+            let recon = roundtrip(&data, eb);
+            for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+                assert!(((a - b).abs() as f64) <= eb * (1.0 + 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_field_concentrates_codes() {
+        let data = field(Shape::d3(16, 16, 32));
+        let out = compress(&data, 1e-2, 512, &A100);
+        let zero = out.codes.iter().filter(|&&c| c == 512).count();
+        assert!(zero * 2 > out.codes.len(), "{zero}/{}", out.codes.len());
+    }
+
+    #[test]
+    fn noisy_field_overflows_to_outliers_and_roundtrips() {
+        let shape = Shape::d3(9, 9, 17);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            (((z * 31 + y * 17 + x * 7) % 97) as f32 - 48.0) * 10.0
+        });
+        let eb = 1e-4;
+        let out = compress(&data, eb, 512, &A100);
+        assert!(!out.outliers.is_empty());
+        let (recon, _) = decompress(&out.codes, &out.outliers, shape, eb, 512, &A100);
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            assert!(((a - b).abs() as f64) <= eb * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn scan_inverts_difference_exactly() {
+        // Pure integer test of the three-pass inversion.
+        let shape = Shape::d3(5, 6, 7);
+        let r: Vec<i32> = (0..shape.len() as i32).map(|i| (i * 37) % 1000 - 500).collect();
+        let data = NdArray::from_vec(
+            shape,
+            r.iter().map(|&v| v as f32 * 2e-3).collect(),
+        );
+        let recon = roundtrip(&data, 1e-3);
+        for (a, b) in data.as_slice().iter().zip(recon.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.001);
+        }
+    }
+
+    #[test]
+    fn interpolation_beats_lorenzo_on_smooth_data() {
+        // The paper's core claim (Fig. 5-6): on realistic fields G-Interp
+        // yields fewer nonzero quant-codes than Lorenzo at the same eb.
+        // The mechanism: Lorenzo's 8-point stencil amplifies small-scale
+        // fluctuations by ~sqrt(8), while the interpolation splines
+        // average them — so sub-bound texture stays sub-bound for
+        // G-Interp but crosses the bound for Lorenzo.
+        let eb = 5e-3;
+        let smooth = field(Shape::d3(24, 24, 48));
+        let data = NdArray::from_fn(smooth.shape(), |z, y, x| {
+            let h = ((z * 2654435761 + y * 40503 + x * 2246822519) % 1000) as f32;
+            smooth.get3(z, y, x) + (h / 1000.0 - 0.5) * (1.6 * eb as f32)
+        });
+        let lor = compress(&data, eb, 512, &A100);
+        let gin = crate::ginterp::compress(
+            &data,
+            eb,
+            512,
+            &crate::tuning::InterpConfig::untuned(3),
+            &A100,
+        );
+        let nz = |codes: &[u16]| codes.iter().filter(|&&c| c != 512).count();
+        assert!(
+            nz(&gin.codes) < nz(&lor.codes),
+            "ginterp {} !< lorenzo {}",
+            nz(&gin.codes),
+            nz(&lor.codes)
+        );
+    }
+}

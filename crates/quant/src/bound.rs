@@ -1,0 +1,85 @@
+//! Error-bound modes.
+
+/// A user-specified error bound, in one of the two modes the paper's
+/// evaluation uses.
+///
+/// The paper's Table III error bounds (1e-2, 1e-3, 1e-4) are
+/// *value-range-based relative* bounds: the absolute bound is
+/// `epsilon * (max - min)` (§ V-C.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound: `|x - x'| <= e`.
+    Abs(f64),
+    /// Value-range-relative bound: `|x - x'| <= epsilon * range(x)`.
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to an absolute bound given the field's value range.
+    ///
+    /// A relative bound on a constant field (range 0) resolves to 0,
+    /// which the quantizer rejects — callers special-case constant
+    /// fields before quantization.
+    pub fn absolute(&self, value_range: f64) -> f64 {
+        match *self {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::Rel(eps) => eps * value_range,
+        }
+    }
+
+    /// The value-range-relative magnitude (used by the auto-tuner's
+    /// Eq. 1, which is a function of the *relative* bound).
+    pub fn relative(&self, value_range: f64) -> f64 {
+        match *self {
+            ErrorBound::Abs(e) => {
+                if value_range > 0.0 {
+                    e / value_range
+                } else {
+                    0.0
+                }
+            }
+            ErrorBound::Rel(eps) => eps,
+        }
+    }
+
+    /// Whether the bound is positive and finite (a usable bound).
+    pub fn is_valid(&self) -> bool {
+        let v = match *self {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::Rel(e) => e,
+        };
+        v.is_finite() && v > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_ignores_range() {
+        assert_eq!(ErrorBound::Abs(0.5).absolute(100.0), 0.5);
+    }
+
+    #[test]
+    fn rel_scales_with_range() {
+        assert_eq!(ErrorBound::Rel(1e-3).absolute(200.0), 0.2);
+    }
+
+    #[test]
+    fn relative_inverts_absolute() {
+        let e = ErrorBound::Abs(0.5);
+        assert_eq!(e.relative(100.0), 5e-3);
+        assert_eq!(e.relative(0.0), 0.0);
+        assert_eq!(ErrorBound::Rel(1e-2).relative(123.0), 1e-2);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(ErrorBound::Abs(1e-6).is_valid());
+        assert!(!ErrorBound::Abs(0.0).is_valid());
+        assert!(!ErrorBound::Rel(-1.0).is_valid());
+        assert!(!ErrorBound::Abs(f64::NAN).is_valid());
+        assert!(!ErrorBound::Rel(f64::INFINITY).is_valid());
+    }
+}

@@ -1,0 +1,24 @@
+//! Error-bounded quantization, the control loop of every SZ-family
+//! compressor (paper § III-A).
+//!
+//! For each element, a predictor produces `p`; the quantizer encodes the
+//! prediction error as an integer *quant-code* `q = round((x - p) / 2e)`
+//! and reconstructs `x' = p + 2e*q`, guaranteeing `|x - x'| <= e`. The
+//! reconstruction — not the original — feeds subsequent predictions, so
+//! compression and decompression replay identical state.
+//!
+//! Codes are stored biased by `radius` (`R` in the paper): the in-range
+//! band is `1..2R`, with `R` meaning "zero error". Code `0` is reserved
+//! for *outliers* — elements whose error exceeds the representable band —
+//! which are stream-compacted into an [`Outliers`] side channel and
+//! reproduced losslessly on decompression.
+
+pub mod bound;
+pub mod outlier;
+pub mod prequant;
+pub mod quantizer;
+
+pub use bound::ErrorBound;
+pub use outlier::Outliers;
+pub use prequant::{prequantize, prequant_reconstruct};
+pub use quantizer::{Quantized, Quantizer, OUTLIER_CODE};

@@ -1,0 +1,197 @@
+//! The per-element quantizer.
+
+/// Quant-code reserved for outliers (paper § III-A: codes with
+/// `|q| >= R` are "too big for efficient encoding" and compacted aside).
+pub const OUTLIER_CODE: u16 = 0;
+
+/// Result of quantizing one element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quantized {
+    /// Biased quant-code: `q + radius`, in `1..2*radius`; `0` = outlier.
+    pub code: u16,
+    /// The error-bounded reconstruction the decompressor will produce
+    /// (for outliers, the exact original value).
+    pub recon: f32,
+}
+
+/// Two-sided linear-scale quantizer with outlier thresholding.
+///
+/// ```
+/// use cuszi_quant::Quantizer;
+/// let q = Quantizer::new(0.05, 512);
+/// let r = q.quantize(1.03, 1.0);          // prediction was 1.0
+/// assert!((1.03 - r.recon).abs() <= 0.05); // error-bounded
+/// assert_eq!(q.reconstruct(1.0, r.code), r.recon); // replayable
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Quantizer {
+    eb: f64,
+    twice_eb: f64,
+    radius: i32,
+}
+
+impl Quantizer {
+    /// `eb` is the absolute error bound (must be positive and finite);
+    /// `radius` is the paper's `R` (codebook holds `2*radius` symbols).
+    /// cuSZ's default — and ours — is `R = 512`.
+    ///
+    /// # Panics
+    /// On a non-positive/non-finite bound or a zero radius: both are
+    /// caller bugs, screened at the public-API layer with typed errors.
+    pub fn new(eb: f64, radius: u16) -> Self {
+        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
+        assert!(radius >= 1, "radius must be at least 1");
+        Quantizer { eb, twice_eb: 2.0 * eb, radius: radius as i32 }
+    }
+
+    /// The absolute error bound.
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    /// The outlier threshold `R`.
+    pub fn radius(&self) -> u16 {
+        self.radius as u16
+    }
+
+    /// Number of distinct codes (`2R`), i.e. the Huffman alphabet size.
+    pub fn alphabet_size(&self) -> usize {
+        2 * self.radius as usize
+    }
+
+    /// Quantize `value` against prediction `pred`.
+    #[inline]
+    pub fn quantize(&self, value: f32, pred: f32) -> Quantized {
+        let err = value as f64 - pred as f64;
+        let q = (err / self.twice_eb).round();
+        // Out-of-band (or numerically degenerate) errors become outliers,
+        // stored exactly. The negated comparison is deliberate: it must
+        // catch NaN (from a NaN prediction), which `>=` would not.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(q.abs() < self.radius as f64) {
+            return Quantized { code: OUTLIER_CODE, recon: value };
+        }
+        let qi = q as i32;
+        let recon = (pred as f64 + qi as f64 * self.twice_eb) as f32;
+        // Guard against f32 rounding pushing the reconstruction outside
+        // the bound for values near the f32 precision limit.
+        if ((value as f64) - (recon as f64)).abs() > self.eb {
+            return Quantized { code: OUTLIER_CODE, recon: value };
+        }
+        Quantized { code: (qi + self.radius) as u16, recon }
+    }
+
+    /// Replay the reconstruction from a non-outlier code (decompression).
+    #[inline]
+    pub fn reconstruct(&self, pred: f32, code: u16) -> f32 {
+        debug_assert_ne!(code, OUTLIER_CODE, "outlier codes are reconstructed from the side channel");
+        let q = code as i32 - self.radius;
+        (pred as f64 + q as f64 * self.twice_eb) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_error_maps_to_radius() {
+        let q = Quantizer::new(0.1, 512);
+        let r = q.quantize(1.0, 1.0);
+        assert_eq!(r.code, 512);
+        assert_eq!(r.recon, 1.0);
+    }
+
+    #[test]
+    fn small_errors_round_to_nearest_code() {
+        let q = Quantizer::new(0.1, 512);
+        // err = 0.25 => q = round(0.25/0.2) = 1
+        let r = q.quantize(1.25, 1.0);
+        assert_eq!(r.code, 513);
+        assert!((r.recon - 1.2).abs() < 1e-6);
+        // err = -0.31 => q = round(-1.55) = -2
+        let r = q.quantize(0.69, 1.0);
+        assert_eq!(r.code, 510);
+    }
+
+    #[test]
+    fn reconstruction_matches_quantization() {
+        let q = Quantizer::new(0.01, 512);
+        let r = q.quantize(3.456, 3.4);
+        assert_eq!(q.reconstruct(3.4, r.code), r.recon);
+    }
+
+    #[test]
+    fn error_is_bounded_for_in_range_codes() {
+        let q = Quantizer::new(0.05, 512);
+        for i in 0..1000 {
+            let v = (i as f32) * 0.013 - 5.0;
+            let p = v + ((i % 17) as f32 - 8.0) * 0.01;
+            let r = q.quantize(v, p);
+            assert!((v - r.recon).abs() <= 0.05 + 1e-9, "i={i} v={v} recon={}", r.recon);
+        }
+    }
+
+    #[test]
+    fn large_errors_become_outliers() {
+        let q = Quantizer::new(0.001, 512);
+        let r = q.quantize(100.0, 0.0);
+        assert_eq!(r.code, OUTLIER_CODE);
+        assert_eq!(r.recon, 100.0); // exact
+    }
+
+    #[test]
+    fn nan_prediction_becomes_outlier_not_panic() {
+        let q = Quantizer::new(0.1, 512);
+        let r = q.quantize(1.0, f32::NAN);
+        assert_eq!(r.code, OUTLIER_CODE);
+        assert_eq!(r.recon, 1.0);
+    }
+
+    #[test]
+    fn alphabet_size_is_two_radius() {
+        assert_eq!(Quantizer::new(1.0, 512).alphabet_size(), 1024);
+        assert_eq!(Quantizer::new(1.0, 1).alphabet_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn zero_bound_rejected() {
+        let _ = Quantizer::new(0.0, 512);
+    }
+
+    #[test]
+    fn boundary_code_just_inside_radius() {
+        let q = Quantizer::new(0.5, 4); // codes 1..8, q in -3..=3
+        let r = q.quantize(3.0, 0.0); // err=3.0, q=3 -> in range
+        assert_eq!(r.code, 7);
+        let r = q.quantize(4.0, 0.0); // q=4 >= radius -> outlier
+        assert_eq!(r.code, OUTLIER_CODE);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bounded_or_outlier_exact(
+            v in -1e6f32..1e6f32,
+            p in -1e6f32..1e6f32,
+            eb in 1e-6f64..1e3f64,
+        ) {
+            let q = Quantizer::new(eb, 512);
+            let r = q.quantize(v, p);
+            if r.code == OUTLIER_CODE {
+                prop_assert_eq!(r.recon, v);
+            } else {
+                prop_assert!(((v as f64) - (r.recon as f64)).abs() <= eb);
+                prop_assert_eq!(q.reconstruct(p, r.code), r.recon);
+            }
+        }
+
+        #[test]
+        fn prop_codes_stay_in_band(v in -100f32..100f32, p in -100f32..100f32) {
+            let q = Quantizer::new(0.01, 256);
+            let r = q.quantize(v, p);
+            prop_assert!((r.code as usize) < q.alphabet_size());
+        }
+    }
+}

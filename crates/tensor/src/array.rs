@@ -1,0 +1,165 @@
+//! Owned dense arrays.
+
+use crate::shape::Shape;
+
+/// A dense, row-major, owned n-d array.
+///
+/// `T` is `f32` throughout the compressors (the paper's datasets are all
+/// single precision), but quant-code planes reuse the same type as
+/// `NdArray<i32>` / `NdArray<u16>`.
+///
+/// ```
+/// use cuszi_tensor::{NdArray, Shape};
+/// let a = NdArray::from_fn(Shape::d2(2, 3), |_z, y, x| (y * 3 + x) as f32);
+/// assert_eq!(a.get3(0, 1, 2), 5.0);
+/// assert_eq!(a.as_slice().len(), 6);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdArray<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> NdArray<T> {
+    /// A zero/default-filled array of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        NdArray { shape, data: vec![T::default(); shape.len()] }
+    }
+}
+
+impl<T: Copy> NdArray<T> {
+    /// Wrap an existing buffer. Panics if the length does not match the
+    /// shape — this is a programming error, not a data error.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        NdArray { shape, data }
+    }
+
+    /// Fill an array by evaluating `f(z, y, x)` at every coordinate.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let [nz, ny, nx] = shape.dims3();
+        let mut data = Vec::with_capacity(shape.len());
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    data.push(f(z, y, x));
+                }
+            }
+        }
+        NdArray { shape, data }
+    }
+
+    /// The shape of the array.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Checked element read at a rank-3 padded coordinate.
+    #[inline]
+    pub fn get3(&self, z: usize, y: usize, x: usize) -> T {
+        self.data[self.shape.index3(z, y, x)]
+    }
+
+    /// Checked element write at a rank-3 padded coordinate.
+    #[inline]
+    pub fn set3(&mut self, z: usize, y: usize, x: usize, v: T) {
+        let i = self.shape.index3(z, y, x);
+        self.data[i] = v;
+    }
+
+    /// Extract one `z` plane as a fresh 2-d array (for visual dumps).
+    pub fn plane_z(&self, z: usize) -> NdArray<T> {
+        let [_, ny, nx] = self.shape.dims3();
+        let start = self.shape.index3(z, 0, 0);
+        NdArray::from_vec(Shape::d2(ny, nx), self.data[start..start + ny * nx].to_vec())
+    }
+}
+
+impl NdArray<f32> {
+    /// Reject non-finite inputs; error-bounded compression of NaN/Inf is
+    /// undefined in the SZ framework.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let a: NdArray<f32> = NdArray::zeros(Shape::d3(2, 3, 4));
+        assert_eq!(a.len(), 24);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let a = NdArray::from_fn(Shape::d2(2, 3), |_, y, x| (y * 3 + x) as f32);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.get3(0, 1, 2), 5.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut a: NdArray<i32> = NdArray::zeros(Shape::d3(2, 2, 2));
+        a.set3(1, 0, 1, 42);
+        assert_eq!(a.get3(1, 0, 1), 42);
+        assert_eq!(a.as_slice()[5], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = NdArray::from_vec(Shape::d1(3), vec![1.0f32, 2.0]);
+    }
+
+    #[test]
+    fn plane_extraction() {
+        let a = NdArray::from_fn(Shape::d3(2, 2, 2), |z, y, x| (z * 4 + y * 2 + x) as f32);
+        let p = a.plane_z(1);
+        assert_eq!(p.shape(), Shape::d2(2, 2));
+        assert_eq!(p.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut a: NdArray<f32> = NdArray::zeros(Shape::d1(4));
+        assert!(a.all_finite());
+        a.as_mut_slice()[2] = f32::NAN;
+        assert!(!a.all_finite());
+        a.as_mut_slice()[2] = f32::INFINITY;
+        assert!(!a.all_finite());
+    }
+}

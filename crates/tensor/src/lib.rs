@@ -1,0 +1,23 @@
+//! N-dimensional array substrate for the cuSZ-i reproduction.
+//!
+//! Scientific compressors in the SZ lineage operate on dense row-major
+//! arrays of 1 to 3 dimensions. This crate provides the small set of
+//! shape/stride/indexing utilities every other crate builds on:
+//!
+//! * [`Shape`] — dimension bookkeeping with the paper's `z, y, x`
+//!   (slowest-to-fastest) axis convention,
+//! * [`NdArray`] — an owned dense array with checked and unchecked access,
+//! * [`stats`] — value-range and error statistics used for relative error
+//!   bounds and PSNR.
+//!
+//! The fastest-varying axis is always the *last* one, matching both C row
+//! major layout and the dataset descriptions in Table II of the paper
+//! (e.g. `512_z x 512_y x 512_x` is `Shape::d3(512, 512, 512)` with `x`
+//! contiguous).
+
+pub mod array;
+pub mod shape;
+pub mod stats;
+
+pub use array::NdArray;
+pub use shape::{BlockIter, Shape};

@@ -1,0 +1,92 @@
+//! Value-range and summary statistics.
+//!
+//! Relative error bounds in the SZ family are defined against the *value
+//! range* of the input field (paper § V-C.1: "we compute its value range
+//! to acquire both the absolute and value-range-based relative error
+//! bounds"), so a robust range computation is part of the substrate.
+
+/// Minimum, maximum and derived range of a field.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueRange {
+    pub min: f32,
+    pub max: f32,
+}
+
+impl ValueRange {
+    /// Scan a buffer. Returns `None` for an empty buffer or one with any
+    /// non-finite element.
+    pub fn of(data: &[f32]) -> Option<ValueRange> {
+        let mut it = data.iter();
+        let first = *it.next()?;
+        if !first.is_finite() {
+            return None;
+        }
+        let mut min = first;
+        let mut max = first;
+        for &v in it {
+            if !v.is_finite() {
+                return None;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(ValueRange { min, max })
+    }
+
+    /// `max - min`; zero for constant fields.
+    pub fn range(&self) -> f32 {
+        self.max - self.min
+    }
+}
+
+/// Mean of a buffer (0 for empty input).
+pub fn mean(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64
+}
+
+/// Population variance of a buffer (0 for empty input).
+pub fn variance(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_of_simple_buffer() {
+        let r = ValueRange::of(&[3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(r.min, -1.0);
+        assert_eq!(r.max, 3.0);
+        assert_eq!(r.range(), 4.0);
+    }
+
+    #[test]
+    fn range_rejects_non_finite_and_empty() {
+        assert_eq!(ValueRange::of(&[]), None);
+        assert_eq!(ValueRange::of(&[1.0, f32::NAN]), None);
+        assert_eq!(ValueRange::of(&[f32::INFINITY]), None);
+    }
+
+    #[test]
+    fn constant_field_has_zero_range() {
+        let r = ValueRange::of(&[5.0; 10]).unwrap();
+        assert_eq!(r.range(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&d) - 2.5).abs() < 1e-12);
+        assert!((variance(&d) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+}

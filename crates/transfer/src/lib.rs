@@ -1,0 +1,139 @@
+//! The distributed lossy data-transmission case study (§ VII-C.5).
+//!
+//! The paper transfers compressed archives between ALCF ThetaGPU and
+//! Purdue Anvil over Globus (~1 GB/s) and reports
+//! `total = t_compress + size/bandwidth + t_decompress`, explicitly
+//! excluding local I/O. This crate is that arithmetic, fed by the
+//! roofline-model kernel times (GPU codecs) or a fixed CPU rate (QoZ).
+
+use cuszi_gpu_sim::{KernelStats, TimingModel};
+
+/// The Globus link between the paper's two testbeds.
+pub const GLOBUS_BANDWIDTH_GBPS: f64 = 1.0;
+
+/// A transfer scenario: link bandwidth in GB/s.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scenario {
+    pub bandwidth_gbps: f64,
+}
+
+impl Scenario {
+    /// The paper's ThetaGPU <-> Anvil Globus link.
+    pub fn globus() -> Self {
+        Scenario { bandwidth_gbps: GLOBUS_BANDWIDTH_GBPS }
+    }
+}
+
+/// Cost breakdown of one transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferCost {
+    pub compress_s: f64,
+    pub transfer_s: f64,
+    pub decompress_s: f64,
+}
+
+impl TransferCost {
+    /// End-to-end time.
+    pub fn total_s(&self) -> f64 {
+        self.compress_s + self.transfer_s + self.decompress_s
+    }
+}
+
+impl Scenario {
+    /// Cost of moving `input_bytes` of data compressed to
+    /// `compressed_bytes`, with compression/decompression running at the
+    /// given effective throughputs (GB/s over the *input* size, the
+    /// convention of Fig. 9).
+    pub fn cost(
+        &self,
+        input_bytes: u64,
+        compressed_bytes: u64,
+        comp_gbps: f64,
+        decomp_gbps: f64,
+    ) -> TransferCost {
+        assert!(self.bandwidth_gbps > 0.0 && comp_gbps > 0.0 && decomp_gbps > 0.0);
+        TransferCost {
+            compress_s: input_bytes as f64 / 1e9 / comp_gbps,
+            transfer_s: compressed_bytes as f64 / 1e9 / self.bandwidth_gbps,
+            decompress_s: input_bytes as f64 / 1e9 / decomp_gbps,
+        }
+    }
+
+    /// Cost with codec times taken from modelled kernel stats.
+    pub fn cost_from_kernels(
+        &self,
+        _input_bytes: u64,
+        compressed_bytes: u64,
+        model: &TimingModel,
+        comp_kernels: &[KernelStats],
+        decomp_kernels: &[KernelStats],
+    ) -> TransferCost {
+        TransferCost {
+            compress_s: model.pipeline_time(comp_kernels),
+            transfer_s: compressed_bytes as f64 / 1e9 / self.bandwidth_gbps,
+            decompress_s: model.pipeline_time(decomp_kernels),
+        }
+    }
+
+    /// Baseline: shipping the raw data uncompressed.
+    pub fn uncompressed_s(&self, input_bytes: u64) -> f64 {
+        input_bytes as f64 / 1e9 / self.bandwidth_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_gpu_sim::{KernelStats, TimingModel, A100};
+
+    #[test]
+    fn totals_add_up() {
+        let c = Scenario::globus().cost(10_000_000_000, 100_000_000, 100.0, 200.0);
+        assert!((c.compress_s - 0.1).abs() < 1e-12);
+        assert!((c.transfer_s - 0.1).abs() < 1e-12);
+        assert!((c.decompress_s - 0.05).abs() < 1e-12);
+        assert!((c.total_s() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_ratio_wins_on_slow_links_despite_slower_codec() {
+        // The paper's core Fig. 10 argument: at 1 GB/s, a 2x better
+        // ratio beats a 2x faster compressor.
+        let s = Scenario::globus();
+        let input = 10_000_000_000u64;
+        let fast_low_ratio = s.cost(input, input / 10, 200.0, 200.0);
+        let slow_high_ratio = s.cost(input, input / 100, 100.0, 100.0);
+        assert!(slow_high_ratio.total_s() < fast_low_ratio.total_s());
+    }
+
+    #[test]
+    fn compression_beats_raw_transfer() {
+        let s = Scenario::globus();
+        let input = 5_000_000_000u64;
+        let c = s.cost(input, input / 20, 50.0, 80.0);
+        assert!(c.total_s() < s.uncompressed_s(input));
+    }
+
+    #[test]
+    fn kernel_fed_cost_uses_model_times() {
+        let model = TimingModel::new(A100);
+        let k = KernelStats {
+            load_sectors: 1 << 20,
+            store_sectors: 1 << 20,
+            load_bytes: 32 << 20,
+            store_bytes: 32 << 20,
+            blocks: 100,
+            ..Default::default()
+        };
+        let c = Scenario::globus().cost_from_kernels(1 << 30, 1 << 25, &model, &[k], &[k]);
+        assert!((c.compress_s - model.kernel_time(&k)).abs() < 1e-15);
+        assert!(c.transfer_s > 0.03 && c.transfer_s < 0.04);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        let s = Scenario { bandwidth_gbps: 0.0 };
+        let _ = s.cost(1, 1, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Composing a custom pipeline from the library's building blocks.
+//!
+//! The `CuszI` codec is the batteries-included entry point, but every
+//! stage is public: this example runs the G-Interp predictor directly,
+//! inspects its quant-code distribution, builds a Huffman codebook by
+//! hand, and swaps the lossless back end — the workflow for anyone
+//! prototyping a new pipeline variant on top of this library (the
+//! paper's own "synergy of lossless modules" experiment, § VI-B).
+//!
+//! ```text
+//! cargo run --release --example custom_pipeline
+//! ```
+
+use cuszi_repro::datagen::{generate, DatasetKind, Scale};
+use cuszi_repro::gpu_sim::A100;
+use cuszi_repro::huffman::{encode_gpu, histogram_gpu, Codebook};
+use cuszi_repro::predict::ginterp;
+use cuszi_repro::predict::tuning::profile_and_tune;
+use cuszi_repro::tensor::stats::ValueRange;
+
+fn main() {
+    let ds = generate(DatasetKind::Miranda, Scale::Small, 42);
+    let field = &ds.fields[0];
+    let range = ValueRange::of(field.data.as_slice()).unwrap().range() as f64;
+    let rel_eb = 1e-3;
+    let eb = rel_eb * range;
+
+    // Stage 1: profile + auto-tune (§ V-C), then predict + quantize.
+    let (cfg, profiles) = profile_and_tune(&field.data, rel_eb);
+    println!("tuned config: alpha={:.3}, dim order {:?}", cfg.alpha, cfg.order);
+    for (axis, p) in profiles.iter().enumerate() {
+        println!(
+            "  axis {axis}: best spline {:?}, mean probe error {:.3e}",
+            p.best_variant(),
+            p.smoothness_error()
+        );
+    }
+    let pred = ginterp::compress(&field.data, eb, 512, &cfg, &A100);
+
+    // Stage 2: inspect the quant-code distribution G-Interp produced.
+    let zero = pred.codes.iter().filter(|&&c| c == 512).count();
+    println!(
+        "\nquant codes: {:.2}% at zero-error, {} outliers, {} anchors",
+        zero as f64 / pred.codes.len() as f64 * 100.0,
+        pred.outliers.len(),
+        pred.anchors.len()
+    );
+
+    // Stage 3: Huffman with an explicit codebook.
+    let (hist, _) = histogram_gpu(&pred.codes, 1024, 512, 32, &A100);
+    let book = Codebook::from_histogram(&hist).expect("codebook");
+    println!(
+        "codebook: max code length {} bits, predicted rate {:.3} bits/elem",
+        book.max_len(),
+        book.expected_bits(&hist)
+    );
+    let (stream, _) = encode_gpu(&pred.codes, &book, &A100);
+
+    // Stage 4: compare lossless back ends on the Huffman output.
+    let huff_bytes = stream.to_bytes();
+    let (bitcomped, _) = cuszi_repro::bitcomp::compress(&huff_bytes, &A100);
+    let n = field.data.len() * 4;
+    println!("\nlossless back ends over {} input bytes:", n);
+    println!("  Huffman only:      {:>9} bytes (CR {:.1})", huff_bytes.len(), n as f64 / huff_bytes.len() as f64);
+    println!(
+        "  Huffman + Bitcomp: {:>9} bytes (CR {:.1})",
+        bitcomped.len(),
+        n as f64 / bitcomped.len() as f64
+    );
+    println!("\n(the paper's § VI-B synergy: the second pass removes the 0x00-run\n redundancy Huffman's 1-bit floor leaves behind)");
+}

@@ -1,0 +1,55 @@
+//! In-situ compression of a time-evolving seismic wavefield (the RTM
+//! workload from the paper's Table II / Fig. 6).
+//!
+//! Reverse-time-migration solvers checkpoint the wavefield every few
+//! timesteps; at production sizes the checkpoints cannot leave the GPU
+//! uncompressed. This example compresses a snapshot series in situ,
+//! tracks the accumulated storage saving, and verifies every snapshot's
+//! error bound — the exact workflow § I motivates.
+//!
+//! ```text
+//! cargo run --release --example in_situ_seismic
+//! ```
+
+use cuszi_repro::core::{Config, CuszI};
+use cuszi_repro::datagen::{rtm_series, Scale};
+use cuszi_repro::metrics::{check_error_bound, distortion};
+use cuszi_repro::quant::ErrorBound;
+
+fn main() {
+    let snapshots = rtm_series(Scale::Small, 600, 150, 8, 7);
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3))); // with Bitcomp
+
+    let mut raw_total = 0usize;
+    let mut compressed_total = 0usize;
+    println!("t     raw MB  archive KB  CR     PSNR dB");
+    println!("------------------------------------------");
+    for (i, snap) in snapshots.iter().enumerate() {
+        let c = codec.compress(&snap.data).expect("compress snapshot");
+        let d = codec.decompress(&c.bytes).expect("decompress snapshot");
+        assert_eq!(
+            check_error_bound(snap.data.as_slice(), d.data.as_slice(), c.eb_abs),
+            None,
+            "snapshot {i}: bound violated"
+        );
+        let raw = snap.data.len() * 4;
+        let psnr = distortion(snap.data.as_slice(), d.data.as_slice()).unwrap().psnr;
+        raw_total += raw;
+        compressed_total += c.bytes.len();
+        println!(
+            "{:>4}  {:>6.1}  {:>10.1}  {:>5.1}  {:>7.2}",
+            600 + i * 150,
+            raw as f64 / 1e6,
+            c.bytes.len() as f64 / 1e3,
+            raw as f64 / c.bytes.len() as f64,
+            psnr
+        );
+    }
+    println!("------------------------------------------");
+    println!(
+        "series total: {:.1} MB -> {:.2} MB ({:.1}x), all bounds verified",
+        raw_total as f64 / 1e6,
+        compressed_total as f64 / 1e6,
+        raw_total as f64 / compressed_total as f64
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: compress a 3-d scientific field with cuSZ-i and verify
+//! the error bound.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cuszi_repro::core::{Config, CuszI};
+use cuszi_repro::metrics::{check_error_bound, compression_ratio, distortion};
+use cuszi_repro::quant::ErrorBound;
+use cuszi_repro::tensor::{NdArray, Shape};
+
+fn main() {
+    // A smooth-ish synthetic field standing in for your simulation
+    // output. Any dense row-major f32 array of rank 1..=3 works.
+    let shape = Shape::d3(64, 64, 64);
+    let data = NdArray::from_fn(shape, |z, y, x| {
+        let (z, y, x) = (z as f32, y as f32, x as f32);
+        (0.05 * x).sin() * 2.0 + (0.04 * y).cos() + 0.01 * z + 0.1 * (0.02 * x * y).sin()
+    });
+
+    // A value-range-relative bound of 1e-3: every reconstructed value is
+    // within 0.1% of the data's value range of the original.
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+
+    let compressed = codec.compress(&data).expect("compression");
+    let decompressed = codec.decompress(&compressed.bytes).expect("decompression");
+
+    let n_bytes = data.len() * 4;
+    let d = distortion(data.as_slice(), decompressed.data.as_slice()).unwrap();
+    println!("input:        {} ({:.1} MB)", shape, n_bytes as f64 / 1e6);
+    println!("archive:      {:.1} KB", compressed.bytes.len() as f64 / 1e3);
+    println!("ratio:        {:.1}x", compression_ratio(n_bytes, compressed.bytes.len()));
+    println!("PSNR:         {:.1} dB", d.psnr);
+    println!("max |error|:  {:.3e} (bound {:.3e})", d.max_abs_err, compressed.eb_abs);
+
+    assert_eq!(
+        check_error_bound(data.as_slice(), decompressed.data.as_slice(), compressed.eb_abs),
+        None,
+        "every element is within the bound"
+    );
+    println!("error bound verified on all {} elements", data.len());
+}

@@ -1,0 +1,73 @@
+//! Pick the right compressor for shipping a dataset between two
+//! supercomputers — the paper's § VII-C.5 case study as a library use
+//! case.
+//!
+//! Compares cuSZ-i against cuSZ and cuSZp for moving a cosmology field
+//! over a 1 GB/s Globus link at a target quality, using the roofline
+//! timing model for the codec costs.
+//!
+//! ```text
+//! cargo run --release --example transfer_planner
+//! ```
+
+use cuszi_repro::baselines::{with_bitcomp, Cusz, Cuszp};
+use cuszi_repro::core::{Codec, Config, CuszI};
+use cuszi_repro::datagen::{generate, DatasetKind, Scale};
+use cuszi_repro::gpu_sim::{TimingModel, A100};
+use cuszi_repro::metrics::distortion;
+use cuszi_repro::quant::ErrorBound;
+use cuszi_repro::transfer::Scenario;
+
+fn main() {
+    let ds = generate(DatasetKind::Nyx, Scale::Small, 42);
+    let field = &ds.fields[0];
+    let input = (field.data.len() * 4) as u64;
+    let link = Scenario::globus();
+    let model = TimingModel::new(A100);
+    let eb = ErrorBound::Rel(1e-3);
+
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(CuszI::new(Config::new(eb))),
+        Box::new(with_bitcomp(Cusz::new(eb, A100), A100)),
+        Box::new(with_bitcomp(Cuszp::new(eb, A100), A100)),
+    ];
+
+    println!(
+        "moving {:.1} MB of {} over a {} GB/s link at rel eb 1e-3\n",
+        input as f64 / 1e6,
+        field.name,
+        link.bandwidth_gbps
+    );
+    println!("codec               PSNR dB  archive KB  comp ms  xfer ms  decomp ms  total ms");
+    println!("--------------------------------------------------------------------------------");
+    let mut best: Option<(f64, String)> = None;
+    for codec in &codecs {
+        let (bytes, comp) = codec.compress_bytes(&field.data).expect("compress");
+        let (recon, decomp) = codec.decompress_bytes(&bytes).expect("decompress");
+        let psnr = distortion(field.data.as_slice(), recon.as_slice()).unwrap().psnr;
+        let cost = link.cost_from_kernels(
+            input,
+            bytes.len() as u64,
+            &model,
+            &comp.kernels,
+            &decomp.kernels,
+        );
+        println!(
+            "{:<18}  {:>7.1}  {:>10.1}  {:>7.2}  {:>7.2}  {:>9.2}  {:>8.2}",
+            codec.name(),
+            psnr,
+            bytes.len() as f64 / 1e3,
+            cost.compress_s * 1e3,
+            cost.transfer_s * 1e3,
+            cost.decompress_s * 1e3,
+            cost.total_s() * 1e3,
+        );
+        if best.as_ref().is_none_or(|(t, _)| cost.total_s() < *t) {
+            best = Some((cost.total_s(), codec.name().to_string()));
+        }
+    }
+    let raw_ms = link.uncompressed_s(input) * 1e3;
+    println!("uncompressed        {:>7}  {:>10.1}  {:>7}  {:>7.2}  {:>9}  {:>8.2}", "inf", input as f64 / 1e3, "-", raw_ms, "-", raw_ms);
+    let (t, name) = best.unwrap();
+    println!("\nwinner: {name} at {:.2} ms ({:.0}x faster than raw transfer)", t * 1e3, raw_ms / (t * 1e3));
+}

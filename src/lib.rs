@@ -1,0 +1,17 @@
+//! Umbrella crate for the cuSZ-i reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so examples and
+//! integration tests can depend on a single package. Downstream users
+//! would typically depend on [`cuszi_core`] directly.
+
+pub use cuszi_baselines as baselines;
+pub use cuszi_bitcomp as bitcomp;
+pub use cuszi_core as core;
+pub use cuszi_datagen as datagen;
+pub use cuszi_gpu_sim as gpu_sim;
+pub use cuszi_huffman as huffman;
+pub use cuszi_metrics as metrics;
+pub use cuszi_predict as predict;
+pub use cuszi_quant as quant;
+pub use cuszi_tensor as tensor;
+pub use cuszi_transfer as transfer;

@@ -1,0 +1,63 @@
+//! Adversarial decompression: every codec fed random bytes — with and
+//! without its own magic prefix — must return a typed error or (at
+//! worst) wrong data, never panic or explode memory.
+
+use cuszi_repro::baselines::{Cusz, Cuszp, Cuszx, Cuzfp, FzGpu, Qoz};
+use cuszi_repro::core::{Codec, Config, CuszI};
+use cuszi_repro::gpu_sim::A100;
+use cuszi_repro::quant::ErrorBound;
+use proptest::prelude::*;
+
+fn codecs() -> Vec<(&'static [u8; 4], Box<dyn Codec>)> {
+    let eb = ErrorBound::Rel(1e-3);
+    vec![
+        (b"CSZI", Box::new(CuszI::new(Config::new(eb)))),
+        (b"CUSZ", Box::new(Cusz::new(eb, A100))),
+        (b"CSZP", Box::new(Cuszp::new(eb, A100))),
+        (b"CSZX", Box::new(Cuszx::new(eb, A100))),
+        (b"FZGP", Box::new(FzGpu::new(eb, A100))),
+        (b"CZFP", Box::new(Cuzfp::new(4.0, A100))),
+        (b"QOZ_", Box::new(Qoz::new(eb))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_random_bytes_never_panic(
+        body in proptest::collection::vec(any::<u8>(), 0..4000),
+    ) {
+        for (magic, codec) in codecs() {
+            // Raw garbage.
+            let _ = codec.decompress_bytes(&body);
+            // Garbage wearing the right magic: exercises the header
+            // parser and section walkers past the first check.
+            let mut with_magic = magic.to_vec();
+            with_magic.extend_from_slice(&body);
+            let _ = codec.decompress_bytes(&with_magic);
+        }
+    }
+
+    #[test]
+    fn prop_header_mutations_never_panic(
+        mutations in proptest::collection::vec((0usize..120, any::<u8>()), 1..12),
+        seed in any::<u64>(),
+    ) {
+        // Take a real archive and mutate only the header region — the
+        // most security-sensitive bytes (they drive allocations).
+        use cuszi_repro::tensor::{NdArray, Shape};
+        let data = NdArray::from_fn(Shape::d3(8, 9, 10), |z, y, x| {
+            ((x + y + z) as f32 * (0.05 + (seed % 7) as f32 * 0.01)).sin()
+        });
+        for (_magic, codec) in codecs() {
+            let Ok((bytes, _)) = codec.compress_bytes(&data) else { continue };
+            let mut bad = bytes.clone();
+            for &(pos, val) in &mutations {
+                let i = pos % bad.len().min(120).max(1);
+                bad[i] = val;
+            }
+            let _ = codec.decompress_bytes(&bad);
+        }
+    }
+}

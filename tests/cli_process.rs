@@ -1,0 +1,88 @@
+//! Drive the actual `cuszi` binary as a subprocess — the outermost
+//! surface a user touches.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn binary() -> Option<PathBuf> {
+    // target/<profile>/cuszi next to the test executable.
+    let mut p = std::env::current_exe().ok()?;
+    p.pop(); // test binary name
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("cuszi");
+    p.exists().then_some(p)
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cuszi-proc-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn binary_roundtrip_and_error_paths() {
+    let Some(bin) = binary() else {
+        // The binary is only present when the whole workspace was built
+        // (cargo test --workspace); skip quietly under partial builds.
+        eprintln!("cuszi binary not built; skipping process-level test");
+        return;
+    };
+    let fin = workdir("in.f32");
+    let farc = workdir("a.cszi");
+    let fout = workdir("out.f32");
+
+    let vals: Vec<f32> = (0..8 * 10 * 12)
+        .map(|i| ((i % 12) as f32 * 0.2).sin() + (i / 120) as f32 * 0.05)
+        .collect();
+    let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    std::fs::write(&fin, &raw).unwrap();
+
+    // Happy path.
+    let out = Command::new(&bin)
+        .args(["compress", "-i"])
+        .arg(&fin)
+        .arg("-o")
+        .arg(&farc)
+        .args(["--dims", "8x10x12", "--rel-eb", "1e-3", "--verify"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified"));
+
+    let out = Command::new(&bin)
+        .args(["decompress", "-i"])
+        .arg(&farc)
+        .arg("-o")
+        .arg(&fout)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let recon = std::fs::read(&fout).unwrap();
+    assert_eq!(recon.len(), raw.len());
+
+    // Error paths exit nonzero with a message on stderr.
+    let out = Command::new(&bin)
+        .args(["compress", "-i"])
+        .arg(&fin)
+        .arg("-o")
+        .arg(&farc)
+        .args(["--dims", "9x10x12", "--rel-eb", "1e-3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("need"));
+
+    let out = Command::new(&bin).args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Help prints usage and exits zero.
+    let out = Command::new(&bin).args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    for f in [fin, farc, fout] {
+        let _ = std::fs::remove_file(f);
+    }
+}

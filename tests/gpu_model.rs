@@ -1,0 +1,113 @@
+//! Execution-model integration: invariants of the measured kernel
+//! traffic that the Fig. 9/10 timing results rest on. If these drift,
+//! the throughput reproduction is no longer trustworthy.
+
+use cuszi_repro::baselines::{Cusz, Cuszp};
+use cuszi_repro::core::{Codec, Config, CuszI};
+use cuszi_repro::datagen::{generate, DatasetKind, Scale};
+use cuszi_repro::gpu_sim::{KernelStats, TimingModel, A100};
+use cuszi_repro::quant::ErrorBound;
+
+fn total(kernels: &[KernelStats]) -> KernelStats {
+    kernels.iter().fold(KernelStats::default(), |acc, k| acc.merged(*k))
+}
+
+#[test]
+fn compression_reads_the_input_at_least_once_and_not_wildly_more() {
+    let ds = generate(DatasetKind::S3d, Scale::Small, 42);
+    let field = &ds.fields[0];
+    let input_bytes = (field.data.len() * 4) as u64;
+    let eb = ErrorBound::Rel(1e-3);
+
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(CuszI::new(Config::new(eb))),
+        Box::new(Cusz::new(eb, A100)),
+        Box::new(Cuszp::new(eb, A100)),
+    ];
+    for codec in codecs {
+        let (_, art) = codec.compress_bytes(&field.data).unwrap();
+        let t = total(&art.kernels);
+        assert!(
+            t.load_bytes >= input_bytes,
+            "{}: {} loaded < {} input",
+            codec.name(),
+            t.load_bytes,
+            input_bytes
+        );
+        // A compression pipeline is a handful of passes; two orders of
+        // magnitude more traffic than the input means an accounting bug.
+        assert!(
+            t.load_bytes < 20 * input_bytes,
+            "{}: {} loaded for {} input",
+            codec.name(),
+            t.load_bytes,
+            input_bytes
+        );
+    }
+}
+
+#[test]
+fn staged_tile_loads_keep_coalescing_high() {
+    // § V-D's whole point: the tile staging keeps DRAM access coalesced.
+    let ds = generate(DatasetKind::Miranda, Scale::Small, 42);
+    let field = &ds.fields[0];
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+    let (_, art) = codec.compress_bytes(&field.data).unwrap();
+    // Kernel 1 is the G-Interp tile kernel.
+    let interp = &art.kernels[1];
+    assert!(
+        interp.coalescing_efficiency() > 0.8,
+        "interp kernel coalescing {:.2}",
+        interp.coalescing_efficiency()
+    );
+    // Kernel 0 (anchor gather) is legitimately strided and must show it.
+    let anchors = &art.kernels[0];
+    assert!(
+        anchors.coalescing_efficiency() < 0.5,
+        "anchor gather should be penalised, got {:.2}",
+        anchors.coalescing_efficiency()
+    );
+}
+
+#[test]
+fn decompression_is_not_free_and_not_absurd() {
+    let ds = generate(DatasetKind::Nyx, Scale::Small, 42);
+    let field = &ds.fields[0];
+    let input_bytes = (field.data.len() * 4) as u64;
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+    let (bytes, _) = codec.compress_bytes(&field.data).unwrap();
+    let (_, art) = codec.decompress_bytes(&bytes).unwrap();
+    let t = total(&art.kernels);
+    // Must at least write the full reconstruction.
+    assert!(t.store_bytes >= input_bytes);
+    let model = TimingModel::new(A100);
+    let gbps = model.throughput_gbps(input_bytes, &art.kernels);
+    assert!(gbps > 5.0 && gbps < 2000.0, "decomp {gbps:.1} GB/s implausible");
+}
+
+#[test]
+fn timing_is_additive_over_kernels() {
+    let ds = generate(DatasetKind::Qmcpack, Scale::Small, 42);
+    let field = &ds.fields[0];
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-2)));
+    let (_, art) = codec.compress_bytes(&field.data).unwrap();
+    let model = TimingModel::new(A100);
+    let sum: f64 = art.kernels.iter().map(|k| model.kernel_time(k)).sum();
+    assert!((model.pipeline_time(&art.kernels) - sum).abs() < 1e-12);
+}
+
+#[test]
+fn barrier_phases_are_counted_for_the_interp_kernel() {
+    // 3 levels x 3 dims = 9 sweep phases + the staging barriers; the
+    // dependent-phase latency model keys off this.
+    let ds = generate(DatasetKind::Jhtdb, Scale::Small, 42);
+    let field = &ds.fields[0];
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-2)).without_bitcomp());
+    let (_, art) = codec.compress_bytes(&field.data).unwrap();
+    let interp = &art.kernels[1];
+    let per_block = interp.barriers as f64 / interp.blocks as f64;
+    assert!(
+        (9.0..=13.0).contains(&per_block),
+        "interp barriers/block {per_block:.1} outside the sweep-phase range"
+    );
+}

@@ -1,0 +1,104 @@
+//! Predictor-level property tests: the three predictor families must
+//! hold the error-bound contract over randomized shapes, fields and
+//! bounds — below the archive layer, where a seam bug would hide from
+//! the codec-level suites.
+
+use cuszi_repro::gpu_sim::A100;
+use cuszi_repro::predict::cpu_interp::{self, CpuInterpParams};
+use cuszi_repro::predict::tuning::InterpConfig;
+use cuszi_repro::predict::{ginterp, lorenzo};
+use cuszi_repro::tensor::{NdArray, Shape};
+use proptest::prelude::*;
+
+fn field_strategy() -> impl Strategy<Value = (NdArray<f32>, f64)> {
+    (
+        1usize..20,
+        1usize..20,
+        1usize..50,
+        0.02f32..0.4,
+        0.5f32..8.0,
+        1e-4f64..1e-1,
+        any::<u64>(),
+    )
+        .prop_map(|(nz, ny, nx, freq, amp, eb, seed)| {
+            let data = NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| {
+                let h = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((z * 8191 + y * 131 + x) as u64)
+                    .wrapping_mul(0x2545F4914F6CDD1D);
+                let noise = ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                amp * ((x as f32) * freq).sin()
+                    + amp * 0.5 * ((y as f32) * freq * 0.7).cos()
+                    + amp * 0.2 * (z as f32) * freq
+                    + noise * amp * 0.02
+            });
+            (data, eb)
+        })
+}
+
+fn assert_bounded(orig: &NdArray<f32>, recon: &NdArray<f32>, eb: f64, who: &str) {
+    for (i, (&a, &b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+        let diff = ((a as f64) - (b as f64)).abs();
+        assert!(
+            diff <= eb * (1.0 + 1e-6) + (a.abs() as f64) * f64::from(f32::EPSILON),
+            "{who} idx {i}: |{a} - {b}| = {diff} > {eb}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn prop_ginterp_roundtrip((data, eb) in field_strategy()) {
+        let cfg = InterpConfig::untuned(3);
+        let out = ginterp::compress(&data, eb, 512, &cfg, &A100);
+        let (recon, _) = ginterp::decompress(
+            &out.codes, &out.anchors, &out.outliers, data.shape(), eb, 512, &cfg, &A100,
+        );
+        assert_bounded(&data, &recon, eb, "ginterp");
+    }
+
+    #[test]
+    fn prop_ginterp_random_geometry(
+        (data, eb) in field_strategy(),
+        stride_pow in 1u32..5,
+    ) {
+        let geom = ginterp::Geometry::with_anchor_stride(3, 1usize << stride_pow);
+        let cfg = InterpConfig::untuned(3);
+        let out = ginterp::compress_with(geom, &data, eb, 512, &cfg, &A100);
+        let (recon, _) = ginterp::decompress_with(
+            geom, &out.codes, &out.anchors, &out.outliers, data.shape(), eb, 512, &cfg, &A100,
+        );
+        assert_bounded(&data, &recon, eb, "ginterp-geom");
+    }
+
+    #[test]
+    fn prop_lorenzo_roundtrip((data, eb) in field_strategy()) {
+        let out = lorenzo::compress(&data, eb, 512, &A100);
+        let (recon, _) = lorenzo::decompress(&out.codes, &out.outliers, data.shape(), eb, 512, &A100);
+        assert_bounded(&data, &recon, eb, "lorenzo");
+    }
+
+    #[test]
+    fn prop_cpu_interp_roundtrip((data, eb) in field_strategy()) {
+        let cfg = InterpConfig::untuned(3);
+        let params = CpuInterpParams::qoz();
+        let out = cpu_interp::compress(&data, eb, 512, &cfg, params);
+        let recon = cpu_interp::decompress(
+            &out.codes, &out.anchors, &out.outliers, data.shape(), eb, 512, &cfg, params,
+        );
+        assert_bounded(&data, &recon, eb, "cpu_interp");
+    }
+
+    #[test]
+    fn prop_ginterp_codes_cover_alphabet((data, eb) in field_strategy()) {
+        let out = ginterp::compress(&data, eb, 512, &InterpConfig::untuned(3), &A100);
+        assert_eq!(out.codes.len(), data.len());
+        assert!(out.codes.iter().all(|&c| (c as usize) < 1024));
+        // Every outlier index points at a real element with code 0.
+        for &i in out.outliers.indices() {
+            assert_eq!(out.codes[i as usize], 0, "outlier without outlier code");
+        }
+    }
+}

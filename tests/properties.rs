@@ -1,0 +1,118 @@
+//! Property-based integration tests: the error-bound contract and
+//! corrupt-input robustness under randomised inputs.
+
+use cuszi_repro::baselines::{Cusz, Cuszp, Cuszx, FzGpu};
+use cuszi_repro::core::{Codec, Config, CuszI};
+use cuszi_repro::metrics::check_error_bound_f32;
+use cuszi_repro::quant::ErrorBound;
+use cuszi_repro::gpu_sim::A100;
+use cuszi_repro::tensor::{NdArray, Shape};
+use proptest::prelude::*;
+
+/// Random small 3-d fields mixing smooth structure and noise.
+fn field_strategy() -> impl Strategy<Value = NdArray<f32>> {
+    (
+        2usize..14,
+        2usize..14,
+        2usize..40,
+        -5.0f32..5.0,
+        0.01f32..2.0,
+        0.0f32..0.5,
+        any::<u64>(),
+    )
+        .prop_map(|(nz, ny, nx, base, amp, noise, seed)| {
+            NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| {
+                let h = (seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((z * 131071 + y * 8191 + x) as u64))
+                .wrapping_mul(0x2545F4914F6CDD1D);
+                let n = ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                base + amp * ((x as f32) * 0.2 + (y as f32) * 0.1).sin()
+                    + amp * 0.3 * ((z as f32) * 0.15).cos()
+                    + noise * n
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_cuszi_error_bounded(data in field_strategy(), rel in 1e-4f64..1e-1) {
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(rel)));
+        let c = codec.compress(&data).unwrap();
+        let d = codec.decompress(&c.bytes).unwrap();
+        prop_assert_eq!(
+            cuszi_repro::metrics::check_error_bound(
+                data.as_slice(), d.data.as_slice(), c.eb_abs),
+            None
+        );
+    }
+
+    #[test]
+    fn prop_baselines_error_bounded(data in field_strategy(), rel in 1e-4f64..1e-1) {
+        let eb = ErrorBound::Rel(rel);
+        let range = {
+            let s = data.as_slice();
+            let (mn, mx) = s.iter().fold((f32::INFINITY, f32::NEG_INFINITY),
+                |(a, b), &v| (a.min(v), b.max(v)));
+            (mx - mn) as f64
+        };
+        prop_assume!(range > 0.0);
+        let abs = rel * range;
+        let codecs: Vec<Box<dyn Codec>> = vec![
+            Box::new(Cusz::new(eb, A100)),
+            Box::new(Cuszp::new(eb, A100)),
+            Box::new(Cuszx::new(eb, A100)),
+            Box::new(FzGpu::new(eb, A100)),
+        ];
+        for codec in codecs {
+            let (bytes, _) = codec.compress_bytes(&data).unwrap();
+            let (recon, _) = codec.decompress_bytes(&bytes).unwrap();
+            prop_assert_eq!(
+                check_error_bound_f32(data.as_slice(), recon.as_slice(), abs),
+                None,
+                "{} violated the bound", codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_corrupt_archives_never_panic(
+        data in field_strategy(),
+        flips in proptest::collection::vec((0usize..10_000, any::<u8>()), 1..20),
+        cut in 0usize..10_000,
+    ) {
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-2)));
+        let c = codec.compress(&data).unwrap();
+        // Bit flips anywhere in the archive.
+        let mut bad = c.bytes.clone();
+        for (pos, mask) in flips {
+            let i = pos % bad.len();
+            bad[i] ^= mask;
+        }
+        let _ = codec.decompress(&bad); // Ok or Err — never panic.
+        // Truncation anywhere.
+        let cut = cut % (c.bytes.len() + 1);
+        let _ = codec.decompress(&c.bytes[..cut]);
+    }
+
+    #[test]
+    fn prop_1d_and_2d_shapes(n in 2usize..600, rel in 1e-3f64..1e-1) {
+        let d1 = NdArray::from_fn(Shape::d1(n), |_, _, x| ((x as f32) * 0.1).sin());
+        let d2 = NdArray::from_fn(Shape::d2(n / 2 + 2, 17), |_, y, x| {
+            ((x + y) as f32 * 0.07).cos()
+        });
+        for data in [d1, d2] {
+            let codec = CuszI::new(Config::new(ErrorBound::Rel(rel)));
+            let c = codec.compress(&data).unwrap();
+            let d = codec.decompress(&c.bytes).unwrap();
+            prop_assert_eq!(d.data.shape(), data.shape());
+            prop_assert_eq!(
+                cuszi_repro::metrics::check_error_bound(
+                    data.as_slice(), d.data.as_slice(), c.eb_abs.max(1e-12)),
+                None
+            );
+        }
+    }
+}
