@@ -8,8 +8,8 @@
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
 use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
 use cuszi_quant::{prequant_reconstruct, prequantize, ErrorBound};
+use cuszi_gpu_sim::BlockSlots;
 use cuszi_tensor::NdArray;
-use parking_lot::Mutex;
 
 use crate::common::{next_section, push_section, read_header, resolve_eb, write_header};
 
@@ -119,9 +119,8 @@ impl Codec for Cuszp {
         // Fused single pass (cuSZp's design): each thread block encodes
         // its blocks into a local buffer; a host-side concatenation
         // (prefix sum in the CUDA original) assembles the archive.
-        // (thread-block id, encoded bytes, per-block lengths)
-        type TbPart = (usize, Vec<u8>, Vec<u32>);
-        let parts: Mutex<Vec<TbPart>> = Mutex::new(Vec::new());
+        // Per-thread-block slot: (encoded bytes, per-block lengths).
+        let parts: BlockSlots<(Vec<u8>, Vec<u32>)> = BlockSlots::new(ntb);
         let stats = {
             let src = GlobalRead::new(&r);
             launch(&self.device, Grid::linear(ntb as u32, 256), |ctx| {
@@ -136,7 +135,7 @@ impl Codec for Cuszp {
                 for b in bstart..bend {
                     let start = b * BLOCK;
                     let end = (start + BLOCK).min(r.len());
-                    let mut buf = vec![0i32; end - start];
+                    let mut buf = ctx.scratch(end - start, 0i32);
                     ctx.read_span(&src, start, &mut buf);
                     ctx.add_flops(buf.len() as u64 * 3);
                     let before = local.len();
@@ -148,15 +147,14 @@ impl Codec for Cuszp {
                 // a device prefix-sum); leaving it unbilled slightly
                 // favours this baseline's modelled throughput, which is
                 // conservative for every cuSZ-i comparison.
-                parts.lock().push((tb, local, lens));
+                parts.put(tb, (local, lens));
             })
         };
-        let mut parts = parts.into_inner();
-        parts.sort_by_key(|(tb, _, _)| *tb);
+        let parts = parts.into_compact();
 
         let mut lens: Vec<u32> = Vec::with_capacity(nblocks);
         let mut payload = Vec::new();
-        for (_, body, l) in parts {
+        for (body, l) in parts {
             payload.extend_from_slice(&body);
             lens.extend_from_slice(&l);
         }
@@ -197,8 +195,8 @@ impl Codec for Cuszp {
         }
 
         let mut r = vec![0i32; n];
-        let failed: Mutex<Option<CuszError>> = Mutex::new(None);
         let ntb = nblocks.div_ceil(BLOCKS_PER_TB).max(1);
+        let failed: BlockSlots<CuszError> = BlockSlots::new(ntb);
         let stats = {
             let src = GlobalRead::new(payload);
             let dst = GlobalWrite::new(&mut r);
@@ -209,7 +207,7 @@ impl Codec for Cuszp {
                 for b in bstart..bend {
                     let start = offsets[b];
                     let len = lens[b] as usize;
-                    let mut buf = vec![0u8; len];
+                    let mut buf = ctx.scratch(len, 0u8);
                     ctx.read_span(&src, start, &mut buf);
                     let elems = BLOCK.min(n - b * BLOCK);
                     match decode_block(&buf, elems) {
@@ -218,14 +216,14 @@ impl Codec for Cuszp {
                             ctx.write_span(&dst, b * BLOCK, &vals);
                         }
                         Err(e) => {
-                            *failed.lock() = Some(e);
+                            failed.put(tb, e);
                             return;
                         }
                     }
                 }
             })
         };
-        if let Some(e) = failed.into_inner() {
+        if let Some(e) = failed.into_first() {
             return Err(e);
         }
         let vals = prequant_reconstruct(&r, eb);

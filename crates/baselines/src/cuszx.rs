@@ -9,8 +9,8 @@
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
 use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
 use cuszi_quant::ErrorBound;
+use cuszi_gpu_sim::BlockSlots;
 use cuszi_tensor::NdArray;
-use parking_lot::Mutex;
 
 use crate::common::{next_section, push_section, read_header, resolve_eb, write_header};
 
@@ -140,7 +140,7 @@ impl Codec for Cuszx {
         let eb = resolve_eb(data, self.eb)?;
         let n = data.len();
         let nblocks = n.div_ceil(BLOCK);
-        let parts: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::new());
+        let parts: BlockSlots<Vec<u8>> = BlockSlots::new(nblocks.max(1));
         let stats = {
             let src = GlobalRead::new(data.as_slice());
             launch(&self.device, Grid::linear(nblocks.max(1) as u32, 256), |ctx| {
@@ -150,19 +150,18 @@ impl Codec for Cuszx {
                     return;
                 }
                 let end = (start + BLOCK).min(n);
-                let mut buf = vec![0f32; end - start];
+                let mut buf = ctx.scratch(end - start, 0f32);
                 ctx.read_span(&src, start, &mut buf);
                 ctx.add_flops(buf.len() as u64 * 4);
                 let mut body = Vec::new();
                 encode_block(&buf, eb, &mut body);
-                parts.lock().push((b, body));
+                parts.put(b, body);
             })
         };
-        let mut parts = parts.into_inner();
-        parts.sort_by_key(|(b, _)| *b);
+        let parts = parts.into_compact();
         let lens: Vec<u8> =
-            parts.iter().flat_map(|(_, p)| (p.len() as u32).to_le_bytes()).collect();
-        let payload: Vec<u8> = parts.into_iter().flat_map(|(_, p)| p).collect();
+            parts.iter().flat_map(|p| (p.len() as u32).to_le_bytes()).collect();
+        let payload: Vec<u8> = parts.into_iter().flatten().collect();
         let mut out = write_header(MAGIC, data.shape(), eb);
         push_section(&mut out, &lens);
         push_section(&mut out, &payload);
@@ -197,25 +196,25 @@ impl Codec for Cuszx {
             return Err(CuszError::CorruptArchive("cuszx payload length mismatch"));
         }
         let mut out = vec![0f32; n];
-        let failed: Mutex<Option<CuszError>> = Mutex::new(None);
+        let failed: BlockSlots<CuszError> = BlockSlots::new(nblocks);
         let stats = {
             let src = GlobalRead::new(payload);
             let dst = GlobalWrite::new(&mut out);
             launch(&self.device, Grid::linear(nblocks as u32, 256), |ctx| {
                 let b = ctx.block_linear() as usize;
                 let elems = BLOCK.min(n - b * BLOCK);
-                let mut buf = vec![0u8; lens[b] as usize];
+                let mut buf = ctx.scratch(lens[b] as usize, 0u8);
                 ctx.read_span(&src, offsets[b], &mut buf);
                 match decode_block(&buf, elems, eb) {
                     Ok(vals) => {
                         ctx.add_flops(vals.len() as u64 * 2);
                         ctx.write_span(&dst, b * BLOCK, &vals);
                     }
-                    Err(e) => *failed.lock() = Some(e),
+                    Err(e) => failed.put(b, e),
                 }
             })
         };
-        if let Some(e) = failed.into_inner() {
+        if let Some(e) = failed.into_first() {
             return Err(e);
         }
         Ok((NdArray::from_vec(shape, out), CodecArtifacts { kernels: vec![stats] }))

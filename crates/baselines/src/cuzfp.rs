@@ -15,8 +15,8 @@
 
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
 use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
+use cuszi_gpu_sim::BlockSlots;
 use cuszi_tensor::{NdArray, Shape};
-use parking_lot::Mutex;
 
 use crate::common::{read_header, write_header};
 
@@ -304,7 +304,7 @@ impl Codec for Cuzfp {
                         }
                     }
                 }
-                let mut vals = vec![0f32; elems];
+                let mut vals = ctx.scratch(elems, 0f32);
                 ctx.read_gather(&src, &idx, &mut vals);
                 ctx.add_flops(elems as u64 * 12);
                 let enc = encode_block(&vals, rank, self.rate);
@@ -341,7 +341,7 @@ impl Codec for Cuzfp {
         let (origins, _) = block_grid(shape);
 
         let mut out = vec![0f32; shape.len()];
-        let failed: Mutex<Option<CuszError>> = Mutex::new(None);
+        let failed: BlockSlots<CuszError> = BlockSlots::new(origins.len().max(1));
         let stats = {
             let src = GlobalRead::new(payload);
             let dst = GlobalWrite::new(&mut out);
@@ -350,12 +350,12 @@ impl Codec for Cuzfp {
                 if b >= origins.len() {
                     return;
                 }
-                let mut buf = vec![0u8; bbytes];
+                let mut buf = ctx.scratch(bbytes, 0u8);
                 ctx.read_span(&src, b * bbytes, &mut buf);
                 let vals = match decode_block(&buf, rank, rate) {
                     Ok(v) => v,
                     Err(e) => {
-                        *failed.lock() = Some(e);
+                        failed.put(b, e);
                         return;
                     }
                 };
@@ -378,7 +378,7 @@ impl Codec for Cuzfp {
                 ctx.write_scatter(&dst, &idx, &v);
             })
         };
-        if let Some(e) = failed.into_inner() {
+        if let Some(e) = failed.into_first() {
             return Err(e);
         }
         Ok((NdArray::from_vec(shape, out), CodecArtifacts { kernels: vec![stats] }))

@@ -8,8 +8,8 @@ use cuszi_core::{Codec, CodecArtifacts, CuszError};
 use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
 use cuszi_predict::lorenzo;
 use cuszi_quant::{ErrorBound, OUTLIER_CODE};
+use cuszi_gpu_sim::BlockSlots;
 use cuszi_tensor::NdArray;
-use parking_lot::Mutex;
 
 use crate::common::{
     next_section, push_outliers, push_section, read_header, read_outliers, resolve_eb,
@@ -158,10 +158,10 @@ impl Codec for FzGpu {
                     return;
                 }
                 let end = (start + TILE).min(zz.len());
-                let mut buf = vec![0u16; end - start];
-                ctx.read_span(&src, start, &mut buf);
-                // Pad partial tiles to full geometry for a uniform layout.
-                buf.resize(TILE, 0);
+                // Padded to full tile geometry up front for a uniform
+                // layout; the span load fills the leading `end - start`.
+                let mut buf = ctx.scratch(TILE, 0u16);
+                ctx.read_span(&src, start, &mut buf[..end - start]);
                 let planes = bitshuffle(&buf);
                 ctx.add_flops(buf.len() as u64 * 16);
                 ctx.write_span(&dst, t * tile_out_len, &planes);
@@ -170,9 +170,8 @@ impl Codec for FzGpu {
         kernels.push(sstats);
 
         // Dedup (host assembly of per-tile kernel outputs).
-        // (tile id, bitmap, non-zero words)
-        type TilePart = (usize, Vec<u8>, Vec<u8>);
-        let parts: Mutex<Vec<TilePart>> = Mutex::new(Vec::new());
+        // Per-tile slot: (bitmap, non-zero words).
+        let parts: BlockSlots<(Vec<u8>, Vec<u8>)> = BlockSlots::new(ntiles.max(1));
         let dstats = {
             let src = GlobalRead::new(&shuffled);
             launch(&self.device, Grid::linear(ntiles.max(1) as u32, 256), |ctx| {
@@ -181,21 +180,20 @@ impl Codec for FzGpu {
                 if start >= shuffled.len() {
                     return;
                 }
-                let mut buf = vec![0u8; tile_out_len];
+                let mut buf = ctx.scratch(tile_out_len, 0u8);
                 ctx.read_span(&src, start, &mut buf);
                 let (bitmap, words) = dedup(&buf);
                 ctx.add_flops(buf.len() as u64);
-                parts.lock().push((t, bitmap, words));
+                parts.put(t, (bitmap, words));
             })
         };
         kernels.push(dstats);
-        let mut parts = parts.into_inner();
-        parts.sort_by_key(|(t, _, _)| *t);
+        let parts = parts.into_compact();
 
         let mut bitmap_all = Vec::new();
         let mut words_all = Vec::new();
         let mut word_lens = Vec::with_capacity(ntiles);
-        for (_, bm, w) in parts {
+        for (bm, w) in parts {
             bitmap_all.extend_from_slice(&bm);
             word_lens.push(w.len() as u32);
             words_all.extend_from_slice(&w);
@@ -245,7 +243,7 @@ impl Codec for FzGpu {
         }
 
         let mut codes = vec![0u16; n];
-        let failed: Mutex<Option<CuszError>> = Mutex::new(None);
+        let failed: BlockSlots<CuszError> = BlockSlots::new(ntiles.max(1));
         let stats = {
             let bsrc = GlobalRead::new(bitmap_all);
             let wsrc = GlobalRead::new(words_all);
@@ -255,15 +253,15 @@ impl Codec for FzGpu {
                 if t * TILE >= n {
                     return;
                 }
-                let mut bm = vec![0u8; tile_bitmap_len];
+                let mut bm = ctx.scratch(tile_bitmap_len, 0u8);
                 ctx.read_span(&bsrc, t * tile_bitmap_len, &mut bm);
                 let wl = word_lens[t] as usize;
-                let mut w = vec![0u8; wl];
+                let mut w = ctx.scratch(wl, 0u8);
                 ctx.read_span(&wsrc, word_offsets[t], &mut w);
                 let planes = match undedup(&bm, &w, tile_out_len) {
                     Ok(p) => p,
                     Err(e) => {
-                        *failed.lock() = Some(e);
+                        failed.put(t, e);
                         return;
                     }
                 };
@@ -275,11 +273,11 @@ impl Codec for FzGpu {
                         ctx.add_flops(elems as u64 * 16);
                         ctx.write_span(&dst, t * TILE, &decoded);
                     }
-                    Err(e) => *failed.lock() = Some(e),
+                    Err(e) => failed.put(t, e),
                 }
             })
         };
-        if let Some(e) = failed.into_inner() {
+        if let Some(e) = failed.into_first() {
             return Err(e);
         }
         let mut kernels = vec![stats];

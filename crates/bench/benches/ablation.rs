@@ -1,9 +1,11 @@
-//! Criterion ablation benches over cuSZ-i's design choices
-//! (DESIGN.md § 4): auto-tuning on/off, Bitcomp on/off, histogram
-//! top-k width, and cubic spline variant — measuring the *cost* of each
-//! choice (its CR/quality effect is `exp_ablation`'s job).
+//! Ablation benches over cuSZ-i's design choices (DESIGN.md § 4):
+//! auto-tuning on/off, Bitcomp on/off, histogram top-k width, and cubic
+//! spline variant — measuring the *cost* of each choice (its CR/quality
+//! effect is `exp_ablation`'s job).
+//!
+//! Quick mode: `CUSZI_BENCH_QUICK=1 cargo bench --bench ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuszi_bench::timing::{section, Bench};
 use cuszi_core::{Config, CuszI};
 use cuszi_datagen::{generate, DatasetKind, Scale};
 use cuszi_gpu_sim::A100;
@@ -14,17 +16,16 @@ use cuszi_predict::tuning::{profile_and_tune, InterpConfig};
 use cuszi_quant::ErrorBound;
 use cuszi_tensor::stats::ValueRange;
 
-fn ablation_benches(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_env();
     let ds = generate(DatasetKind::Nyx, Scale::Small, 42);
     let field = &ds.fields[0].data;
-    let bytes = (field.len() * 4) as u64;
+    let bytes = Some((field.len() * 4) as u64);
     let eb = ErrorBound::Rel(1e-3);
     let range = ValueRange::of(field.as_slice()).unwrap().range() as f64;
     let abs_eb = 1e-3 * range;
 
-    let mut g = c.benchmark_group("pipeline_variants");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(bytes));
+    section("pipeline_variants (Nyx-small, eb 1e-3)");
     let variants: Vec<(&str, Config)> = vec![
         ("full", Config::new(eb)),
         ("no_bitcomp", Config::new(eb).without_bitcomp()),
@@ -32,31 +33,20 @@ fn ablation_benches(c: &mut Criterion) {
     ];
     for (name, cfg) in variants {
         let codec = CuszI::new(cfg);
-        g.bench_function(name, |b| b.iter(|| codec.compress(field).unwrap()));
+        b.run(name, bytes, || codec.compress(field).unwrap());
     }
     // The profiling kernel alone must be "lightweight" (§ V-C).
-    g.bench_function("profiling_kernel_only", |b| b.iter(|| profile_and_tune(field, 1e-3)));
-    g.finish();
+    b.run("profiling_kernel_only", bytes, || profile_and_tune(field, 1e-3));
 
+    section("histogram_topk");
     let gi = ginterp::compress(field, abs_eb, 512, &InterpConfig::untuned(3), &A100);
-    let mut g = c.benchmark_group("histogram_topk");
-    g.sample_size(10);
     for k in [0usize, 1, 8, 32, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| histogram_gpu(&gi.codes, 1024, 512, k, &A100))
-        });
+        b.run(&format!("k={k}"), bytes, || histogram_gpu(&gi.codes, 1024, 512, k, &A100));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("spline_variant");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(bytes));
+    section("spline_variant");
     for (name, v) in [("notaknot", CubicVariant::NotAKnot), ("natural", CubicVariant::Natural)] {
         let cfg = InterpConfig { variants: [v; 3], ..InterpConfig::untuned(3) };
-        g.bench_function(name, |b| b.iter(|| ginterp::compress(field, abs_eb, 512, &cfg, &A100)));
+        b.run(name, bytes, || ginterp::compress(field, abs_eb, 512, &cfg, &A100));
     }
-    g.finish();
 }
-
-criterion_group!(benches, ablation_benches);
-criterion_main!(benches);

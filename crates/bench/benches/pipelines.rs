@@ -1,19 +1,22 @@
-//! Criterion end-to-end benches: every codec's full compress and
+//! End-to-end wall-clock benches: every codec's full compress and
 //! decompress on a representative field (the wall-clock counterpart of
 //! the Fig. 9 table; one bench per Table III column plus cuZFP and the
 //! QoZ CPU reference).
+//!
+//! Quick mode: `CUSZI_BENCH_QUICK=1 cargo bench --bench pipelines`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cuszi_baselines::{Cusz, Cuszp, Cuszx, Cuzfp, FzGpu, Qoz};
+use cuszi_bench::timing::{section, Bench};
 use cuszi_core::{Codec, Config, CuszI};
 use cuszi_datagen::{generate, DatasetKind, Scale};
 use cuszi_gpu_sim::A100;
 use cuszi_quant::ErrorBound;
 
-fn pipeline_benches(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_env();
     let ds = generate(DatasetKind::S3d, Scale::Small, 42);
     let field = &ds.fields[0].data;
-    let bytes = (field.len() * 4) as u64;
+    let bytes = Some((field.len() * 4) as u64);
     let eb = ErrorBound::Rel(1e-3);
 
     let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
@@ -27,23 +30,14 @@ fn pipeline_benches(c: &mut Criterion) {
         ("qoz_cpu", Box::new(Qoz::new(eb))),
     ];
 
-    let mut g = c.benchmark_group("compress");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(bytes));
+    section("compress (S3D-small, eb 1e-3)");
     for (name, codec) in &codecs {
-        g.bench_function(*name, |b| b.iter(|| codec.compress_bytes(field).unwrap()));
+        b.run(name, bytes, || codec.compress_bytes(field).unwrap());
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("decompress");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(bytes));
+    section("decompress");
     for (name, codec) in &codecs {
         let (archive, _) = codec.compress_bytes(field).unwrap();
-        g.bench_function(*name, |b| b.iter(|| codec.decompress_bytes(&archive).unwrap()));
+        b.run(name, bytes, || codec.decompress_bytes(&archive).unwrap());
     }
-    g.finish();
 }
-
-criterion_group!(benches, pipeline_benches);
-criterion_main!(benches);

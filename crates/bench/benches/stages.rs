@@ -1,7 +1,9 @@
-//! Criterion wall-clock benches of each pipeline stage (the per-kernel
+//! Wall-clock benches of each pipeline stage (the per-kernel
 //! complement of the modelled Fig. 9 throughputs).
+//!
+//! Quick mode: `CUSZI_BENCH_QUICK=1 cargo bench --bench stages`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuszi_bench::timing::{section, Bench};
 use cuszi_datagen::{generate, DatasetKind, Scale};
 use cuszi_gpu_sim::A100;
 use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook};
@@ -9,57 +11,39 @@ use cuszi_predict::tuning::InterpConfig;
 use cuszi_predict::{ginterp, lorenzo};
 use cuszi_tensor::stats::ValueRange;
 
-fn stage_benches(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_env();
     let ds = generate(DatasetKind::Miranda, Scale::Small, 42);
     let field = &ds.fields[0].data;
-    let bytes = (field.len() * 4) as u64;
+    let bytes = Some((field.len() * 4) as u64);
     let range = ValueRange::of(field.as_slice()).unwrap().range() as f64;
     let eb = 1e-3 * range;
     let cfg = InterpConfig::untuned(3);
 
-    let mut g = c.benchmark_group("predictors");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(bytes));
-    g.bench_function("ginterp_compress", |b| {
-        b.iter(|| ginterp::compress(field, eb, 512, &cfg, &A100))
-    });
-    g.bench_function("lorenzo_compress", |b| b.iter(|| lorenzo::compress(field, eb, 512, &A100)));
+    section("predictors (Miranda-small, eb 1e-3)");
+    b.run("ginterp_compress", bytes, || ginterp::compress(field, eb, 512, &cfg, &A100));
+    b.run("lorenzo_compress", bytes, || lorenzo::compress(field, eb, 512, &A100));
     let gi = ginterp::compress(field, eb, 512, &cfg, &A100);
-    g.bench_function("ginterp_decompress", |b| {
-        b.iter(|| {
-            ginterp::decompress(
-                &gi.codes, &gi.anchors, &gi.outliers, field.shape(), eb, 512, &cfg, &A100,
-            )
-        })
+    b.run("ginterp_decompress", bytes, || {
+        ginterp::decompress(&gi.codes, &gi.anchors, &gi.outliers, field.shape(), eb, 512, &cfg, &A100)
     });
     let lo = lorenzo::compress(field, eb, 512, &A100);
-    g.bench_function("lorenzo_decompress", |b| {
-        b.iter(|| lorenzo::decompress(&lo.codes, &lo.outliers, field.shape(), eb, 512, &A100))
+    b.run("lorenzo_decompress", bytes, || {
+        lorenzo::decompress(&lo.codes, &lo.outliers, field.shape(), eb, 512, &A100)
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("lossless");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(bytes));
+    section("lossless");
     for k in [0usize, 32] {
-        g.bench_with_input(BenchmarkId::new("histogram_topk", k), &k, |b, &k| {
-            b.iter(|| histogram_gpu(&gi.codes, 1024, 512, k, &A100))
-        });
+        b.run(&format!("histogram_topk/{k}"), bytes, || histogram_gpu(&gi.codes, 1024, 512, k, &A100));
     }
     let (hist, _) = histogram_gpu(&gi.codes, 1024, 512, 32, &A100);
     let book = Codebook::from_histogram(&hist).unwrap();
-    g.bench_function("codebook_build_cpu", |b| b.iter(|| Codebook::from_histogram(&hist)));
-    g.bench_function("huffman_encode", |b| b.iter(|| encode_gpu(&gi.codes, &book, &A100)));
+    b.run("codebook_build_cpu", bytes, || Codebook::from_histogram(&hist));
+    b.run("huffman_encode", bytes, || encode_gpu(&gi.codes, &book, &A100));
     let (stream, _) = encode_gpu(&gi.codes, &book, &A100);
-    g.bench_function("huffman_decode", |b| b.iter(|| decode_gpu(&stream, &book, &A100)));
+    b.run("huffman_decode", bytes, || decode_gpu(&stream, &book, &A100));
     let payload = stream.to_bytes();
-    g.bench_function("bitcomp_compress", |b| b.iter(|| cuszi_bitcomp::compress(&payload, &A100)));
+    b.run("bitcomp_compress", bytes, || cuszi_bitcomp::compress(&payload, &A100));
     let (packed, _) = cuszi_bitcomp::compress(&payload, &A100);
-    g.bench_function("bitcomp_decompress", |b| {
-        b.iter(|| cuszi_bitcomp::decompress(&packed, &A100))
-    });
-    g.finish();
+    b.run("bitcomp_decompress", bytes, || cuszi_bitcomp::decompress(&packed, &A100));
 }
-
-criterion_group!(benches, stage_benches);
-criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Host wall-clock throughput of the execution substrate.
+//!
+//! Unlike the `exp_fig9` *modelled* GPU throughputs, this measures how
+//! fast the CPU-resident kernel substrate actually runs: end-to-end
+//! compress/decompress MB/s for cuSZ-i and the Table III baselines on
+//! all six synthetic datasets, plus a per-stage breakdown of the cuSZ-i
+//! pipeline. Results go to a JSON report (default `BENCH_1.json`) so
+//! successive commits can be diffed.
+//!
+//! Usage: `exp_hostperf [--paper] [--seed N] [--out PATH]`
+//! Env: `CUSZI_BENCH_QUICK=1` / `CUSZI_BENCH_SAMPLES=N` (see
+//! `cuszi_bench::timing`).
+
+use cuszi_bench::timing::{section, Bench, Measurement};
+use cuszi_bench::{codec_roster, parse_args};
+use cuszi_core::Config;
+use cuszi_datagen::{generate, DatasetKind};
+use cuszi_gpu_sim::A100;
+use cuszi_huffman::{encode_gpu, histogram_gpu, Codebook};
+use cuszi_predict::ginterp;
+use cuszi_predict::tuning::InterpConfig;
+use cuszi_quant::ErrorBound;
+use cuszi_tensor::stats::ValueRange;
+
+const REL_EB: f64 = 1e-3;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn stage_json(m: &Measurement) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ms\":{:.4},\"mbps\":{:.2}}}",
+        json_escape(&m.name),
+        m.min_s * 1e3,
+        m.mbps().unwrap_or(0.0)
+    )
+}
+
+/// Per-stage host timings of the cuSZ-i pipeline on one field.
+fn cuszi_stages(b: &Bench, field: &cuszi_tensor::NdArray<f32>) -> Vec<Measurement> {
+    let bytes = Some((field.len() * 4) as u64);
+    let range = ValueRange::of(field.as_slice()).unwrap().range() as f64;
+    let eb = REL_EB * range;
+    let cfg = InterpConfig::untuned(field.shape().rank().min(3));
+    let mut out = Vec::new();
+    out.push(b.run("predict_ginterp", bytes, || ginterp::compress(field, eb, 512, &cfg, &A100)));
+    let gi = ginterp::compress(field, eb, 512, &cfg, &A100);
+    out.push(b.run("histogram", bytes, || histogram_gpu(&gi.codes, 1024, 512, 32, &A100)));
+    let (hist, _) = histogram_gpu(&gi.codes, 1024, 512, 32, &A100);
+    let book = Codebook::from_histogram(&hist).unwrap();
+    out.push(b.run("codebook_cpu", bytes, || Codebook::from_histogram(&hist)));
+    out.push(b.run("huffman_encode", bytes, || encode_gpu(&gi.codes, &book, &A100)));
+    let (stream, _) = encode_gpu(&gi.codes, &book, &A100);
+    let payload = stream.to_bytes();
+    out.push(b.run("bitcomp", bytes, || cuszi_bitcomp::compress(&payload, &A100)));
+    out
+}
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let mut out_path = String::from("BENCH_1.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                out_path = p;
+            }
+        }
+    }
+
+    let b = Bench::from_env();
+    println!(
+        "host-perf: scale {scale:?}, seed {seed}, {} samples -> {out_path}",
+        b.samples
+    );
+
+    let mut ds_json = Vec::new();
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, scale, seed);
+        // One representative field per dataset bounds total runtime.
+        let field = &ds.fields[0];
+        let nbytes = (field.data.len() * 4) as u64;
+        section(&format!("{} / {} ({} MB)", kind.name(), field.name, nbytes / 1_000_000));
+
+        let mut codec_json = Vec::new();
+        let mut roster = codec_roster(REL_EB, A100, false);
+        // Swap cuSZ-i for its full pipeline (with Bitcomp), the
+        // configuration whose host cost we are optimizing.
+        let ours = cuszi_core::CuszI::new(Config::new(ErrorBound::Rel(REL_EB)));
+        roster.last_mut().unwrap().codec = Box::new(ours);
+        for entry in &roster {
+            let c = b.run(
+                &format!("{} compress", entry.label),
+                Some(nbytes),
+                || entry.codec.compress_bytes(&field.data).unwrap(),
+            );
+            let (archive, _) = entry.codec.compress_bytes(&field.data).unwrap();
+            let d = b.run(
+                &format!("{} decompress", entry.label),
+                Some(nbytes),
+                || entry.codec.decompress_bytes(&archive).unwrap(),
+            );
+            let stages = if entry.is_ours {
+                let ms = cuszi_stages(&b, &field.data);
+                format!(",\"stages\":[{}]", ms.iter().map(stage_json).collect::<Vec<_>>().join(","))
+            } else {
+                String::new()
+            };
+            codec_json.push(format!(
+                "{{\"name\":\"{}\",\"compress_mbps\":{:.2},\"decompress_mbps\":{:.2},\
+                 \"compress_ms\":{:.4},\"decompress_ms\":{:.4}{}}}",
+                json_escape(entry.label),
+                c.mbps().unwrap_or(0.0),
+                d.mbps().unwrap_or(0.0),
+                c.min_s * 1e3,
+                d.min_s * 1e3,
+                stages
+            ));
+        }
+        ds_json.push(format!(
+            "{{\"dataset\":\"{}\",\"field\":\"{}\",\"bytes\":{},\"codecs\":[{}]}}",
+            kind.name(),
+            json_escape(field.name),
+            nbytes,
+            codec_json.join(",")
+        ));
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"hostperf\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
+         \"samples\":{},\"rel_eb\":{REL_EB},\"datasets\":[{}]}}\n",
+        b.samples,
+        ds_json.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("\nwrote {out_path}");
+}

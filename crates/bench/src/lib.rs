@@ -9,11 +9,13 @@ pub mod csv;
 pub mod report;
 pub mod roster;
 pub mod run;
+pub mod timing;
 
 pub use csv::Csv;
 pub use report::Table;
 pub use roster::{codec_roster, CodecEntry};
 pub use run::{eval_codec, throughput_gbps, EvalRow, QOZ_DECOMP_GBPS};
+pub use timing::{Bench, Measurement};
 
 use cuszi_datagen::Scale;
 

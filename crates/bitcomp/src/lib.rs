@@ -21,8 +21,7 @@
 //! `[u64 offset per block]`, then per-block payloads of
 //! `[u8 mode][body]`.
 
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
-use parking_lot::Mutex;
+use cuszi_gpu_sim::{launch, BlockSlots, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
 
 pub mod lzss;
 
@@ -267,21 +266,20 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
     // Pass 1: encode into per-block scratch, collecting sizes. (The CUDA
     // original sizes blocks with an upper bound then compacts; we keep
     // the two-pass structure and bill the traffic of both.)
-    let blocks: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::with_capacity(nblocks));
+    let blocks: BlockSlots<Vec<u8>> = BlockSlots::new(nblocks);
     if nblocks > 0 {
         let src = GlobalRead::new(data);
         stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
             let b = ctx.block_linear() as usize;
             let start = b * BLOCK;
             let end = (start + BLOCK).min(data.len());
-            let mut buf = vec![0u8; end - start];
+            let mut buf = ctx.scratch(end - start, 0u8);
             ctx.read_span(&src, start, &mut buf);
             ctx.add_flops(buf.len() as u64);
-            blocks.lock().push((b, encode_block(&buf)));
+            blocks.put(b, encode_block(&buf));
         }));
     }
-    let mut blocks = blocks.into_inner();
-    blocks.sort_by_key(|(b, _)| *b);
+    let blocks = blocks.into_compact();
 
     // Header + offset table.
     let mut out = Vec::new();
@@ -289,12 +287,12 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
     out.extend_from_slice(&(BLOCK as u32).to_le_bytes());
     out.extend_from_slice(&(nblocks as u32).to_le_bytes());
     let mut off = 0u64;
-    for (_, blk) in &blocks {
+    for blk in &blocks {
         out.extend_from_slice(&off.to_le_bytes());
         off += blk.len() as u64;
     }
     let payload_base = out.len();
-    let total: usize = blocks.iter().map(|(_, b)| b.len()).sum();
+    let total: usize = blocks.iter().map(|b| b.len()).sum();
     out.resize(payload_base + total, 0);
 
     // Pass 2: emit payloads (block-parallel coalesced stores).
@@ -302,7 +300,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
         let offsets: Vec<usize> = {
             let mut v = Vec::with_capacity(nblocks);
             let mut acc = 0usize;
-            for (_, blk) in &blocks {
+            for blk in &blocks {
                 v.push(acc);
                 acc += blk.len();
             }
@@ -311,7 +309,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
         let dst = GlobalWrite::new(&mut out[payload_base..]);
         stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
             let b = ctx.block_linear() as usize;
-            ctx.write_span(&dst, offsets[b], &blocks[b].1);
+            ctx.write_span(&dst, offsets[b], &blocks[b]);
         }));
     }
     (out, stats)
@@ -350,7 +348,7 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
     if nblocks == 0 {
         return Ok((out, KernelStats::default()));
     }
-    let failed: Mutex<Option<BitcompError>> = Mutex::new(None);
+    let failed: BlockSlots<BitcompError> = BlockSlots::new(nblocks);
     let stats = {
         let src = GlobalRead::new(payload);
         let dst = GlobalWrite::new(&mut out);
@@ -359,18 +357,18 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
             let start = offsets[b];
             let end = if b + 1 < nblocks { offsets[b + 1] } else { payload.len() };
             let expect = block.min(orig_len - b * block);
-            let mut buf = vec![0u8; end - start];
+            let mut buf = ctx.scratch(end - start, 0u8);
             ctx.read_span(&src, start, &mut buf);
             match decode_block(&buf, expect) {
                 Ok(decoded) => {
                     ctx.add_flops(decoded.len() as u64);
                     ctx.write_span(&dst, b * block, &decoded);
                 }
-                Err(e) => *failed.lock() = Some(e),
+                Err(e) => failed.put(b, e),
             }
         })
     };
-    if let Some(e) = failed.into_inner() {
+    if let Some(e) = failed.into_first() {
         return Err(e);
     }
     Ok((out, stats))

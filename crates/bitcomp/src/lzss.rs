@@ -9,8 +9,7 @@
 //! literals as raw bytes, matches as 12-bit offset + 4-bit length
 //! (lengths 3..18) against a sliding window within the block.
 
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
-use parking_lot::Mutex;
+use cuszi_gpu_sim::{launch, BlockSlots, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
 
 use crate::BitcompError;
 
@@ -109,7 +108,7 @@ fn decode_block(src: &[u8], expect: usize) -> Result<Vec<u8>, BitcompError> {
 /// (mode byte 0 = raw fallback, 1 = LZSS).
 pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>) {
     let nblocks = data.len().div_ceil(BLOCK);
-    let blocks: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::with_capacity(nblocks));
+    let blocks: BlockSlots<Vec<u8>> = BlockSlots::new(nblocks);
     let mut stats = Vec::new();
     if nblocks > 0 {
         let src = GlobalRead::new(data);
@@ -117,7 +116,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
             let b = ctx.block_linear() as usize;
             let start = b * BLOCK;
             let end = (start + BLOCK).min(data.len());
-            let mut buf = vec![0u8; end - start];
+            let mut buf = ctx.scratch(end - start, 0u8);
             ctx.read_span(&src, start, &mut buf);
             ctx.add_flops(buf.len() as u64 * 4);
             let mut enc = Vec::with_capacity(buf.len());
@@ -133,29 +132,28 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
                 z.extend_from_slice(&enc);
                 z
             };
-            blocks.lock().push((b, body));
+            blocks.put(b, body);
         }));
     }
-    let mut blocks = blocks.into_inner();
-    blocks.sort_by_key(|(b, _)| *b);
+    let blocks = blocks.into_compact();
 
     let mut out = Vec::new();
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
     out.extend_from_slice(&(BLOCK as u32).to_le_bytes());
     out.extend_from_slice(&(nblocks as u32).to_le_bytes());
     let mut off = 0u64;
-    for (_, blk) in &blocks {
+    for blk in &blocks {
         out.extend_from_slice(&off.to_le_bytes());
         off += blk.len() as u64;
     }
     let base = out.len();
-    let total: usize = blocks.iter().map(|(_, b)| b.len()).sum();
+    let total: usize = blocks.iter().map(|b| b.len()).sum();
     out.resize(base + total, 0);
     if nblocks > 0 {
         let offsets: Vec<usize> = {
             let mut v = Vec::with_capacity(nblocks);
             let mut acc = 0;
-            for (_, blk) in &blocks {
+            for blk in &blocks {
                 v.push(acc);
                 acc += blk.len();
             }
@@ -164,7 +162,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
         let dst = GlobalWrite::new(&mut out[base..]);
         stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
             let b = ctx.block_linear() as usize;
-            ctx.write_span(&dst, offsets[b], &blocks[b].1);
+            ctx.write_span(&dst, offsets[b], &blocks[b]);
         }));
     }
     (out, stats)
@@ -199,7 +197,7 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
     if nblocks == 0 {
         return Ok((out, KernelStats::default()));
     }
-    let failed: Mutex<Option<BitcompError>> = Mutex::new(None);
+    let failed: BlockSlots<BitcompError> = BlockSlots::new(nblocks);
     let stats = {
         let src = GlobalRead::new(payload);
         let dst = GlobalWrite::new(&mut out);
@@ -208,16 +206,16 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
             let start = offsets[b];
             let end = if b + 1 < nblocks { offsets[b + 1] } else { payload.len() };
             if start >= end {
-                *failed.lock() = Some(BitcompError("empty block"));
+                failed.put(b, BitcompError("empty block"));
                 return;
             }
-            let mut buf = vec![0u8; end - start];
+            let mut buf = ctx.scratch(end - start, 0u8);
             ctx.read_span(&src, start, &mut buf);
             let expect = block.min(orig_len - b * block);
             let decoded = match buf[0] {
                 0 => {
                     if buf.len() - 1 != expect {
-                        *failed.lock() = Some(BitcompError("raw block size mismatch"));
+                        failed.put(b, BitcompError("raw block size mismatch"));
                         return;
                     }
                     buf[1..].to_vec()
@@ -225,12 +223,12 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
                 1 => match decode_block(&buf[1..], expect) {
                     Ok(d) => d,
                     Err(e) => {
-                        *failed.lock() = Some(e);
+                        failed.put(b, e);
                         return;
                     }
                 },
                 _ => {
-                    *failed.lock() = Some(BitcompError("unknown block mode"));
+                    failed.put(b, BitcompError("unknown block mode"));
                     return;
                 }
             };
@@ -238,7 +236,7 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
             ctx.write_span(&dst, b * block, &decoded);
         })
     };
-    if let Some(e) = failed.into_inner() {
+    if let Some(e) = failed.into_first() {
         return Err(e);
     }
     Ok((out, stats))

@@ -58,21 +58,22 @@ impl Container {
 /// this mainly hides per-field serial stages like the CPU codebook
 /// build); the container layout is deterministic regardless.
 pub fn compress_fields(fields: &[NamedField<'_>], cfg: Config) -> Result<Container, CuszError> {
-    use rayon::prelude::*;
     if let Some(f) = fields.iter().find(|f| f.name.len() > u16::MAX as usize) {
         let _ = f;
         return Err(CuszError::InvalidConfig("field name too long"));
     }
     let codec = CuszI::new(cfg);
     let archives: Result<Vec<Compressed>, CuszError> =
-        fields.par_iter().map(|f| codec.compress(f.data)).collect();
+        cuszi_gpu_sim::pool::par_map(fields, |f| codec.compress(f.data))
+            .into_iter()
+            .collect();
     let archives = archives?;
 
     let mut bytes = Vec::new();
     bytes.extend_from_slice(MAGIC);
     bytes.extend_from_slice(&(fields.len() as u32).to_le_bytes());
     let mut summaries = Vec::with_capacity(fields.len());
-    for (f, c) in fields.iter().zip(&archives) {
+    for (f, c) in fields.iter().zip(archives) {
         bytes.extend_from_slice(&(f.name.len() as u16).to_le_bytes());
         bytes.extend_from_slice(f.name.as_bytes());
         bytes.extend_from_slice(&(c.bytes.len() as u64).to_le_bytes());
@@ -82,6 +83,8 @@ pub fn compress_fields(fields: &[NamedField<'_>], cfg: Config) -> Result<Contain
             archive_bytes: c.bytes.len() as u64,
         });
         bytes.extend_from_slice(&c.bytes);
+        // Recycle the consumed archive buffer for later fields/slabs.
+        crate::arena::put(c.bytes);
     }
     Ok(Container { bytes, fields: summaries })
 }

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod archive;
+pub mod arena;
 pub mod batch;
 pub mod config;
 pub mod error;
@@ -39,6 +40,7 @@ pub mod report;
 pub mod stream;
 pub mod traits;
 
+pub use arena::ScratchArena;
 pub use config::Config;
 pub use error::CuszError;
 pub use pipeline::{Compressed, CuszI, Decompressed, SectionSizes};

@@ -138,15 +138,24 @@ impl CuszI {
         let (stream, estats) = encode_gpu(&pred.codes, &book, &cfg.device);
         kernels.extend(estats);
 
-        // Assemble the payload.
-        let anchors_bytes: Vec<u8> =
-            pred.anchors.iter().flat_map(|v| v.to_le_bytes()).collect();
+        // Assemble the payload. All transient assembly buffers come
+        // from (and return to) the thread-local scratch arena, so
+        // multi-field batch/stream compression reuses them instead of
+        // reallocating per field.
+        let mut anchors_bytes = crate::arena::take(pred.anchors.len() * 4);
+        for v in &pred.anchors {
+            anchors_bytes.extend_from_slice(&v.to_le_bytes());
+        }
         let book_bytes = book.to_bytes();
         let stream_bytes = stream.to_bytes();
-        let oidx_bytes: Vec<u8> =
-            pred.outliers.indices().iter().flat_map(|v| v.to_le_bytes()).collect();
-        let oval_bytes: Vec<u8> =
-            pred.outliers.values().iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut oidx_bytes = crate::arena::take(pred.outliers.indices().len() * 8);
+        for v in pred.outliers.indices() {
+            oidx_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut oval_bytes = crate::arena::take(pred.outliers.values().len() * 4);
+        for v in pred.outliers.values() {
+            oval_bytes.extend_from_slice(&v.to_le_bytes());
+        }
         let sections = [
             anchors_bytes.len() as u64,
             book_bytes.len() as u64,
@@ -155,7 +164,7 @@ impl CuszI {
             oval_bytes.len() as u64,
         ];
         let mut payload =
-            Vec::with_capacity(sections.iter().map(|&s| s as usize).sum::<usize>());
+            crate::arena::take(sections.iter().map(|&s| s as usize).sum::<usize>());
         payload.extend_from_slice(&anchors_bytes);
         payload.extend_from_slice(&book_bytes);
         payload.extend_from_slice(&stream_bytes);
@@ -169,6 +178,11 @@ impl CuszI {
             huffman: stream_bytes.len(),
             outliers: oidx_bytes.len() + oval_bytes.len(),
         };
+        crate::arena::put(anchors_bytes);
+        crate::arena::put(book_bytes);
+        crate::arena::put(stream_bytes);
+        crate::arena::put(oidx_bytes);
+        crate::arena::put(oval_bytes);
 
         // § VI-B: optional Bitcomp-lossless pass over the whole payload.
         let mut flags = 0u8;
@@ -176,6 +190,7 @@ impl CuszI {
             flags |= FLAG_BITCOMP;
             let (packed, bstats) = cuszi_bitcomp::compress(&payload, &cfg.device);
             kernels.extend(bstats);
+            crate::arena::put(payload);
             packed
         } else {
             payload
@@ -195,6 +210,7 @@ impl CuszI {
         };
         let mut bytes = header.to_bytes();
         bytes.extend_from_slice(&payload);
+        crate::arena::put(payload);
         Ok(Compressed { bytes, kernels, sections: section_sizes, eb_abs, interp })
     }
 

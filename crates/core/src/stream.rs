@@ -66,6 +66,8 @@ pub fn compress_slabs(
         let c = codec.compress(&slab)?;
         out.extend_from_slice(&(c.bytes.len() as u64).to_le_bytes());
         out.extend_from_slice(&c.bytes);
+        // Recycle the consumed archive buffer for the next slab.
+        crate::arena::put(c.bytes);
     }
     Ok(out)
 }

@@ -1,9 +1,8 @@
 //! The field generators behind each dataset analogue.
 
 use cuszi_tensor::{NdArray, Shape};
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use rand::SeedableRng;
+
+use crate::rng::ChaCha8Rng;
 
 /// A single Fourier mode: wave vector, phase, amplitude.
 #[derive(Clone, Copy, Debug)]

@@ -18,10 +18,11 @@
 //! MB for CI-speed runs; `Scale::Paper` produces the Table II dims.
 
 use cuszi_tensor::{NdArray, Shape};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 pub mod fields;
+pub mod rng;
+
+use rng::ChaCha8Rng;
 
 pub use fields::*;
 

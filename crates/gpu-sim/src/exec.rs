@@ -1,25 +1,34 @@
 //! Kernel launching, block contexts and counting global-memory views.
 //!
 //! A "kernel" is a closure executed once per thread block of a launch
-//! [`Grid`]. Blocks run in parallel across CPU cores (rayon); the body of
-//! one block runs sequentially, with [`BlockCtx::sync`] marking the
-//! positions of the CUDA `__syncthreads()` barriers. This is semantically
-//! equivalent to the barrier-phased CUDA original: everything before a
-//! barrier completes before anything after it, and blocks are independent.
+//! [`Grid`]. Blocks run in parallel across CPU cores (the std-thread
+//! [`crate::pool`]); the body of one block runs sequentially, with
+//! [`BlockCtx::sync`] marking the positions of the CUDA `__syncthreads()`
+//! barriers. This is semantically equivalent to the barrier-phased CUDA
+//! original: everything before a barrier completes before anything after
+//! it, and blocks are independent.
 //!
 //! All global-memory access goes through [`GlobalRead`] / [`GlobalWrite`]
 //! views that count 32-byte DRAM sectors with warp-granularity coalescing,
 //! feeding [`KernelStats`].
+//!
+//! # Lock-free per-block results
+//!
+//! Kernels never funnel host-side results through a mutex: a
+//! [`BlockSlots`] gives every block its own preallocated slot, written
+//! disjointly during the launch and compacted in block order afterwards —
+//! the same two-pass size/offset shape the CUDA originals use. Combined
+//! with the integer-counter stats reduction this makes launch results
+//! identical for any worker-thread count *by construction*.
 
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::marker::PhantomData;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
-use rayon::prelude::*;
-
 use crate::device::DeviceSpec;
-use crate::shared::SharedTile;
+use crate::pool;
+use crate::shared::{ScratchVec, SharedTile};
 use crate::stats::{KernelStats, SECTOR_BYTES};
 
 /// CUDA-style 3-component launch extent (`x` fastest-varying).
@@ -80,6 +89,10 @@ fn sectors_spanned(start_byte: u64, end_byte: u64) -> u64 {
     (end_byte - 1) / SECTOR_BYTES - start_byte / SECTOR_BYTES + 1
 }
 
+/// Upper bound on the modelled warp width (A100/A40 use 32); the sector
+/// dedup buffer below lives on the stack at this size.
+const MAX_WARP: usize = 64;
+
 /// Per-block execution context handed to the kernel closure.
 pub struct BlockCtx<'l> {
     /// This block's coordinates in the grid.
@@ -126,10 +139,13 @@ impl<'l> BlockCtx<'l> {
 
     /// Allocate a shared-memory tile of `len` elements of `T`.
     ///
+    /// The backing buffer is pooled per worker thread: blocks executing
+    /// on the same worker reuse it instead of allocating per block.
+    ///
     /// Panics if the block's cumulative shared allocation exceeds the
     /// device's per-block shared memory — the same hard failure a CUDA
     /// launch would produce.
-    pub fn alloc_shared<T: Copy + Default>(&mut self, len: usize) -> SharedTile<T> {
+    pub fn alloc_shared<T: Copy + Default + 'static>(&mut self, len: usize) -> SharedTile<T> {
         let bytes = len * std::mem::size_of::<T>();
         self.shared_alloc_bytes += bytes;
         assert!(
@@ -140,6 +156,14 @@ impl<'l> BlockCtx<'l> {
             self.device.name
         );
         SharedTile::new(len, Rc::clone(&self.shared_traffic))
+    }
+
+    /// Take a pooled block-local scratch buffer of `len` copies of
+    /// `fill` (register/local-memory analogue — no traffic is charged).
+    /// Returned to the worker's pool on drop, so per-block staging
+    /// buffers stop hitting the allocator.
+    pub fn scratch<T: Copy + Default + 'static>(&mut self, len: usize, fill: T) -> ScratchVec<T> {
+        ScratchVec::take(len, fill)
     }
 
     /// Read a contiguous span from a global view (fully coalesced).
@@ -177,6 +201,59 @@ impl<'l> BlockCtx<'l> {
         }
         self.stats.load_bytes += indices.len() as u64 * elt;
         self.stats.load_sectors += self.warp_sector_count(indices, elt);
+    }
+
+    /// Gather a constant-stride index sequence (`start`, `start+stride`,
+    /// …) without materialising an index list. Traffic accounting is
+    /// identical to [`Self::read_gather`] over the same indices.
+    pub fn read_strided<T: Copy>(
+        &mut self,
+        view: &GlobalRead<'_, T>,
+        start: usize,
+        stride: usize,
+        out: &mut [T],
+    ) {
+        assert!(stride >= 1, "stride must be >= 1");
+        if !out.is_empty() {
+            let last = start + (out.len() - 1) * stride;
+            assert!(last < view.len(), "read_strided out of bounds");
+        }
+        let elt = std::mem::size_of::<T>() as u64;
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = view.data[start + k * stride];
+        }
+        self.stats.load_bytes += out.len() as u64 * elt;
+        self.stats.load_sectors +=
+            self.warp_sectors_of(strided_indices(start, stride, out.len()), elt);
+    }
+
+    /// Gather `rows` rows of `row_len` consecutive elements whose starts
+    /// are `row_stride` apart (a 2-d plane slice), without an index
+    /// list. `out` is filled row-major; accounting matches
+    /// [`Self::read_gather`] over the flattened index sequence.
+    pub fn read_span_2d<T: Copy>(
+        &mut self,
+        view: &GlobalRead<'_, T>,
+        start: usize,
+        row_len: usize,
+        row_stride: usize,
+        rows: usize,
+        out: &mut [T],
+    ) {
+        assert_eq!(out.len(), rows * row_len, "read_span_2d out length mismatch");
+        if rows > 0 && row_len > 0 {
+            let last = start + (rows - 1) * row_stride + row_len - 1;
+            assert!(last < view.len(), "read_span_2d out of bounds");
+        }
+        let elt = std::mem::size_of::<T>() as u64;
+        for r in 0..rows {
+            let src = start + r * row_stride;
+            out[r * row_len..(r + 1) * row_len]
+                .copy_from_slice(&view.data[src..src + row_len]);
+        }
+        self.stats.load_bytes += out.len() as u64 * elt;
+        self.stats.load_sectors +=
+            self.warp_sectors_of(span_2d_indices(start, row_len, row_stride, rows), elt);
     }
 
     /// Write a contiguous span to a global view (fully coalesced).
@@ -249,36 +326,115 @@ impl<'l> BlockCtx<'l> {
         self.stats.store_sectors += self.warp_sector_count(indices, elt);
     }
 
-    /// Atomically add to a shared counter array, charging one sector per
-    /// warp-grouped access batch (atomics serialise on conflicts in real
-    /// hardware; the roofline absorbs that into the efficiency factor).
+    /// Atomically add to one global counter. A solitary atomic is a
+    /// whole-sector transaction; batch per-warp traffic with
+    /// [`Self::atomic_add_warp`] where the kernel issues one atomic per
+    /// lane (atomics serialise on conflicts in real hardware; the
+    /// roofline absorbs that into the efficiency factor).
     pub fn atomic_add(&mut self, view: &GlobalAtomicU32<'_>, idx: usize, v: u32) -> u32 {
         self.stats.store_sectors += 1;
         self.stats.store_bytes += 4;
         view.data[idx].fetch_add(v, Ordering::Relaxed)
     }
 
-    fn warp_sector_count(&self, indices: &[usize], elt_bytes: u64) -> u64 {
-        let warp = self.device.warp_size as usize;
-        let mut total = 0u64;
-        let mut sector_buf: Vec<u64> = Vec::with_capacity(warp);
-        for chunk in indices.chunks(warp) {
-            sector_buf.clear();
-            for &idx in chunk {
-                let sector = (idx as u64 * elt_bytes) / SECTOR_BYTES;
-                sector_buf.push(sector);
-            }
-            sector_buf.sort_unstable();
-            sector_buf.dedup();
-            total += sector_buf.len() as u64;
+    /// Warp-batched atomic adds: one `fetch_add` per `(index, value)`
+    /// pair, but DRAM traffic is charged per *distinct sector per warp*
+    /// exactly like [`Self::read_gather`] — adjacent-lane atomics into
+    /// the same sector coalesce into one transaction.
+    pub fn atomic_add_warp(
+        &mut self,
+        view: &GlobalAtomicU32<'_>,
+        indices: &[usize],
+        vals: &[u32],
+    ) {
+        assert_eq!(indices.len(), vals.len(), "atomic index/val length mismatch");
+        for (&idx, &v) in indices.iter().zip(vals) {
+            view.data[idx].fetch_add(v, Ordering::Relaxed);
         }
-        total
+        self.stats.store_bytes += indices.len() as u64 * 4;
+        self.stats.store_sectors += self.warp_sector_count(indices, 4);
+    }
+
+    /// Distinct-sectors-per-warp count for an explicit index list.
+    fn warp_sector_count(&self, indices: &[usize], elt_bytes: u64) -> u64 {
+        self.warp_sectors_of(indices.iter().copied(), elt_bytes)
+    }
+
+    /// Distinct-sectors-per-warp count over any index sequence, using a
+    /// fixed stack buffer (no allocation, no sort): indices are grouped
+    /// into warps of `device.warp_size` in order and each warp
+    /// contributes the number of distinct sectors it touches.
+    fn warp_sectors_of(&self, indices: impl Iterator<Item = usize>, elt_bytes: u64) -> u64 {
+        let warp = self.device.warp_size as usize;
+        assert!(warp >= 1 && warp <= MAX_WARP, "warp size {warp} outside 1..={MAX_WARP}");
+        if crate::shared::pool_disabled() {
+            // Reference model (pre-optimization): collect each warp's
+            // sectors into a heap Vec, sort, count distinct runs. Kept
+            // under the benchmark knob as the oracle the stack-buffer
+            // path is property-tested against.
+            return warp_sectors_reference(indices, warp, elt_bytes);
+        }
+        let mut buf = [0u64; MAX_WARP];
+        let mut distinct = 0usize;
+        let mut lane = 0usize;
+        let mut total = 0u64;
+        for idx in indices {
+            if lane == warp {
+                total += distinct as u64;
+                distinct = 0;
+                lane = 0;
+            }
+            let sector = (idx as u64 * elt_bytes) / SECTOR_BYTES;
+            if !buf[..distinct].contains(&sector) {
+                buf[distinct] = sector;
+                distinct += 1;
+            }
+            lane += 1;
+        }
+        total + distinct as u64
     }
 
     fn finish(mut self) -> KernelStats {
         self.stats.shared_bytes += self.shared_traffic.get();
         self.stats
     }
+}
+
+/// Indices `start + k*stride` for `k in 0..count`.
+fn strided_indices(start: usize, stride: usize, count: usize) -> impl Iterator<Item = usize> {
+    (0..count).map(move |k| start + k * stride)
+}
+
+/// Pre-optimization sector accounting: collect each warp's sectors into
+/// a heap `Vec`, sort, count distinct runs. This is the oracle the
+/// stack-buffer path is property-tested against, and what
+/// `CUSZI_SIM_NO_POOL=1` benchmarks run for A/B comparisons.
+fn warp_sectors_reference(
+    indices: impl Iterator<Item = usize>,
+    warp: usize,
+    elt_bytes: u64,
+) -> u64 {
+    let idx: Vec<usize> = indices.collect();
+    let mut total = 0u64;
+    for chunk in idx.chunks(warp) {
+        let mut sectors: Vec<u64> =
+            chunk.iter().map(|&i| (i as u64 * elt_bytes) / SECTOR_BYTES).collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        total += sectors.len() as u64;
+    }
+    total
+}
+
+/// Row-major indices of a `rows x row_len` plane with `row_stride`
+/// between row starts.
+fn span_2d_indices(
+    start: usize,
+    row_len: usize,
+    row_stride: usize,
+    rows: usize,
+) -> impl Iterator<Item = usize> {
+    (0..rows).flat_map(move |r| (0..row_len).map(move |c| start + r * row_stride + c))
 }
 
 /// Read-only counting view over a global buffer.
@@ -396,6 +552,74 @@ impl<'a> GlobalAtomicU32<'a> {
     }
 }
 
+/// Preallocated per-block result slots: the lock-free replacement for
+/// the `Mutex<Vec<(block_id, T)>>` funnel.
+///
+/// Each block writes at most once into its own slot during a launch
+/// (enforced — a double write panics, like the checked global view);
+/// after the launch, [`BlockSlots::into_compact`] yields the non-empty
+/// results in block order. No lock, no sort, and the output order is
+/// independent of scheduling by construction.
+pub struct BlockSlots<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+    written: Vec<AtomicU8>,
+}
+
+// SAFETY: each slot is written by exactly one block (the `written`
+// markers turn violations into panics), and the launch joins all
+// workers before any read.
+unsafe impl<T: Send> Sync for BlockSlots<T> {}
+
+impl<T> BlockSlots<T> {
+    /// One empty slot per block of the launch.
+    pub fn new(nblocks: usize) -> Self {
+        BlockSlots {
+            slots: (0..nblocks).map(|_| UnsafeCell::new(None)).collect(),
+            written: (0..nblocks).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Slot count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Store this block's result. Panics if the slot was already
+    /// written — per-block results must be produced exactly once.
+    pub fn put(&self, block_id: usize, value: T) {
+        let prev = self.written[block_id].fetch_add(1, Ordering::Relaxed);
+        assert_eq!(prev, 0, "block {block_id} wrote its result slot twice");
+        // SAFETY: the marker above guarantees exclusive access to this
+        // slot for the lifetime of the launch.
+        unsafe { *self.slots[block_id].get() = Some(value) };
+    }
+
+    /// All written results, in block order.
+    pub fn into_compact(self) -> Vec<T> {
+        self.slots.into_iter().filter_map(UnsafeCell::into_inner).collect()
+    }
+
+    /// `(block_id, result)` pairs in block order.
+    pub fn into_indexed(self) -> Vec<(usize, T)> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.into_inner().map(|v| (i, v)))
+            .collect()
+    }
+
+    /// The first written result in block order (deterministic
+    /// error-reporting: "the failing block with the lowest id").
+    pub fn into_first(self) -> Option<T> {
+        self.slots.into_iter().find_map(UnsafeCell::into_inner)
+    }
+}
+
 /// Execute `kernel` once per block of `grid` on the modelled `device`,
 /// in parallel across CPU cores, and return the merged execution stats.
 pub fn launch<F>(device: &DeviceSpec, grid: Grid, kernel: F) -> KernelStats
@@ -412,9 +636,11 @@ where
     let total = grid.blocks.count();
     let gx = grid.blocks.x as u64;
     let gy = grid.blocks.y as u64;
-    (0..total)
-        .into_par_iter()
-        .map(|i| {
+    pool::fold_indexed(
+        total as usize,
+        KernelStats::default,
+        |acc, i| {
+            let i = i as u64;
             let block = Dim3 {
                 x: (i % gx) as u32,
                 y: ((i / gx) % gy) as u32,
@@ -422,9 +648,10 @@ where
             };
             let mut ctx = BlockCtx::new(block, grid, device);
             kernel(&mut ctx);
-            ctx.finish()
-        })
-        .reduce(KernelStats::default, KernelStats::merged)
+            acc.merged(ctx.finish())
+        },
+        KernelStats::merged,
+    )
 }
 
 #[cfg(test)]
@@ -490,6 +717,54 @@ mod tests {
     }
 
     #[test]
+    fn read_strided_matches_gather_values_and_accounting() {
+        let src: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+        for (start, stride, count) in
+            [(0usize, 8usize, 32usize), (5, 3, 100), (17, 1, 64), (0, 513, 7), (100, 2, 1), (0, 1, 0)]
+        {
+            let idx: Vec<usize> = (0..count).map(|k| start + k * stride).collect();
+            let gather_stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+                let view = GlobalRead::new(&src);
+                let mut out = vec![0f32; count];
+                ctx.read_gather(&view, &idx, &mut out);
+            });
+            let strided_stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+                let view = GlobalRead::new(&src);
+                let mut out = vec![0f32; count];
+                ctx.read_strided(&view, start, stride, &mut out);
+                let expect: Vec<f32> = idx.iter().map(|&i| src[i]).collect();
+                assert_eq!(out, expect);
+            });
+            assert_eq!(gather_stats, strided_stats, "({start},{stride},{count})");
+        }
+    }
+
+    #[test]
+    fn read_span_2d_matches_gather() {
+        let src: Vec<u16> = (0..10_000).map(|i| i as u16).collect();
+        for (start, row_len, row_stride, rows) in
+            [(0usize, 9usize, 100usize, 9usize), (37, 33, 99, 5), (0, 1, 7, 40), (3, 16, 16, 4)]
+        {
+            let idx: Vec<usize> = (0..rows)
+                .flat_map(|r| (0..row_len).map(move |c| start + r * row_stride + c))
+                .collect();
+            let gather_stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+                let view = GlobalRead::new(&src);
+                let mut out = vec![0u16; idx.len()];
+                ctx.read_gather(&view, &idx, &mut out);
+            });
+            let span_stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+                let view = GlobalRead::new(&src);
+                let mut out = vec![0u16; rows * row_len];
+                ctx.read_span_2d(&view, start, row_len, row_stride, rows, &mut out);
+                let expect: Vec<u16> = idx.iter().map(|&i| src[i]).collect();
+                assert_eq!(out, expect);
+            });
+            assert_eq!(gather_stats, span_stats, "({start},{row_len},{row_stride},{rows})");
+        }
+    }
+
+    #[test]
     fn parallel_blocks_write_disjoint_output() {
         let mut out = vec![0u32; 256];
         let stats = {
@@ -541,6 +816,31 @@ mod tests {
     }
 
     #[test]
+    fn atomic_add_warp_coalesces_sector_traffic() {
+        let counters: Vec<AtomicU32> = (0..256).map(|_| AtomicU32::new(0)).collect();
+        // 32 adjacent u32 counters = 4 sectors for the whole warp,
+        // where per-call accounting would charge 32.
+        let idx: Vec<usize> = (0..32).collect();
+        let vals = vec![1u32; 32];
+        let stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+            let view = GlobalAtomicU32::new(&counters);
+            ctx.atomic_add_warp(&view, &idx, &vals);
+        });
+        assert_eq!(stats.store_sectors, 4);
+        assert_eq!(stats.store_bytes, 128);
+        for c in &counters[..32] {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+        // Scattered counters still pay one sector per lane.
+        let sparse: Vec<usize> = (0..32).map(|i| i * 8).collect();
+        let stats = launch(&A100, Grid::linear(1, 32), |ctx| {
+            let view = GlobalAtomicU32::new(&counters);
+            ctx.atomic_add_warp(&view, &sparse, &vals);
+        });
+        assert_eq!(stats.store_sectors, 32);
+    }
+
+    #[test]
     fn flops_and_barriers_are_recorded() {
         let stats = launch(&A100, Grid::linear(4, 32), |ctx| {
             ctx.add_flops(10);
@@ -549,6 +849,68 @@ mod tests {
         });
         assert_eq!(stats.flops, 40);
         assert_eq!(stats.barriers, 8);
+    }
+
+    /// Reference implementation of the pre-refactor accounting (see
+    /// `warp_sectors_reference`): collect sectors per warp into a Vec,
+    /// sort, dedup. The production path (fixed stack buffer, no sort)
+    /// must agree bit-for-bit.
+    fn reference_warp_sectors(indices: &[usize], elt_bytes: u64, warp: usize) -> u64 {
+        warp_sectors_reference(indices.iter().copied(), warp, elt_bytes)
+    }
+
+    #[test]
+    fn stack_buffer_accounting_matches_reference_model() {
+        // Deterministic pseudo-random index patterns across element
+        // sizes: the oracle property for the allocation-free rewrite.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for elt in [1u64, 2, 4, 8] {
+            for len in [0usize, 1, 5, 31, 32, 33, 64, 100, 1000] {
+                let indices: Vec<usize> =
+                    (0..len).map(|_| (next() % 100_000) as usize).collect();
+                let expect = reference_warp_sectors(&indices, elt, 32);
+                let got = launch(&A100, Grid::linear(1, 32), |ctx| {
+                    assert_eq!(ctx.warp_sector_count(&indices, elt), expect, "len {len} elt {elt}");
+                });
+                let _ = got;
+            }
+        }
+    }
+
+    #[test]
+    fn block_slots_compact_in_block_order() {
+        let slots = BlockSlots::<u64>::new(64);
+        launch(&A100, Grid::linear(64, 32), |ctx| {
+            let b = ctx.block_linear();
+            if b % 3 == 0 {
+                slots.put(b as usize, b * 10);
+            }
+        });
+        let got = slots.into_compact();
+        let expect: Vec<u64> = (0..64).filter(|b| b % 3 == 0).map(|b| b * 10).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrote its result slot twice")]
+    fn block_slots_reject_double_writes() {
+        let slots = BlockSlots::<u32>::new(4);
+        slots.put(1, 7);
+        slots.put(1, 8);
+    }
+
+    #[test]
+    fn block_slots_first_is_lowest_block_id() {
+        let slots = BlockSlots::<&'static str>::new(8);
+        slots.put(5, "five");
+        slots.put(2, "two");
+        assert_eq!(slots.into_first(), Some("two"));
     }
 }
 
@@ -626,16 +988,15 @@ mod rw_view_tests {
 mod determinism_tests {
     use super::*;
     use crate::device::A100;
+    use crate::pool;
 
     /// The executor must produce identical outputs and stats regardless
-    /// of how many CPU threads the rayon pool has — the archives (and
-    /// therefore the figure regenerators) depend on it.
+    /// of worker-thread count — the archives (and therefore the figure
+    /// regenerators) depend on it.
     #[test]
     fn results_identical_across_thread_counts() {
         let run = |threads: usize| -> (Vec<u32>, KernelStats) {
-            let pool =
-                rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-            pool.install(|| {
+            pool::with_threads(threads, || {
                 let mut out = vec![0u32; 1024];
                 let stats = {
                     let dst = GlobalWrite::new(&mut out);
@@ -655,5 +1016,24 @@ mod determinism_tests {
         let (o8, s8) = run(8);
         assert_eq!(o1, o8);
         assert_eq!(s1, s8);
+    }
+
+    /// Same guarantee for the per-block slot funnel replacement: the
+    /// compacted result list is scheduling-independent.
+    #[test]
+    fn block_slots_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<(usize, Vec<u8>)> {
+            pool::with_threads(threads, || {
+                let slots = BlockSlots::<Vec<u8>>::new(96);
+                launch(&A100, Grid::linear(96, 32), |ctx| {
+                    let b = ctx.block_linear() as usize;
+                    if b % 5 != 4 {
+                        slots.put(b, vec![b as u8; b % 7 + 1]);
+                    }
+                });
+                slots.into_indexed()
+            })
+        };
+        assert_eq!(run(1), run(8));
     }
 }

@@ -9,9 +9,10 @@
 //!    block over a launch [`Grid`], with explicit shared-memory tiles and
 //!    barrier-phased execution — the same structure § V-D of the paper
 //!    describes (32x8x8 chunks, 33x9x9 tiles, level barriers). Blocks run
-//!    data-parallel across CPU cores via rayon; intra-block code runs
-//!    sequentially between logical barriers, which is semantically
-//!    equivalent to the barrier-synchronised CUDA original.
+//!    data-parallel across CPU cores via the std-thread [`pool`];
+//!    intra-block code runs sequentially between logical barriers, which
+//!    is semantically equivalent to the barrier-synchronised CUDA
+//!    original.
 //!
 //! 2. **Memory-traffic accounting.** Every global-memory access goes
 //!    through counting views that model 32-byte-sector coalescing, so each
@@ -20,6 +21,12 @@
 //!    Table I device specs converts measured traffic + FLOPs into the
 //!    simulated throughputs of Fig. 9.
 //!
+//! The host-side hot path is lock-free and allocation-free per block:
+//! per-block results land in preallocated [`BlockSlots`], shared tiles
+//! and scratch buffers are pooled per worker thread, and coalescing
+//! accounting runs on fixed stack buffers. Results are identical for any
+//! worker-thread count by construction (see [`pool`]).
+//!
 //! What the substrate deliberately does not model: warp divergence, cache
 //! hierarchy beyond coalescing, and instruction-level behaviour — these
 //! affect absolute throughput constants (absorbed into calibrated
@@ -27,12 +34,13 @@
 
 pub mod device;
 pub mod exec;
+pub mod pool;
 pub mod shared;
 pub mod stats;
 pub mod timing;
 
 pub use device::{DeviceSpec, A100, A40};
-pub use exec::{launch, BlockCtx, Dim3, GlobalRead, GlobalWrite, Grid};
-pub use shared::SharedTile;
+pub use exec::{launch, BlockCtx, BlockSlots, Dim3, GlobalRead, GlobalWrite, Grid};
+pub use shared::{ScratchVec, SharedTile};
 pub use stats::KernelStats;
 pub use timing::TimingModel;

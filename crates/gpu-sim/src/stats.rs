@@ -65,7 +65,7 @@ impl KernelStats {
         self.blocks += other.blocks;
     }
 
-    /// Combine two records (for rayon reductions).
+    /// Combine two records (for worker-thread reductions).
     pub fn merged(mut self, other: KernelStats) -> KernelStats {
         self.merge(&other);
         self

@@ -6,8 +6,7 @@
 //! every chunk independent, so both passes (and decoding) are
 //! block-parallel.
 
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
-use parking_lot::Mutex;
+use cuszi_gpu_sim::{launch, BlockSlots, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
 
 use crate::codebook::{Codebook, LUT_BITS};
 
@@ -110,10 +109,10 @@ pub fn encode_gpu(
             let b = ctx.block_linear() as usize;
             let start = b * ENC_CHUNK;
             let end = (start + ENC_CHUNK).min(codes.len());
-            let mut buf = vec![0u16; end - start];
+            let mut buf = ctx.scratch(end - start, 0u16);
             ctx.read_span(&src, start, &mut buf);
             let mut bits = 0u64;
-            for &c in &buf {
+            for &c in buf.iter() {
                 let l = book.len_of(c);
                 assert!(l > 0, "symbol {c} has no Huffman code");
                 bits += l as u64;
@@ -141,24 +140,30 @@ pub fn encode_gpu(
             let b = ctx.block_linear() as usize;
             let start = b * ENC_CHUNK;
             let end = (start + ENC_CHUNK).min(codes.len());
-            let mut buf = vec![0u16; end - start];
+            let mut buf = ctx.scratch(end - start, 0u16);
             ctx.read_span(&src, start, &mut buf);
 
-            let mut out = Vec::with_capacity(ENC_CHUNK * 2);
+            // Chunk byte length is known from pass 1, so the output
+            // buffer comes from the worker pool at its exact size.
+            let mut out = ctx.scratch(bitlens[b].div_ceil(8) as usize, 0u8);
+            let mut w = 0usize;
             let mut bitbuf = 0u64;
             let mut nbits = 0u8;
-            for &c in &buf {
+            for &c in buf.iter() {
                 let (code, len) = book.code_of(c);
                 bitbuf = (bitbuf << len) | code;
                 nbits += len;
                 while nbits >= 8 {
-                    out.push((bitbuf >> (nbits - 8)) as u8);
+                    out[w] = (bitbuf >> (nbits - 8)) as u8;
+                    w += 1;
                     nbits -= 8;
                 }
             }
             if nbits > 0 {
-                out.push((bitbuf << (8 - nbits)) as u8);
+                out[w] = (bitbuf << (8 - nbits)) as u8;
+                w += 1;
             }
+            debug_assert_eq!(w, out.len());
             ctx.add_flops(buf.len() as u64 * 2);
             ctx.write_span(&dst, offsets[b] as usize, &out);
         }));
@@ -201,7 +206,9 @@ pub fn decode_gpu(
     if n == 0 {
         return Ok((out, KernelStats::default()));
     }
-    let failed: Mutex<Option<&'static str>> = Mutex::new(None);
+    // One failure slot per chunk, written disjointly; the lowest failed
+    // chunk's message wins deterministically after the launch.
+    let failed: BlockSlots<&'static str> = BlockSlots::new(nchunks);
     let stats = {
         let src = GlobalRead::new(&stream.bits);
         let dst = GlobalWrite::new(&mut out);
@@ -213,13 +220,13 @@ pub fn decode_gpu(
             let byte_end =
                 if b + 1 < nchunks { stream.offsets[b + 1] as usize } else { stream.bits.len() };
             if byte_start > byte_end || byte_end > stream.bits.len() {
-                *failed.lock() = Some("chunk offsets out of range");
+                failed.put(b, "chunk offsets out of range");
                 return;
             }
-            let mut buf = vec![0u8; byte_end - byte_start];
+            let mut buf = ctx.scratch(byte_end - byte_start, 0u8);
             ctx.read_span(&src, byte_start, &mut buf);
 
-            let mut syms = vec![0u16; nsyms];
+            let mut syms = ctx.scratch(nsyms, 0u16);
             let mut bitpos = 0usize;
             let total_bits = buf.len() * 8;
             let peek_at = |bitpos: usize, l: u8| -> u64 {
@@ -248,7 +255,7 @@ pub fn decode_gpu(
                 // the canonical walk for the long tail.
                 if let Some((sym, len)) = book.decode_lut(peek_prefix(bitpos)) {
                     if bitpos + len as usize > total_bits {
-                        *failed.lock() = Some("bitstream underrun");
+                        failed.put(b, "bitstream underrun");
                         return;
                     }
                     *s = sym;
@@ -259,14 +266,14 @@ pub fn decode_gpu(
                 match book.decode_one(peek) {
                     Some((sym, len)) => {
                         if bitpos + len as usize > total_bits {
-                            *failed.lock() = Some("bitstream underrun");
+                            failed.put(b, "bitstream underrun");
                             return;
                         }
                         *s = sym;
                         bitpos += len as usize;
                     }
                     None => {
-                        *failed.lock() = Some("no code matches bitstream");
+                        failed.put(b, "no code matches bitstream");
                         return;
                     }
                 }
@@ -275,7 +282,7 @@ pub fn decode_gpu(
             ctx.write_span(&dst, start_sym, &syms);
         })
     };
-    if let Some(msg) = failed.into_inner() {
+    if let Some(msg) = failed.into_first() {
         return Err(DecodeError(msg));
     }
     Ok((out, stats))

@@ -43,14 +43,14 @@ pub fn histogram_gpu(
             if start >= end {
                 return;
             }
-            let mut buf = vec![0u16; end - start];
+            let mut buf = ctx.scratch(end - start, 0u16);
             ctx.read_span(&src, start, &mut buf);
 
             // Thread-private register bins for the hot centre...
-            let mut reg = vec![0u32; hi - lo];
+            let mut reg = ctx.scratch(hi - lo, 0u32);
             // ...and the shared-memory private histogram for the rest.
             let mut shared = ctx.alloc_shared::<u32>(alphabet);
-            for &c in &buf {
+            for &c in buf.iter() {
                 let c = c as usize;
                 if c >= lo && c < hi {
                     reg[c - lo] += 1; // register traffic: free
@@ -62,18 +62,29 @@ pub fn histogram_gpu(
             ctx.sync();
 
             // Merge: registers first, then the shared histogram's
-            // non-zero bins, into the global atomics.
+            // non-zero bins, into the global atomics. The whole merge
+            // goes out as one warp-grouped batch so neighbouring bins
+            // coalesce into shared 32-byte sectors instead of paying a
+            // full transaction per atomic.
+            let mut idxs = ctx.scratch((hi - lo) + alphabet, 0usize);
+            let mut vals = ctx.scratch((hi - lo) + alphabet, 0u32);
+            let mut m = 0usize;
             for (i, &v) in reg.iter().enumerate() {
                 if v > 0 {
-                    ctx.atomic_add(&gview, lo + i, v);
+                    idxs[m] = lo + i;
+                    vals[m] = v;
+                    m += 1;
                 }
             }
             for s in 0..alphabet {
                 let v = shared.get(s);
                 if v > 0 {
-                    ctx.atomic_add(&gview, s, v);
+                    idxs[m] = s;
+                    vals[m] = v;
+                    m += 1;
                 }
             }
+            ctx.atomic_add_warp(&gview, &idxs[..m], &vals[..m]);
         })
     };
 

@@ -28,10 +28,9 @@
 
 use std::collections::HashMap;
 
-use cuszi_gpu_sim::{launch, BlockCtx, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats, SharedTile};
+use cuszi_gpu_sim::{launch, BlockCtx, BlockSlots, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats, SharedTile};
 use cuszi_quant::{Outliers, Quantizer, OUTLIER_CODE};
 use cuszi_tensor::{NdArray, Shape};
-use parking_lot::Mutex;
 
 use crate::sweep::{interpolate_grid, level_ladder, GridView};
 use crate::tuning::{level_error_bound, InterpConfig};
@@ -159,15 +158,25 @@ fn launch_grid(shape: Shape, chunk: [usize; 3]) -> Grid {
 }
 
 /// A [`GridView`] over a shared-memory tile.
+///
+/// Accesses are counted locally and billed to the tile's traffic
+/// counter in one update on drop — same totals as per-access counting,
+/// without a counter round-trip inside the sweep's innermost loop.
 struct TileGrid<'t> {
     tile: &'t mut SharedTile<f32>,
     ext: [usize; 3],
+    accesses: std::cell::Cell<u64>,
 }
 
-impl TileGrid<'_> {
-    #[inline]
-    fn idx(&self, p: [usize; 3]) -> usize {
-        (p[0] * self.ext[1] + p[1]) * self.ext[2] + p[2]
+impl<'t> TileGrid<'t> {
+    fn new(tile: &'t mut SharedTile<f32>, ext: [usize; 3]) -> Self {
+        TileGrid { tile, ext, accesses: std::cell::Cell::new(0) }
+    }
+}
+
+impl Drop for TileGrid<'_> {
+    fn drop(&mut self) {
+        self.tile.add_accesses(self.accesses.get());
     }
 }
 
@@ -177,14 +186,15 @@ impl GridView for TileGrid<'_> {
     }
 
     #[inline]
-    fn get(&self, p: [usize; 3]) -> f32 {
-        self.tile.get(self.idx(p))
+    fn get_lin(&self, i: usize) -> f32 {
+        self.accesses.set(self.accesses.get() + 1);
+        self.tile.get_untracked(i)
     }
 
     #[inline]
-    fn set(&mut self, p: [usize; 3], v: f32) {
-        let i = self.idx(p);
-        self.tile.set(i, v);
+    fn set_lin(&mut self, i: usize, v: f32) {
+        self.accesses.set(self.accesses.get() + 1);
+        self.tile.set_untracked(i, v);
     }
 }
 
@@ -218,11 +228,10 @@ pub fn gather_anchors_with(
         launch(device, grid, |ctx: &mut BlockCtx<'_>| {
             let az = ctx.block.z as usize;
             let ay = ctx.block.y as usize;
-            let idx: Vec<usize> = (0..counts[2])
-                .map(|ax| shape.index3(az * stride, ay * stride, ax * stride))
-                .collect();
-            let mut vals = vec![0f32; counts[2]];
-            ctx.read_gather(&src, &idx, &mut vals);
+            // Analytic strided read: same sector accounting as a
+            // gathered index list, without materialising one per row.
+            let mut vals = ctx.scratch(counts[2], 0f32);
+            ctx.read_strided(&src, shape.index3(az * stride, ay * stride, 0), stride, &mut vals);
             ctx.write_span(&dst, (az * counts[1] + ay) * counts[2], &vals);
         })
     };
@@ -238,7 +247,11 @@ fn quantizers_for_levels(anchor_stride: usize, eb: f64, alpha: f64, radius: u16)
 
 #[inline]
 fn quantizer_for(qs: &[(u32, Quantizer)], level: u32) -> &Quantizer {
-    &qs.iter().find(|(l, _)| *l == level).expect("level in ladder").1
+    // The ladder is ordered highest level first, so level `l` sits at
+    // `len - l` — O(1) in the per-element hot path.
+    let e = &qs[qs.len() - level as usize];
+    debug_assert_eq!(e.0, level);
+    &e.1
 }
 
 /// Compress-side G-Interp: predict + quantize the whole field.
@@ -276,18 +289,21 @@ pub fn compress_with(
     let (anchors, anchor_stats) = gather_anchors_with(data, astride, device);
 
     let mut codes = vec![radius; shape.len()];
-    let outlier_parts: Mutex<Vec<(u64, Outliers)>> = Mutex::new(Vec::new());
+    // One outlier slot per block, written disjointly during the launch
+    // and compacted in block order afterwards — no lock on the hot path.
+    let grid = launch_grid(shape, chunk);
+    let outlier_parts: BlockSlots<Outliers> = BlockSlots::new(grid.blocks.count() as usize);
 
     let interp_stats = {
         let src = GlobalRead::new(data.as_slice());
         let dst = GlobalWrite::new(&mut codes);
-        launch(device, launch_grid(shape, chunk), |ctx: &mut BlockCtx<'_>| {
+        launch(device, grid, |ctx: &mut BlockCtx<'_>| {
             let g = tile_geom(shape, chunk, ctx.block);
             let tlen = g.ext.iter().product::<usize>();
 
             // Stage 1 (Fig. 2-2): coalesced row loads of the original
-            // values into block-local storage.
-            let mut orig = vec![0f32; tlen];
+            // values into pooled block-local storage.
+            let mut orig = ctx.scratch(tlen, 0f32);
             for z in 0..g.ext[0] {
                 for y in 0..g.ext[1] {
                     let gi = shape.index3(g.origin[0] + z, g.origin[1] + y, g.origin[2]);
@@ -304,9 +320,9 @@ pub fn compress_with(
             seed_anchors_from(&mut tile, g.ext, g.origin, astride, |li| orig[li]);
             ctx.sync();
 
-            let mut local_codes = vec![radius; tlen];
+            let mut local_codes = ctx.scratch(tlen, radius);
             let mut outs = Outliers::new();
-            let mut grid_view = TileGrid { tile: &mut tile, ext: g.ext };
+            let mut grid_view = TileGrid::new(&mut tile, g.ext);
             let flops = interpolate_grid(&mut grid_view, rank, astride, cfg, |p, level, pred| {
                 let li = (p[0] * g.ext[1] + p[1]) * g.ext[2] + p[2];
                 let q = quantizer_for(&quants, level).quantize(orig[li], pred);
@@ -339,14 +355,12 @@ pub fn compress_with(
                 }
             }
             if !outs.is_empty() {
-                outlier_parts.lock().push((ctx.block_linear(), outs));
+                outlier_parts.put(ctx.block_linear() as usize, outs);
             }
         })
     };
 
-    let mut parts = outlier_parts.into_inner();
-    parts.sort_by_key(|(b, _)| *b);
-    let outliers = Outliers::concat(parts.into_iter().map(|(_, o)| o).collect());
+    let outliers = Outliers::concat(outlier_parts.into_compact());
 
     PredictOutput { codes, outliers, anchors, kernels: vec![anchor_stats, interp_stats] }
 }
@@ -421,7 +435,7 @@ pub fn decompress_with(
             let tlen = g.ext.iter().product::<usize>();
 
             // Stage 1: coalesced row loads of the quant-codes.
-            let mut tile_codes = vec![0u16; tlen];
+            let mut tile_codes = ctx.scratch(tlen, 0u16);
             for z in 0..g.ext[0] {
                 for y in 0..g.ext[1] {
                     let gi = shape.index3(g.origin[0] + z, g.origin[1] + y, g.origin[2]);
@@ -431,30 +445,37 @@ pub fn decompress_with(
             }
             ctx.sync();
 
-            // Stage 2: seed anchors from the lossless lattice.
+            // Stage 2: seed anchors from the lossless lattice. The
+            // tile's anchors within one z-lattice-plane form an
+            // analytic 2-d span of the anchor array (runs of `nx`
+            // consecutive entries, one per lattice row), so each plane
+            // is a single span read — no per-anchor index list.
             let mut tile = ctx.alloc_shared::<f32>(tlen);
             {
                 let origin = g.origin;
-                let mut seeds: Vec<(usize, usize)> = Vec::new(); // (tile idx, anchor idx)
-                for_each_anchor_local(g.ext, origin, astride, |p| {
-                    let li = (p[0] * g.ext[1] + p[1]) * g.ext[2] + p[2];
-                    let ai = ((origin[0] + p[0]) / astride * acounts[1]
-                        + (origin[1] + p[1]) / astride)
+                let nz = (g.ext[0] - 1) / astride + 1;
+                let ny = (g.ext[1] - 1) / astride + 1;
+                let nx = (g.ext[2] - 1) / astride + 1;
+                let mut vals = ctx.scratch(ny * nx, 0f32);
+                for zi in 0..nz {
+                    let p0 = zi * astride;
+                    let ai_start = ((origin[0] + p0) / astride * acounts[1]
+                        + origin[1] / astride)
                         * acounts[2]
-                        + (origin[2] + p[2]) / astride;
-                    seeds.push((li, ai));
-                });
-                let idx: Vec<usize> = seeds.iter().map(|&(_, ai)| ai).collect();
-                let mut vals = vec![0f32; idx.len()];
-                ctx.read_gather(&anchor_view, &idx, &mut vals);
-                for (&(li, _), &v) in seeds.iter().zip(&vals) {
-                    tile.set(li, v);
+                        + origin[2] / astride;
+                    ctx.read_span_2d(&anchor_view, ai_start, nx, acounts[2], ny, &mut vals);
+                    for yi in 0..ny {
+                        for xi in 0..nx {
+                            let li = ((p0 * g.ext[1]) + yi * astride) * g.ext[2] + xi * astride;
+                            tile.set(li, vals[yi * nx + xi]);
+                        }
+                    }
                 }
             }
             ctx.sync();
 
             // Stage 3: replay the sweep from codes.
-            let mut grid_view = TileGrid { tile: &mut tile, ext: g.ext };
+            let mut grid_view = TileGrid::new(&mut tile, g.ext);
             let flops = interpolate_grid(&mut grid_view, rank, astride, cfg, |p, level, pred| {
                 let li = (p[0] * g.ext[1] + p[1]) * g.ext[2] + p[2];
                 let code = tile_codes[li];
@@ -469,13 +490,14 @@ pub fn decompress_with(
                     quantizer_for(&quants, level).reconstruct(pred, code)
                 }
             });
+            drop(grid_view);
             ctx.add_flops(flops);
             for _ in 0..crate::sweep::phase_count(rank, astride) {
                 ctx.sync();
             }
 
             // Stage 4: coalesced stores of the owned reconstruction.
-            let mut row = vec![0f32; g.own[2]];
+            let mut row = ctx.scratch(g.own[2], 0f32);
             for z in 0..g.own[0] {
                 for y in 0..g.own[1] {
                     let gi = shape.index3(g.origin[0] + z, g.origin[1] + y, g.origin[2]);

@@ -12,10 +12,9 @@
 //! raw `i32` delta bit-cast into the `f32` outlier channel (lossless,
 //! see [`encode_delta`]).
 
-use cuszi_gpu_sim::{launch, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats};
+use cuszi_gpu_sim::{launch, BlockSlots, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats};
 use cuszi_quant::{prequantize, Outliers};
 use cuszi_tensor::{NdArray, Shape};
-use parking_lot::Mutex;
 
 use crate::PredictOutput;
 
@@ -72,13 +71,16 @@ pub fn compress(
     let rank = shape.rank();
     let r = prequantize(data.as_slice(), eb);
     let mut codes = vec![0u16; shape.len()];
-    let outlier_parts: Mutex<Vec<(u64, Outliers)>> = Mutex::new(Vec::new());
+    // Per-block outlier slots, written disjointly and compacted in
+    // block order after the launch — no lock on the hot path.
+    let grid = grid_for(shape);
+    let outlier_parts: BlockSlots<Outliers> = BlockSlots::new(grid.blocks.count() as usize);
     let rad = radius as i64;
 
     let stats = {
         let src = GlobalRead::new(&r);
         let dst = GlobalWrite::new(&mut codes);
-        launch(device, grid_for(shape), |ctx| {
+        launch(device, grid, |ctx| {
             let o = [
                 ctx.block.z as usize * LORENZO_TILE[0],
                 ctx.block.y as usize * LORENZO_TILE[1],
@@ -91,7 +93,7 @@ pub fn compress(
                 LORENZO_TILE[2].min(dims[2] - o[2]),
             ];
             let mut outs = Outliers::new();
-            let mut row_codes = vec![0u16; ext[2]];
+            let mut row_codes = ctx.scratch(ext[2], 0u16);
             for dz in 0..ext[0] {
                 for dy in 0..ext[1] {
                     let (z, y) = (o[0] + dz, o[1] + dy);
@@ -99,14 +101,14 @@ pub fn compress(
                     // coalesced load; the stencil's y/z halos re-read
                     // neighbour rows.
                     let row_start = shape.index3(z, y, o[2]);
-                    let mut row = vec![0i32; ext[2]];
+                    let mut row = ctx.scratch(ext[2], 0i32);
                     ctx.read_span(&src, row_start, &mut row);
                     if y > 0 {
-                        let mut prev = vec![0i32; ext[2]];
+                        let mut prev = ctx.scratch(ext[2], 0i32);
                         ctx.read_span(&src, shape.index3(z, y - 1, o[2]), &mut prev);
                     }
                     if z > 0 && rank == 3 {
-                        let mut prev = vec![0i32; ext[2]];
+                        let mut prev = ctx.scratch(ext[2], 0i32);
                         ctx.read_span(&src, shape.index3(z - 1, y, o[2]), &mut prev);
                     }
                     for (dx, rc) in row_codes.iter_mut().enumerate().take(ext[2]) {
@@ -128,14 +130,12 @@ pub fn compress(
                 }
             }
             if !outs.is_empty() {
-                outlier_parts.lock().push((ctx.block_linear(), outs));
+                outlier_parts.put(ctx.block_linear() as usize, outs);
             }
         })
     };
 
-    let mut parts = outlier_parts.into_inner();
-    parts.sort_by_key(|(b, _)| *b);
-    let outliers = Outliers::concat(parts.into_iter().map(|(_, o)| o).collect());
+    let outliers = Outliers::concat(outlier_parts.into_compact());
     PredictOutput { codes, outliers, anchors: Vec::new(), kernels: vec![stats] }
 }
 
@@ -199,7 +199,7 @@ fn scan_axis(data: &mut [i32], dims: [usize; 3], axis: usize, device: &DeviceSpe
             |ctx| {
                 let base = ctx.block.y as usize * strides[0] + ctx.block.x as usize * strides[1];
                 let n = dims[2];
-                let mut line = vec![0i32; n];
+                let mut line = ctx.scratch(n, 0i32);
                 ctx.read_span_rw(&view, base, &mut line);
                 let mut acc = 0i32;
                 for v in line.iter_mut() {
@@ -224,12 +224,12 @@ fn scan_axis(data: &mut [i32], dims: [usize; 3], axis: usize, device: &DeviceSpe
             let w = SCAN_TILE_X.min(dims[2] - x0);
             let o = ctx.block.y as usize;
             let n = dims[axis];
-            let mut acc = vec![0i32; w];
-            let mut row = vec![0i32; w];
+            let mut acc = ctx.scratch(w, 0i32);
+            let mut row = ctx.scratch(w, 0i32);
             for i in 0..n {
                 let base = i * strides[axis] + o * strides[other] + x0;
                 ctx.read_span_rw(&view, base, &mut row);
-                for (a, r) in acc.iter_mut().zip(&row) {
+                for (a, r) in acc.iter_mut().zip(row.iter()) {
                     *a = a.wrapping_add(*r);
                 }
                 ctx.add_flops(w as u64);

@@ -15,13 +15,29 @@ use crate::tuning::InterpConfig;
 
 /// Minimal mutable view of a 3-d (rank-padded) grid of values being
 /// progressively reconstructed.
+///
+/// Storage is row-major over [`GridView::extent`]; the sweep's hot loop
+/// addresses it through the linear accessors, with the point-based ones
+/// kept for tests and callers that don't track indices.
 pub trait GridView {
     /// Extent per padded axis (`[z, y, x]`; unused leading axes are 1).
     fn extent(&self) -> [usize; 3];
+    /// Read the value at a row-major linear index.
+    fn get_lin(&self, i: usize) -> f32;
+    /// Store the value at a row-major linear index.
+    fn set_lin(&mut self, i: usize, v: f32);
+
     /// Read the current value at a point.
-    fn get(&self, p: [usize; 3]) -> f32;
+    fn get(&self, p: [usize; 3]) -> f32 {
+        let e = self.extent();
+        self.get_lin((p[0] * e[1] + p[1]) * e[2] + p[2])
+    }
+
     /// Store the reconstructed value at a point.
-    fn set(&mut self, p: [usize; 3], v: f32);
+    fn set(&mut self, p: [usize; 3], v: f32) {
+        let e = self.extent();
+        self.set_lin((p[0] * e[1] + p[1]) * e[2] + p[2], v);
+    }
 }
 
 /// A plain in-memory grid (used by the CPU compressor and in tests).
@@ -64,13 +80,12 @@ impl GridView for VecGrid {
     }
 
     #[inline]
-    fn get(&self, p: [usize; 3]) -> f32 {
-        self.data[self.idx(p)]
+    fn get_lin(&self, i: usize) -> f32 {
+        self.data[i]
     }
 
     #[inline]
-    fn set(&mut self, p: [usize; 3], v: f32) {
-        let i = self.idx(p);
+    fn set_lin(&mut self, i: usize, v: f32) {
         self.data[i] = v;
     }
 }
@@ -174,23 +189,27 @@ fn sweep_dim<G: GridView>(
         }
     }
     let variant = cfg.variants[dim];
+    // Hot-loop addressing: taps along `dim` sit `ls` apart in the
+    // row-major buffer, so each tap is one multiply-add off the line's
+    // base index instead of a full 3-d index computation.
+    let ls = [extent[1] * extent[2], extent[2], 1][dim];
+    let line_len = extent[dim];
     let mut flops = 0u64;
     let mut z = start[0];
     while z < extent[0] {
+        let zb = z * extent[1];
         let mut y = start[1];
         while y < extent[1] {
+            let zyb = (zb + y) * extent[2];
             let mut x = start[2];
             while x < extent[2] {
                 let p = [z, y, x];
-                let line_len = extent[dim];
-                let (pred, fl) = predict_line(variant, p[dim], stride, line_len, |i| {
-                    let mut q = p;
-                    q[dim] = i;
-                    grid.get(q)
-                });
+                let line_base = zyb + x - p[dim] * ls;
+                let (pred, fl) =
+                    predict_line(variant, p[dim], stride, line_len, |i| grid.get_lin(line_base + i * ls));
                 flops += fl;
                 let v = process(p, level, pred);
-                grid.set(p, v);
+                grid.set_lin(zyb + x, v);
                 x = x.saturating_add(step[2]);
             }
             y = y.saturating_add(step[1]);

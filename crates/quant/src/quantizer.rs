@@ -27,6 +27,11 @@ pub struct Quantized {
 pub struct Quantizer {
     eb: f64,
     twice_eb: f64,
+    /// Precomputed `1 / twice_eb`: the quantize hot loop multiplies
+    /// instead of dividing (f64 division dominates the per-element cost
+    /// otherwise). Any sub-ulp difference vs division is caught by the
+    /// explicit bound re-check in [`Quantizer::quantize`].
+    inv_twice_eb: f64,
     radius: i32,
 }
 
@@ -41,7 +46,7 @@ impl Quantizer {
     pub fn new(eb: f64, radius: u16) -> Self {
         assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
         assert!(radius >= 1, "radius must be at least 1");
-        Quantizer { eb, twice_eb: 2.0 * eb, radius: radius as i32 }
+        Quantizer { eb, twice_eb: 2.0 * eb, inv_twice_eb: 1.0 / (2.0 * eb), radius: radius as i32 }
     }
 
     /// The absolute error bound.
@@ -63,7 +68,7 @@ impl Quantizer {
     #[inline]
     pub fn quantize(&self, value: f32, pred: f32) -> Quantized {
         let err = value as f64 - pred as f64;
-        let q = (err / self.twice_eb).round();
+        let q = (err * self.inv_twice_eb).round();
         // Out-of-band (or numerically degenerate) errors become outliers,
         // stored exactly. The negated comparison is deliberate: it must
         // catch NaN (from a NaN prediction), which `>=` would not.

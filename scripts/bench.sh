@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Host-performance bench driver.
+#
+# Runs the exp_hostperf report (end-to-end + per-stage host MB/s for
+# cuSZ-i and the baselines on all six synthetic datasets) followed by
+# the per-stage wall-clock bench, writing BENCH_<n>.json where <n> is
+# the first unused index in the output directory.
+#
+# Usage: scripts/bench.sh [--quick] [--out-dir DIR] [extra exp_hostperf args...]
+#   --quick     2 samples per measurement (CI smoke); default is 5.
+#   --out-dir   where BENCH_<n>.json goes (default: repo root).
+# Env: CUSZI_BENCH_SAMPLES overrides the sample count either way.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="."
+quick=0
+extra=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick) quick=1 ;;
+        --out-dir) out_dir="$2"; shift ;;
+        *) extra+=("$1") ;;
+    esac
+    shift
+done
+mkdir -p "$out_dir"
+
+n=1
+while [ -e "$out_dir/BENCH_$n.json" ]; do n=$((n + 1)); done
+out="$out_dir/BENCH_$n.json"
+
+if [ "$quick" = 1 ]; then
+    export CUSZI_BENCH_QUICK=1
+fi
+
+cargo build --release -p cuszi-bench --bin exp_hostperf --benches
+./target/release/exp_hostperf --out "$out" ${extra[@]+"${extra[@]}"}
+cargo bench -p cuszi-bench --bench stages
+
+echo "report: $out"

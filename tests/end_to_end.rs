@@ -66,6 +66,28 @@ fn every_codec_roundtrips_every_dataset_within_bound() {
 }
 
 #[test]
+fn archives_are_byte_identical_across_thread_counts() {
+    // The lock-free slot/compaction substrate must keep the full
+    // pipeline deterministic by construction: compressing with one
+    // worker and with eight must produce the same bytes (and the same
+    // bytes as whatever the ambient pool picks).
+    use cuszi_repro::gpu_sim::pool;
+    let ds = generate(DatasetKind::Miranda, Scale::Small, 42);
+    let field = shrink(&ds.fields[0].data);
+    for codec in eb_codecs(ErrorBound::Rel(1e-3)) {
+        let (ambient, _) = codec.compress_bytes(&field).unwrap();
+        let (one, _) = pool::with_threads(1, || codec.compress_bytes(&field)).unwrap();
+        let (eight, _) = pool::with_threads(8, || codec.compress_bytes(&field)).unwrap();
+        assert_eq!(one, eight, "{}: 1-thread vs 8-thread archive", codec.name());
+        assert_eq!(one, ambient, "{}: explicit vs ambient pool archive", codec.name());
+        // Decompression is deterministic too.
+        let (r1, _) = pool::with_threads(1, || codec.decompress_bytes(&one)).unwrap();
+        let (r8, _) = pool::with_threads(8, || codec.decompress_bytes(&one)).unwrap();
+        assert_eq!(r1.as_slice(), r8.as_slice(), "{}: decompress", codec.name());
+    }
+}
+
+#[test]
 fn cuszi_with_bitcomp_has_best_ratio_on_smooth_datasets() {
     // The Table III headline at moderate bounds on compressible data.
     for kind in [DatasetKind::Miranda, DatasetKind::S3d] {
@@ -208,10 +230,7 @@ fn soak_large_field_full_pipeline() {
 #[ignore = "64 MB field; ~1 min"]
 fn soak_quarter_paper_scale_turbulence() {
     use cuszi_repro::tensor::Shape;
-    let mut rng = {
-        use rand::SeedableRng;
-        rand_chacha::ChaCha8Rng::seed_from_u64(99)
-    };
+    let mut rng = cuszi_repro::datagen::rng::ChaCha8Rng::seed_from_u64(99);
     let data = cuszi_repro::datagen::turbulence(Shape::d3(256, 256, 256), &mut rng);
     let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
     let (bytes, _) = codec.compress_bytes(&data).unwrap();
