@@ -6,7 +6,7 @@
 //! cuSZ's (the Table III ordering).
 
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
+use cuszi_gpu_sim::{launch_named, DeviceSpec, GlobalRead, GlobalWrite, Grid};
 use cuszi_quant::{prequant_reconstruct, prequantize, ErrorBound};
 use cuszi_gpu_sim::BlockSlots;
 use cuszi_tensor::NdArray;
@@ -123,7 +123,7 @@ impl Codec for Cuszp {
         let parts: BlockSlots<(Vec<u8>, Vec<u32>)> = BlockSlots::new(ntb);
         let stats = {
             let src = GlobalRead::new(&r);
-            launch(&self.device, Grid::linear(ntb as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(ntb as u32, 256), "cuszp-encode", |ctx| {
                 let tb = ctx.block_linear() as usize;
                 let bstart = tb * BLOCKS_PER_TB;
                 let bend = (bstart + BLOCKS_PER_TB).min(nblocks);
@@ -200,7 +200,7 @@ impl Codec for Cuszp {
         let stats = {
             let src = GlobalRead::new(payload);
             let dst = GlobalWrite::new(&mut r);
-            launch(&self.device, Grid::linear(ntb as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(ntb as u32, 256), "cuszp-decode", |ctx| {
                 let tb = ctx.block_linear() as usize;
                 let bstart = tb * BLOCKS_PER_TB;
                 let bend = (bstart + BLOCKS_PER_TB).min(nblocks);

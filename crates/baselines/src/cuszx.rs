@@ -7,7 +7,7 @@
 //! anomaly the paper notes).
 
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
+use cuszi_gpu_sim::{launch_named, DeviceSpec, GlobalRead, GlobalWrite, Grid};
 use cuszi_quant::ErrorBound;
 use cuszi_gpu_sim::BlockSlots;
 use cuszi_tensor::NdArray;
@@ -143,7 +143,7 @@ impl Codec for Cuszx {
         let parts: BlockSlots<Vec<u8>> = BlockSlots::new(nblocks.max(1));
         let stats = {
             let src = GlobalRead::new(data.as_slice());
-            launch(&self.device, Grid::linear(nblocks.max(1) as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(nblocks.max(1) as u32, 256), "cuszx-encode", |ctx| {
                 let b = ctx.block_linear() as usize;
                 let start = b * BLOCK;
                 if start >= n {
@@ -200,7 +200,7 @@ impl Codec for Cuszx {
         let stats = {
             let src = GlobalRead::new(payload);
             let dst = GlobalWrite::new(&mut out);
-            launch(&self.device, Grid::linear(nblocks as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(nblocks as u32, 256), "cuszx-decode", |ctx| {
                 let b = ctx.block_linear() as usize;
                 let elems = BLOCK.min(n - b * BLOCK);
                 let mut buf = ctx.scratch(lens[b] as usize, 0u8);

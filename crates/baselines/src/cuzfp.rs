@@ -14,7 +14,7 @@
 //! Table III reports it N/A and Fig. 7 sweeps its rate.
 
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
+use cuszi_gpu_sim::{launch_named, DeviceSpec, GlobalRead, GlobalWrite, Grid};
 use cuszi_gpu_sim::BlockSlots;
 use cuszi_tensor::{NdArray, Shape};
 
@@ -283,7 +283,7 @@ impl Codec for Cuzfp {
         let stats = {
             let src = GlobalRead::new(data.as_slice());
             let dst = GlobalWrite::new(&mut out[base..]);
-            launch(&self.device, Grid::linear(origins.len().max(1) as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(origins.len().max(1) as u32, 256), "cuzfp-encode", |ctx| {
                 let b = ctx.block_linear() as usize;
                 if b >= origins.len() {
                     return;
@@ -345,7 +345,7 @@ impl Codec for Cuzfp {
         let stats = {
             let src = GlobalRead::new(payload);
             let dst = GlobalWrite::new(&mut out);
-            launch(&self.device, Grid::linear(origins.len().max(1) as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(origins.len().max(1) as u32, 256), "cuzfp-decode", |ctx| {
                 let b = ctx.block_linear() as usize;
                 if b >= origins.len() {
                     return;
@@ -404,7 +404,7 @@ mod tests {
 
     #[test]
     fn transform_roundtrip_3d() {
-        let mut block: Vec<i32> = (0..64).map(|i| (i * i) as i32 - 1000).collect();
+        let mut block: Vec<i32> = (0..64).map(|i| (i * i) - 1000).collect();
         let orig = block.clone();
         transform_block(&mut block, 3, true);
         assert_ne!(block, orig, "transform must do something");

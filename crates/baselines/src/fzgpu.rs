@@ -5,7 +5,7 @@
 //! Huffman does), which is exactly its Table III position.
 
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, GlobalWrite, Grid};
+use cuszi_gpu_sim::{launch_named, DeviceSpec, GlobalRead, GlobalWrite, Grid};
 use cuszi_predict::lorenzo;
 use cuszi_quant::{ErrorBound, OUTLIER_CODE};
 use cuszi_gpu_sim::BlockSlots;
@@ -151,7 +151,7 @@ impl Codec for FzGpu {
         let sstats = {
             let src = GlobalRead::new(&zz);
             let dst = GlobalWrite::new(&mut shuffled);
-            launch(&self.device, Grid::linear(ntiles.max(1) as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(ntiles.max(1) as u32, 256), "fzgpu-bitshuffle", |ctx| {
                 let t = ctx.block_linear() as usize;
                 let start = t * TILE;
                 if start >= zz.len() {
@@ -174,7 +174,7 @@ impl Codec for FzGpu {
         let parts: BlockSlots<(Vec<u8>, Vec<u8>)> = BlockSlots::new(ntiles.max(1));
         let dstats = {
             let src = GlobalRead::new(&shuffled);
-            launch(&self.device, Grid::linear(ntiles.max(1) as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(ntiles.max(1) as u32, 256), "fzgpu-dedup", |ctx| {
                 let t = ctx.block_linear() as usize;
                 let start = t * tile_out_len;
                 if start >= shuffled.len() {
@@ -248,7 +248,7 @@ impl Codec for FzGpu {
             let bsrc = GlobalRead::new(bitmap_all);
             let wsrc = GlobalRead::new(words_all);
             let dst = GlobalWrite::new(&mut codes);
-            launch(&self.device, Grid::linear(ntiles.max(1) as u32, 256), |ctx| {
+            launch_named(&self.device, Grid::linear(ntiles.max(1) as u32, 256), "fzgpu-decode", |ctx| {
                 let t = ctx.block_linear() as usize;
                 if t * TILE >= n {
                     return;

@@ -7,9 +7,11 @@
 //! pipeline. Results go to a JSON report (default `BENCH_1.json`) so
 //! successive commits can be diffed.
 //!
-//! Usage: `exp_hostperf [--paper] [--seed N] [--out PATH]`
+//! Usage: `exp_hostperf [--paper] [--seed N] [--out PATH] [--profile]`
 //! Env: `CUSZI_BENCH_QUICK=1` / `CUSZI_BENCH_SAMPLES=N` (see
-//! `cuszi_bench::timing`).
+//! `cuszi_bench::timing`); `CUSZI_PROFILE=1` is equivalent to
+//! `--profile`. Profiling dumps a `profile_<n>.json` companion (kernel
+//! table + span trace + metric counters) next to `BENCH_<n>.json`.
 
 use cuszi_bench::timing::{section, Bench, Measurement};
 use cuszi_bench::{codec_roster, parse_args};
@@ -28,51 +30,99 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn stage_json(m: &Measurement) -> String {
+fn stage_json(m: &Measurement, total_s: f64) -> String {
+    let share = if total_s > 0.0 { m.min_s / total_s * 100.0 } else { 0.0 };
     format!(
-        "{{\"name\":\"{}\",\"ms\":{:.4},\"mbps\":{:.2}}}",
+        "{{\"name\":\"{}\",\"ms\":{:.4},\"mbps\":{:.2},\"share_pct\":{share:.2}}}",
         json_escape(&m.name),
         m.min_s * 1e3,
         m.mbps().unwrap_or(0.0)
     )
 }
 
-/// Per-stage host timings of the cuSZ-i pipeline on one field.
+/// Per-stage host timings of the cuSZ-i pipeline on one field. Each
+/// stage's best-sample run is wrapped in a tracer span so a profiled
+/// run (`--profile`) shows the same breakdown on the trace timeline.
 fn cuszi_stages(b: &Bench, field: &cuszi_tensor::NdArray<f32>) -> Vec<Measurement> {
     let bytes = Some((field.len() * 4) as u64);
     let range = ValueRange::of(field.as_slice()).unwrap().range() as f64;
     let eb = REL_EB * range;
     let cfg = InterpConfig::untuned(field.shape().rank().min(3));
+    use cuszi_profile::{span, Category::Stage};
     let mut out = Vec::new();
-    out.push(b.run("predict_ginterp", bytes, || ginterp::compress(field, eb, 512, &cfg, &A100)));
+    out.push({
+        let _g = span("predict_ginterp", Stage);
+        b.run("predict_ginterp", bytes, || ginterp::compress(field, eb, 512, &cfg, &A100))
+    });
     let gi = ginterp::compress(field, eb, 512, &cfg, &A100);
-    out.push(b.run("histogram", bytes, || histogram_gpu(&gi.codes, 1024, 512, 32, &A100)));
+    out.push({
+        let _g = span("histogram", Stage);
+        b.run("histogram", bytes, || histogram_gpu(&gi.codes, 1024, 512, 32, &A100))
+    });
     let (hist, _) = histogram_gpu(&gi.codes, 1024, 512, 32, &A100);
     let book = Codebook::from_histogram(&hist).unwrap();
-    out.push(b.run("codebook_cpu", bytes, || Codebook::from_histogram(&hist)));
-    out.push(b.run("huffman_encode", bytes, || encode_gpu(&gi.codes, &book, &A100)));
+    out.push({
+        let _g = span("codebook_cpu", Stage);
+        b.run("codebook_cpu", bytes, || Codebook::from_histogram(&hist))
+    });
+    out.push({
+        let _g = span("huffman_encode", Stage);
+        b.run("huffman_encode", bytes, || encode_gpu(&gi.codes, &book, &A100))
+    });
     let (stream, _) = encode_gpu(&gi.codes, &book, &A100);
     let payload = stream.to_bytes();
-    out.push(b.run("bitcomp", bytes, || cuszi_bitcomp::compress(&payload, &A100)));
+    out.push({
+        let _g = span("bitcomp", Stage);
+        b.run("bitcomp", bytes, || cuszi_bitcomp::compress(&payload, &A100))
+    });
     out
+}
+
+/// Companion profile dump path for a report path: `BENCH_1.json` ->
+/// `profile_1.json`; anything else gets a `.profile.json` suffix.
+fn profile_path_for(out_path: &str) -> String {
+    let file = std::path::Path::new(out_path)
+        .file_name()
+        .and_then(|f| f.to_str())
+        .unwrap_or(out_path);
+    if let Some(rest) = file.strip_prefix("BENCH") {
+        let prof = format!("profile{rest}");
+        match std::path::Path::new(out_path).parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.join(prof).to_string_lossy().into_owned(),
+            _ => prof,
+        }
+    } else {
+        format!("{out_path}.profile.json")
+    }
 }
 
 fn main() {
     let (scale, seed) = parse_args();
     let mut out_path = String::from("BENCH_1.json");
+    let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {
             if let Some(p) = args.next() {
                 out_path = p;
             }
+        } else if a == "--profile" {
+            profile = true;
         }
     }
+    let profiling = if profile {
+        cuszi_profile::install();
+        cuszi_profile::enable(true);
+        true
+    } else {
+        cuszi_profile::init_from_env()
+    };
 
     let b = Bench::from_env();
     println!(
-        "host-perf: scale {scale:?}, seed {seed}, {} samples -> {out_path}",
-        b.samples
+        "host-perf: scale {scale:?}, seed {seed}, {} samples -> {out_path}{}",
+        b.samples,
+        if profiling { " (profiling)" } else { "" }
     );
 
     let mut ds_json = Vec::new();
@@ -103,7 +153,11 @@ fn main() {
             );
             let stages = if entry.is_ours {
                 let ms = cuszi_stages(&b, &field.data);
-                format!(",\"stages\":[{}]", ms.iter().map(stage_json).collect::<Vec<_>>().join(","))
+                let total_s: f64 = ms.iter().map(|m| m.min_s).sum();
+                format!(
+                    ",\"stages\":[{}]",
+                    ms.iter().map(|m| stage_json(m, total_s)).collect::<Vec<_>>().join(",")
+                )
             } else {
                 String::new()
             };
@@ -135,4 +189,25 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write report");
     println!("\nwrote {out_path}");
+
+    if profiling {
+        cuszi_profile::enable(false);
+        let rep = cuszi_profile::install().report();
+        let prof_path = profile_path_for(&out_path);
+        std::fs::write(&prof_path, rep.to_json()).expect("write profile");
+        println!("{}", rep.kernel_report());
+        println!("wrote {prof_path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::profile_path_for;
+
+    #[test]
+    fn profile_path_mirrors_bench_numbering() {
+        assert_eq!(profile_path_for("BENCH_1.json"), "profile_1.json");
+        assert_eq!(profile_path_for("out/BENCH_7.json"), "out/profile_7.json");
+        assert_eq!(profile_path_for("report.json"), "report.json.profile.json");
+    }
 }

@@ -21,7 +21,7 @@ impl Bench {
     /// Defaults (1 warmup + 5 samples), overridable via
     /// `CUSZI_BENCH_SAMPLES` and `CUSZI_BENCH_QUICK`.
     pub fn from_env() -> Self {
-        let quick = std::env::var("CUSZI_BENCH_QUICK").map_or(false, |v| v != "0" && !v.is_empty());
+        let quick = std::env::var("CUSZI_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
         let samples = std::env::var("CUSZI_BENCH_SAMPLES")
             .ok()
             .and_then(|s| s.parse::<usize>().ok())

@@ -21,7 +21,7 @@
 //! `[u64 offset per block]`, then per-block payloads of
 //! `[u8 mode][body]`.
 
-use cuszi_gpu_sim::{launch, BlockSlots, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
+use cuszi_gpu_sim::{launch_named, BlockSlots, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
 
 pub mod lzss;
 
@@ -269,7 +269,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
     let blocks: BlockSlots<Vec<u8>> = BlockSlots::new(nblocks);
     if nblocks > 0 {
         let src = GlobalRead::new(data);
-        stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+        stats.push(launch_named(device, Grid::linear(nblocks as u32, 256), "bitcomp-encode", |ctx| {
             let b = ctx.block_linear() as usize;
             let start = b * BLOCK;
             let end = (start + BLOCK).min(data.len());
@@ -307,7 +307,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
             v
         };
         let dst = GlobalWrite::new(&mut out[payload_base..]);
-        stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+        stats.push(launch_named(device, Grid::linear(nblocks as u32, 256), "bitcomp-emit", |ctx| {
             let b = ctx.block_linear() as usize;
             ctx.write_span(&dst, offsets[b], &blocks[b]);
         }));
@@ -352,7 +352,7 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
     let stats = {
         let src = GlobalRead::new(payload);
         let dst = GlobalWrite::new(&mut out);
-        launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+        launch_named(device, Grid::linear(nblocks as u32, 256), "bitcomp-decode", |ctx| {
             let b = ctx.block_linear() as usize;
             let start = offsets[b];
             let end = if b + 1 < nblocks { offsets[b + 1] } else { payload.len() };

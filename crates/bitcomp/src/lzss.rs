@@ -9,7 +9,7 @@
 //! literals as raw bytes, matches as 12-bit offset + 4-bit length
 //! (lengths 3..18) against a sliding window within the block.
 
-use cuszi_gpu_sim::{launch, BlockSlots, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
+use cuszi_gpu_sim::{launch_named, BlockSlots, DeviceSpec, GlobalRead, GlobalWrite, Grid, KernelStats};
 
 use crate::BitcompError;
 
@@ -112,7 +112,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
     let mut stats = Vec::new();
     if nblocks > 0 {
         let src = GlobalRead::new(data);
-        stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+        stats.push(launch_named(device, Grid::linear(nblocks as u32, 256), "lzss-encode", |ctx| {
             let b = ctx.block_linear() as usize;
             let start = b * BLOCK;
             let end = (start + BLOCK).min(data.len());
@@ -160,7 +160,7 @@ pub fn compress(data: &[u8], device: &DeviceSpec) -> (Vec<u8>, Vec<KernelStats>)
             v
         };
         let dst = GlobalWrite::new(&mut out[base..]);
-        stats.push(launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+        stats.push(launch_named(device, Grid::linear(nblocks as u32, 256), "lzss-emit", |ctx| {
             let b = ctx.block_linear() as usize;
             ctx.write_span(&dst, offsets[b], &blocks[b]);
         }));
@@ -201,7 +201,7 @@ pub fn decompress(data: &[u8], device: &DeviceSpec) -> Result<(Vec<u8>, KernelSt
     let stats = {
         let src = GlobalRead::new(payload);
         let dst = GlobalWrite::new(&mut out);
-        launch(device, Grid::linear(nblocks as u32, 256), |ctx| {
+        launch_named(device, Grid::linear(nblocks as u32, 256), "lzss-decode", |ctx| {
             let b = ctx.block_linear() as usize;
             let start = offsets[b];
             let end = if b + 1 < nblocks { offsets[b + 1] } else { payload.len() };

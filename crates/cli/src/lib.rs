@@ -36,6 +36,10 @@ pub enum Command {
         /// Stream the field in z-slabs of this thickness (bounded
         /// memory; 3-d only, --rel-eb/--abs-eb only).
         slab: Option<usize>,
+        /// Profile the run: `Some(path)` writes a Chrome trace there,
+        /// `Some("")` uses `<output>.trace.json`. `CUSZI_PROFILE=1`
+        /// turns this on ambiently even when `None`.
+        profile: Option<String>,
     },
     Decompress {
         input: String,
@@ -87,12 +91,17 @@ cuszi — cuSZ-i error-bounded lossy compression for raw f32 fields
 USAGE:
   cuszi compress   -i <in.f32> -o <out.cszi> --dims ZxYxX
                    (--rel-eb E | --abs-eb E | --psnr DB | --pw-rel E [--floor F])
-                   [--no-bitcomp] [--verify] [--slab Z]
+                   [--no-bitcomp] [--verify] [--slab Z] [--profile[=TRACE.json]]
   cuszi decompress -i <in.cszi> -o <out.f32>
   cuszi info       -i <in.cszi>
 
 Dims are slowest-to-fastest (z x y x x), e.g. --dims 256x384x384;
-1-d and 2-d fields use fewer components (--dims 1000 or --dims 384x384).";
+1-d and 2-d fields use fewer components (--dims 1000 or --dims 384x384).
+
+--profile records a kernel/stage profile: a Perfetto-loadable Chrome
+trace (default <out>.trace.json), a per-kernel roofline table with
+bottleneck verdicts, and a span time summary. CUSZI_PROFILE=1 in the
+environment does the same without the flag.";
 
 /// Parse `ZxYxX` dims.
 pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
@@ -111,6 +120,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut bitcomp = true;
     let mut verify = false;
     let mut slab = None;
+    let mut profile = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -151,6 +161,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--no-bitcomp" => bitcomp = false,
             "--verify" => verify = true,
+            "--profile" => profile = Some(String::new()),
+            p if p.starts_with("--profile=") => {
+                let path = &p["--profile=".len()..];
+                if path.is_empty() {
+                    return Err(CliError("--profile= needs a path".into()));
+                }
+                profile = Some(path.to_string());
+            }
             "--slab" => {
                 slab = Some(
                     val("--slab")?.parse().map_err(|_| CliError("bad --slab".into()))?,
@@ -169,6 +187,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             bitcomp,
             verify,
             slab,
+            profile,
         }),
         "decompress" => Ok(Command::Decompress {
             input,
@@ -206,64 +225,40 @@ pub fn write_f32_field(path: &Path, data: &NdArray<f32>) -> Result<(), CliError>
 pub fn run(cmd: Command) -> Result<String, CliError> {
     let mut out = String::new();
     match cmd {
-        Command::Compress { input, output, shape, mode, bitcomp, verify, slab } => {
-            if let Some(slab_z) = slab {
-                return compress_streamed(&input, &output, shape, mode, bitcomp, slab_z);
-            }
-            let data = read_f32_field(Path::new(&input), shape)?;
-            let base = match mode {
-                BoundMode::Rel(e) => Config::new(ErrorBound::Rel(e)),
-                BoundMode::Abs(e) => Config::new(ErrorBound::Abs(e)),
-                BoundMode::Psnr(_) | BoundMode::PwRel(..) => Config::new(ErrorBound::Rel(1e-3)),
+        Command::Compress { input, output, shape, mode, bitcomp, verify, slab, profile } => {
+            // Profiling wraps the whole compress run (either path);
+            // `CUSZI_PROFILE=1` in the environment is equivalent to
+            // passing --profile.
+            let profiling = profile.is_some() || cuszi_profile::init_from_env();
+            let trace_path = match &profile {
+                Some(p) if !p.is_empty() => p.clone(),
+                _ => format!("{output}.trace.json"),
             };
-            let base = if bitcomp { base } else { base.without_bitcomp() };
-            let (bytes, eb_abs) = match mode {
-                BoundMode::Psnr(db) => {
-                    let r = compress_to_psnr(&data, db, 1.0, base)?;
-                    writeln!(out, "psnr target {db:.1} dB -> achieved {:.1} dB", r.achieved_psnr)
+            if profiling {
+                cuszi_profile::install();
+                cuszi_profile::enable(true);
+            }
+            let mut result = if let Some(slab_z) = slab {
+                compress_streamed(&input, &output, shape, mode, bitcomp, slab_z)
+            } else {
+                compress_whole(&input, &output, shape, mode, bitcomp, verify)
+            };
+            if profiling {
+                cuszi_profile::enable(false);
+                if let (Ok(text), Some(p)) = (&mut result, cuszi_profile::profiler()) {
+                    let rep = p.report();
+                    fs::write(&trace_path, rep.chrome_trace())?;
+                    writeln!(text, "\n{}", rep.kernel_report().trim_end()).ok();
+                    writeln!(text, "\nspan summary (wall time)\n{}", rep.flame_summary().trim_end())
                         .ok();
-                    (r.compressed.bytes, r.compressed.eb_abs)
-                }
-                BoundMode::PwRel(eps, floor) => {
-                    let r = compress_pw_rel(&data, eps, floor, base)?;
-                    writeln!(out, "point-wise relative eps {eps:.1e}, floor {floor:.1e}").ok();
-                    (r.bytes, r.log_eb)
-                }
-                _ => {
-                    let c = CuszI::new(base).compress(&data)?;
-                    (c.bytes, c.eb_abs)
-                }
-            };
-            writeln!(
-                out,
-                "{input} ({shape}, {:.1} MB) -> {output} ({:.1} KB), CR {:.1}, {:.3} bits/elem, abs eb {eb_abs:.3e}",
-                (data.len() * 4) as f64 / 1e6,
-                bytes.len() as f64 / 1e3,
-                compression_ratio(data.len() * 4, bytes.len()),
-                bit_rate(data.len(), bytes.len()),
-            )
-            .ok();
-            if verify {
-                let d = match mode {
-                    BoundMode::PwRel(..) => cuszi_core::Decompressed {
-                        data: decompress_pw_rel(&bytes, base)?,
-                        kernels: Vec::new(),
-                    },
-                    _ => CuszI::new(base).decompress(&bytes)?,
-                };
-                let m = distortion(data.as_slice(), d.data.as_slice())
-                    .ok_or_else(|| CliError("empty field".into()))?;
-                let abs_mode = !matches!(mode, BoundMode::PwRel(..));
-                if abs_mode && m.max_abs_err > eb_abs * (1.0 + 1e-6) {
-                    return Err(CliError(format!(
-                        "VERIFY FAILED: max error {:.3e} exceeds bound {eb_abs:.3e}",
-                        m.max_abs_err
-                    )));
-                }
-                writeln!(out, "verified: PSNR {:.1} dB, max err {:.3e}", m.psnr, m.max_abs_err)
+                    writeln!(
+                        text,
+                        "\ntrace written to {trace_path} — load it at ui.perfetto.dev"
+                    )
                     .ok();
+                }
             }
-            fs::write(&output, &bytes)?;
+            return result;
         }
         Command::Decompress { input, output } => {
             let bytes = fs::read(&input)?;
@@ -286,46 +281,120 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             write_f32_field(Path::new(&output), &d.data)?;
         }
         Command::Info { input } => {
-            let bytes = fs::read(&input)?;
-            if bytes.starts_with(b"CSZR") {
-                if bytes.len() < 36 {
-                    return Err(CliError("truncated pw-rel archive".into()));
-                }
-                let eps = f64::from_le_bytes(bytes[4..12].try_into().unwrap());
-                let floor = f64::from_le_bytes(bytes[12..20].try_into().unwrap());
-                writeln!(out, "cuSZ-i point-wise-relative archive").ok();
-                writeln!(out, "  eps:    {eps:.3e}").ok();
-                writeln!(out, "  floor:  {floor:.3e}").ok();
-                writeln!(out, "  total:  {} B", bytes.len()).ok();
-                return Ok(out);
-            }
-            let h = Header::from_bytes(&bytes)?;
-            writeln!(out, "cuSZ-i archive v{}", h.version).ok();
-            writeln!(out, "  dims:       {}", h.shape).ok();
-            writeln!(out, "  abs eb:     {:.6e}", h.eb_abs).ok();
-            writeln!(out, "  alpha:      {:.4}", h.alpha).ok();
-            writeln!(out, "  radius:     {}", h.radius).ok();
-            writeln!(out, "  dim order:  {:?}", h.order).ok();
-            writeln!(out, "  bitcomp:    {}", h.flags & cuszi_core::archive::FLAG_BITCOMP != 0)
-                .ok();
-            writeln!(
-                out,
-                "  sections:   anchors {} B, codebook {} B, huffman {} B, outliers {} B",
-                h.sections[0],
-                h.sections[1],
-                h.sections[2],
-                h.sections[3] + h.sections[4]
-            )
-            .ok();
-            writeln!(
-                out,
-                "  total:      {} B (CR {:.1} vs raw f32)",
-                bytes.len(),
-                compression_ratio(h.shape.len() * 4, bytes.len())
-            )
-            .ok();
+            return info_text(&input);
         }
     }
+    Ok(out)
+}
+
+/// Whole-field (non-slab) compression, shared by [`run`].
+fn compress_whole(
+    input: &str,
+    output: &str,
+    shape: Shape,
+    mode: BoundMode,
+    bitcomp: bool,
+    verify: bool,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    let data = read_f32_field(Path::new(input), shape)?;
+    let base = match mode {
+        BoundMode::Rel(e) => Config::new(ErrorBound::Rel(e)),
+        BoundMode::Abs(e) => Config::new(ErrorBound::Abs(e)),
+        BoundMode::Psnr(_) | BoundMode::PwRel(..) => Config::new(ErrorBound::Rel(1e-3)),
+    };
+    let base = if bitcomp { base } else { base.without_bitcomp() };
+    let (bytes, eb_abs) = match mode {
+        BoundMode::Psnr(db) => {
+            let r = compress_to_psnr(&data, db, 1.0, base)?;
+            writeln!(out, "psnr target {db:.1} dB -> achieved {:.1} dB", r.achieved_psnr)
+                .ok();
+            (r.compressed.bytes, r.compressed.eb_abs)
+        }
+        BoundMode::PwRel(eps, floor) => {
+            let r = compress_pw_rel(&data, eps, floor, base)?;
+            writeln!(out, "point-wise relative eps {eps:.1e}, floor {floor:.1e}").ok();
+            (r.bytes, r.log_eb)
+        }
+        _ => {
+            let c = CuszI::new(base).compress(&data)?;
+            (c.bytes, c.eb_abs)
+        }
+    };
+    writeln!(
+        out,
+        "{input} ({shape}, {:.1} MB) -> {output} ({:.1} KB), CR {:.1}, {:.3} bits/elem, abs eb {eb_abs:.3e}",
+        (data.len() * 4) as f64 / 1e6,
+        bytes.len() as f64 / 1e3,
+        compression_ratio(data.len() * 4, bytes.len()),
+        bit_rate(data.len(), bytes.len()),
+    )
+    .ok();
+    if verify {
+        let d = match mode {
+            BoundMode::PwRel(..) => cuszi_core::Decompressed {
+                data: decompress_pw_rel(&bytes, base)?,
+                kernels: Vec::new(),
+            },
+            _ => CuszI::new(base).decompress(&bytes)?,
+        };
+        let m = distortion(data.as_slice(), d.data.as_slice())
+            .ok_or_else(|| CliError("empty field".into()))?;
+        let abs_mode = !matches!(mode, BoundMode::PwRel(..));
+        if abs_mode && m.max_abs_err > eb_abs * (1.0 + 1e-6) {
+            return Err(CliError(format!(
+                "VERIFY FAILED: max error {:.3e} exceeds bound {eb_abs:.3e}",
+                m.max_abs_err
+            )));
+        }
+        writeln!(out, "verified: PSNR {:.1} dB, max err {:.3e}", m.psnr, m.max_abs_err)
+            .ok();
+    }
+    fs::write(output, &bytes)?;
+    Ok(out)
+}
+
+/// The `info` subcommand's report.
+fn info_text(input: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    let bytes = fs::read(input)?;
+    if bytes.starts_with(b"CSZR") {
+        if bytes.len() < 36 {
+            return Err(CliError("truncated pw-rel archive".into()));
+        }
+        let eps = f64::from_le_bytes(bytes[4..12].try_into().unwrap());
+        let floor = f64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        writeln!(out, "cuSZ-i point-wise-relative archive").ok();
+        writeln!(out, "  eps:    {eps:.3e}").ok();
+        writeln!(out, "  floor:  {floor:.3e}").ok();
+        writeln!(out, "  total:  {} B", bytes.len()).ok();
+        return Ok(out);
+    }
+    let h = Header::from_bytes(&bytes)?;
+    writeln!(out, "cuSZ-i archive v{}", h.version).ok();
+    writeln!(out, "  dims:       {}", h.shape).ok();
+    writeln!(out, "  abs eb:     {:.6e}", h.eb_abs).ok();
+    writeln!(out, "  alpha:      {:.4}", h.alpha).ok();
+    writeln!(out, "  radius:     {}", h.radius).ok();
+    writeln!(out, "  dim order:  {:?}", h.order).ok();
+    writeln!(out, "  bitcomp:    {}", h.flags & cuszi_core::archive::FLAG_BITCOMP != 0)
+        .ok();
+    writeln!(
+        out,
+        "  sections:   anchors {} B, codebook {} B, huffman {} B, outliers {} B",
+        h.sections[0],
+        h.sections[1],
+        h.sections[2],
+        h.sections[3] + h.sections[4]
+    )
+    .ok();
+    writeln!(
+        out,
+        "  total:      {} B (CR {:.1} vs raw f32)",
+        bytes.len(),
+        compression_ratio(h.shape.len() * 4, bytes.len())
+    )
+    .ok();
     Ok(out)
 }
 
@@ -470,6 +539,7 @@ mod tests {
                 bitcomp: false,
                 verify: true,
                 slab: None,
+            profile: None,
             }
         );
     }
@@ -501,6 +571,7 @@ mod tests {
             bitcomp: true,
             verify: true,
             slab: None,
+            profile: None,
         })
         .unwrap();
         assert!(msg.contains("verified"), "{msg}");
@@ -538,10 +609,68 @@ mod tests {
             bitcomp: true,
             verify: false,
             slab: None,
+            profile: None,
         })
         .unwrap();
         assert!(msg.contains("achieved"), "{msg}");
         for f in [fin, farc] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn parse_profile_flag_forms() {
+        let base = ["compress", "-i", "a.f32", "-o", "a.cszi", "--dims", "8", "--abs-eb", "1e-3"];
+        let none = parse_args(&strings(&base)).unwrap();
+        let bare = parse_args(&strings(&[&base[..], &["--profile"]].concat())).unwrap();
+        let with = parse_args(&strings(&[&base[..], &["--profile=t.json"]].concat())).unwrap();
+        let get = |c: &Command| match c {
+            Command::Compress { profile, .. } => profile.clone(),
+            _ => panic!(),
+        };
+        assert_eq!(get(&none), None);
+        assert_eq!(get(&bare), Some(String::new()));
+        assert_eq!(get(&with), Some("t.json".into()));
+        assert!(parse_args(&strings(&[&base[..], &["--profile="]].concat())).is_err());
+    }
+
+    #[test]
+    fn profiled_compress_writes_trace_and_kernel_table() {
+        let shape = Shape::d3(16, 16, 16);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            ((x + y) as f32 * 0.1).sin() + z as f32 * 0.02
+        });
+        let fin = tmp("prof-in.f32");
+        let farc = tmp("prof.cszi");
+        let ftrace = tmp("prof.trace.json");
+        write_f32_field(&fin, &data).unwrap();
+        let msg = run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::Rel(1e-3),
+            bitcomp: true,
+            verify: false,
+            slab: None,
+            profile: Some(ftrace.to_string_lossy().into()),
+        })
+        .unwrap();
+        // The report names the pipeline kernels and gives verdicts.
+        assert!(msg.contains("kernel profile"), "{msg}");
+        assert!(msg.contains("g-interp"), "{msg}");
+        assert!(msg.contains("-bound"), "{msg}");
+        assert!(msg.contains("trace written"), "{msg}");
+        // The trace file is valid Chrome trace JSON.
+        let trace = fs::read_to_string(&ftrace).unwrap();
+        let v = cuszi_profile::minjson::parse(&trace).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        for ev in events {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "missing {key}");
+            }
+        }
+        for f in [fin, farc, ftrace] {
             let _ = fs::remove_file(f);
         }
     }
@@ -611,6 +740,7 @@ mod pwrel_cli_tests {
             bitcomp: true,
             verify: true,
             slab: None,
+            profile: None,
         })
         .unwrap();
         // Decompress auto-detects the CSZR magic.
@@ -660,6 +790,7 @@ mod slab_cli_tests {
             bitcomp: true,
             verify: false,
             slab: Some(8),
+            profile: None,
         })
         .unwrap();
         assert!(msg.contains("z-slabs of 8"), "{msg}");
@@ -690,6 +821,7 @@ mod slab_cli_tests {
             bitcomp: true,
             verify: false,
             slab: Some(4),
+            profile: None,
         })
         .unwrap_err();
         assert!(err.0.contains("--slab supports"), "{err}");

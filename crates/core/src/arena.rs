@@ -26,7 +26,7 @@ const ARENA_CAP: usize = 16;
 fn pool_disabled() -> bool {
     static DISABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *DISABLED.get_or_init(|| {
-        std::env::var("CUSZI_SIM_NO_POOL").map_or(false, |v| v != "0" && !v.is_empty())
+        std::env::var("CUSZI_SIM_NO_POOL").is_ok_and(|v| v != "0" && !v.is_empty())
     })
 }
 

@@ -63,10 +63,16 @@ pub fn compress_fields(fields: &[NamedField<'_>], cfg: Config) -> Result<Contain
         return Err(CuszError::InvalidConfig("field name too long"));
     }
     let codec = CuszI::new(cfg);
+    let _span = cuszi_profile::span("batch", cuszi_profile::Category::Batch);
     let archives: Result<Vec<Compressed>, CuszError> =
-        cuszi_gpu_sim::pool::par_map(fields, |f| codec.compress(f.data))
-            .into_iter()
-            .collect();
+        cuszi_gpu_sim::pool::par_map(fields, |f| {
+            // The field name is already a borrowed &str — no formatting
+            // on the disabled path, and the span itself is a no-op.
+            let _g = cuszi_profile::span(f.name, cuszi_profile::Category::Batch);
+            codec.compress(f.data)
+        })
+        .into_iter()
+        .collect();
     let archives = archives?;
 
     let mut bytes = Vec::new();

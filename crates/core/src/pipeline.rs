@@ -4,6 +4,7 @@ use cuszi_gpu_sim::KernelStats;
 use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook, EncodedStream};
 use cuszi_predict::ginterp;
 use cuszi_predict::tuning::{alpha_from_rel_eb, profile_and_tune, InterpConfig};
+use cuszi_profile::Category;
 use cuszi_quant::Outliers;
 use cuszi_tensor::stats::ValueRange;
 use cuszi_tensor::NdArray;
@@ -69,6 +70,7 @@ impl CuszI {
 
     /// Compress a field.
     pub fn compress(&self, data: &NdArray<f32>) -> Result<Compressed, CuszError> {
+        let _span = cuszi_profile::span("compress", Category::Stage);
         let cfg = &self.cfg;
         if cfg.radius == 0 {
             return Err(CuszError::InvalidConfig("radius must be >= 1"));
@@ -110,20 +112,27 @@ impl CuszI {
         // § V-C: profiling + auto-tuning (or the untuned ablation,
         // which still applies Eq. 1's alpha — the paper's "lightweight"
         // path always computes alpha from the relative bound).
-        let interp = if cfg.auto_tune {
-            profile_and_tune(data, rel_eb).0
-        } else {
-            InterpConfig {
-                alpha: alpha_from_rel_eb(rel_eb),
-                ..InterpConfig::untuned(data.shape().rank())
+        let interp = {
+            let _g = cuszi_profile::span("tune", Category::Stage);
+            if cfg.auto_tune {
+                profile_and_tune(data, rel_eb).0
+            } else {
+                InterpConfig {
+                    alpha: alpha_from_rel_eb(rel_eb),
+                    ..InterpConfig::untuned(data.shape().rank())
+                }
             }
         };
 
         // § V: G-Interp prediction + quantization.
-        let pred = ginterp::compress(data, eb_abs, cfg.radius, &interp, &cfg.device);
+        let pred = {
+            let _g = cuszi_profile::span("predict-quant", Category::Stage);
+            ginterp::compress(data, eb_abs, cfg.radius, &interp, &cfg.device)
+        };
         let mut kernels = pred.kernels.clone();
 
         // § VI-A: histogram + CPU codebook + coarse-grained Huffman.
+        let _huff = cuszi_profile::span("huffman", Category::Stage);
         let alphabet = 2 * cfg.radius as usize;
         let (hist, hstats) = histogram_gpu(
             &pred.codes,
@@ -133,10 +142,30 @@ impl CuszI {
             &cfg.device,
         );
         kernels.push(hstats);
+        if cuszi_profile::enabled() {
+            // Shannon entropy of the quant-code distribution, in
+            // milli-bits per symbol — the floor the Huffman stage is
+            // chasing. Only computed when profiling (it walks the
+            // histogram).
+            let total: u64 = hist.iter().map(|&c| c as u64).sum();
+            if total > 0 {
+                let h: f64 = hist
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| {
+                        let p = c as f64 / total as f64;
+                        -p * p.log2()
+                    })
+                    .sum();
+                cuszi_profile::observe("compress.codebook_entropy_mbits", (h * 1000.0) as u64);
+            }
+        }
         let book = Codebook::from_histogram(&hist)
             .map_err(|_| CuszError::LosslessStage("codebook construction"))?;
         let (stream, estats) = encode_gpu(&pred.codes, &book, &cfg.device);
         kernels.extend(estats);
+        drop(_huff);
+        let _asm = cuszi_profile::span("assemble", Category::Stage);
 
         // Assemble the payload. All transient assembly buffers come
         // from (and return to) the thread-local scratch arena, so
@@ -184,9 +213,12 @@ impl CuszI {
         crate::arena::put(oidx_bytes);
         crate::arena::put(oval_bytes);
 
+        drop(_asm);
+
         // § VI-B: optional Bitcomp-lossless pass over the whole payload.
         let mut flags = 0u8;
         let payload = if cfg.bitcomp {
+            let _g = cuszi_profile::span("bitcomp", Category::Stage);
             flags |= FLAG_BITCOMP;
             let (packed, bstats) = cuszi_bitcomp::compress(&payload, &cfg.device);
             kernels.extend(bstats);
@@ -211,6 +243,21 @@ impl CuszI {
         let mut bytes = header.to_bytes();
         bytes.extend_from_slice(&payload);
         crate::arena::put(payload);
+        if cuszi_profile::enabled() {
+            let bytes_in = (data.len() * 4) as u64;
+            let bytes_out = bytes.len() as u64;
+            cuszi_profile::count("compress.fields", 1);
+            cuszi_profile::count("compress.bytes_in", bytes_in);
+            cuszi_profile::count("compress.bytes_out", bytes_out);
+            cuszi_profile::count("compress.outliers", pred.outliers.indices().len() as u64);
+            // Per-field distributions: CR in parts-per-thousand,
+            // outlier rate in parts-per-million.
+            cuszi_profile::observe("compress.cr_ppt", bytes_in * 1000 / bytes_out.max(1));
+            cuszi_profile::observe(
+                "compress.outlier_rate_ppm",
+                pred.outliers.indices().len() as u64 * 1_000_000 / (data.len() as u64).max(1),
+            );
+        }
         Ok(Compressed { bytes, kernels, sections: section_sizes, eb_abs, interp })
     }
 
@@ -219,6 +266,7 @@ impl CuszI {
     /// The archive is self-describing; only the device model comes from
     /// this codec's configuration.
     pub fn decompress(&self, bytes: &[u8]) -> Result<Decompressed, CuszError> {
+        let _span = cuszi_profile::span("decompress", Category::Stage);
         let header = Header::from_bytes(bytes)?;
         let mut kernels = Vec::new();
 
@@ -233,6 +281,7 @@ impl CuszI {
 
         let raw = &bytes[HEADER_LEN..];
         let payload: Vec<u8> = if header.flags & FLAG_BITCOMP != 0 {
+            let _g = cuszi_profile::span("bitcomp-decode", Category::Stage);
             let (p, bstats) = cuszi_bitcomp::decompress(raw, &self.cfg.device)
                 .map_err(|e| CuszError::LosslessStage(e.0))?;
             kernels.push(bstats);
@@ -257,8 +306,11 @@ impl CuszI {
             return Err(CuszError::CorruptArchive("outlier index out of range"));
         }
 
-        let (codes, dstats) =
-            decode_gpu(&stream, &book, &self.cfg.device).map_err(|e| CuszError::LosslessStage(e.0))?;
+        let (codes, dstats) = {
+            let _g = cuszi_profile::span("huffman-decode", Category::Stage);
+            decode_gpu(&stream, &book, &self.cfg.device)
+                .map_err(|e| CuszError::LosslessStage(e.0))?
+        };
         kernels.push(dstats);
 
         let expected_anchors = ginterp::anchor_len(
@@ -270,6 +322,7 @@ impl CuszI {
         }
 
         let interp = header.interp_config();
+        let _g = cuszi_profile::span("g-interp-reconstruct", Category::Stage);
         let (data, gstats) = ginterp::decompress(
             &codes,
             &anchors,
@@ -281,6 +334,11 @@ impl CuszI {
             &self.cfg.device,
         );
         kernels.extend(gstats);
+        if cuszi_profile::enabled() {
+            cuszi_profile::count("decompress.fields", 1);
+            cuszi_profile::count("decompress.bytes_in", bytes.len() as u64);
+            cuszi_profile::count("decompress.bytes_out", (data.len() * 4) as u64);
+        }
         Ok(Decompressed { data, kernels })
     }
 }

@@ -59,11 +59,15 @@ pub fn compress_slabs(
     for s in 0..nslabs {
         let z0 = s * slab_z;
         let znum = slab_z.min(nz - z0);
+        let _g = cuszi_profile::enabled().then(|| {
+            cuszi_profile::span(&format!("slab-z{z0}"), cuszi_profile::Category::Stream)
+        });
         let slab = produce(z0, znum);
         if slab.shape() != Shape::d3(znum, ny, nx) {
             return Err(CuszError::InvalidConfig("produced slab has the wrong shape"));
         }
         let c = codec.compress(&slab)?;
+        cuszi_profile::observe("stream.slab_archive_bytes", c.bytes.len() as u64);
         out.extend_from_slice(&(c.bytes.len() as u64).to_le_bytes());
         out.extend_from_slice(&c.bytes);
         // Recycle the consumed archive buffer for the next slab.
@@ -207,7 +211,7 @@ mod tests {
         let full = full_field(shape);
         let cfg = Config::new(ErrorBound::Rel(1e-3));
         assert!(compress_slabs(shape, 0, cfg, |z0, nz| slab_of(&full, z0, nz)).is_err());
-        assert!(compress_slabs(Shape::d2(8, 8).into(), 4, cfg, |_, _| full.clone()).is_err());
+        assert!(compress_slabs(Shape::d2(8, 8), 4, cfg, |_, _| full.clone()).is_err());
         // Wrong produced shape.
         assert!(compress_slabs(shape, 4, cfg, |_, _| full.clone()).is_err());
         // Corrupt stream.

@@ -25,11 +25,13 @@ use std::cell::{Cell, UnsafeCell};
 use std::marker::PhantomData;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::time::Instant;
 
 use crate::device::DeviceSpec;
+use crate::hook;
 use crate::pool;
 use crate::shared::{ScratchVec, SharedTile};
-use crate::stats::{KernelStats, SECTOR_BYTES};
+use crate::stats::{AtomicKernelStats, KernelStats, SECTOR_BYTES};
 
 /// CUDA-style 3-component launch extent (`x` fastest-varying).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +96,11 @@ fn sectors_spanned(start_byte: u64, end_byte: u64) -> u64 {
 const MAX_WARP: usize = 64;
 
 /// Per-block execution context handed to the kernel closure.
+///
+/// The context flushes its counters into the launch-wide
+/// [`AtomicKernelStats`] sink when it drops — a drop guard, so the
+/// flush also happens when the kernel body panics or returns early and
+/// traffic from partially-executed blocks is never lost.
 pub struct BlockCtx<'l> {
     /// This block's coordinates in the grid.
     pub block: Dim3,
@@ -104,10 +111,18 @@ pub struct BlockCtx<'l> {
     stats: KernelStats,
     shared_alloc_bytes: usize,
     shared_traffic: Rc<Cell<u64>>,
+    sink: &'l AtomicKernelStats,
+}
+
+impl Drop for BlockCtx<'_> {
+    fn drop(&mut self) {
+        self.stats.shared_bytes += self.shared_traffic.get();
+        self.sink.add(&self.stats);
+    }
 }
 
 impl<'l> BlockCtx<'l> {
-    fn new(block: Dim3, grid: Grid, device: &'l DeviceSpec) -> Self {
+    fn new(block: Dim3, grid: Grid, device: &'l DeviceSpec, sink: &'l AtomicKernelStats) -> Self {
         BlockCtx {
             block,
             grid,
@@ -115,6 +130,7 @@ impl<'l> BlockCtx<'l> {
             stats: KernelStats { blocks: 1, ..Default::default() },
             shared_alloc_bytes: 0,
             shared_traffic: Rc::new(Cell::new(0)),
+            sink,
         }
     }
 
@@ -366,7 +382,7 @@ impl<'l> BlockCtx<'l> {
     /// contributes the number of distinct sectors it touches.
     fn warp_sectors_of(&self, indices: impl Iterator<Item = usize>, elt_bytes: u64) -> u64 {
         let warp = self.device.warp_size as usize;
-        assert!(warp >= 1 && warp <= MAX_WARP, "warp size {warp} outside 1..={MAX_WARP}");
+        assert!((1..=MAX_WARP).contains(&warp), "warp size {warp} outside 1..={MAX_WARP}");
         if crate::shared::pool_disabled() {
             // Reference model (pre-optimization): collect each warp's
             // sectors into a heap Vec, sort, count distinct runs. Kept
@@ -394,10 +410,6 @@ impl<'l> BlockCtx<'l> {
         total + distinct as u64
     }
 
-    fn finish(mut self) -> KernelStats {
-        self.stats.shared_bytes += self.shared_traffic.get();
-        self.stats
-    }
 }
 
 /// Indices `start + k*stride` for `k in 0..count`.
@@ -626,6 +638,43 @@ pub fn launch<F>(device: &DeviceSpec, grid: Grid, kernel: F) -> KernelStats
 where
     F: Fn(&mut BlockCtx<'_>) + Sync,
 {
+    launch_named(device, grid, "kernel", kernel)
+}
+
+/// Drop guard that reports a launch to the installed observer even when
+/// the launch unwinds: partially-executed traffic is still profiled.
+struct LaunchReport<'a> {
+    name: &'a str,
+    grid: Grid,
+    device: &'a DeviceSpec,
+    sink: &'a AtomicKernelStats,
+    t0: Option<Instant>,
+}
+
+impl Drop for LaunchReport<'_> {
+    fn drop(&mut self) {
+        let Some(t0) = self.t0 else { return };
+        if let Some(obs) = hook::active_observer() {
+            obs.on_launch(&hook::LaunchRecord {
+                name: self.name,
+                grid: self.grid,
+                device: self.device,
+                stats: self.sink.snapshot(),
+                wall_s: t0.elapsed().as_secs_f64(),
+                completed: !std::thread::panicking(),
+            });
+        }
+    }
+}
+
+/// [`launch`] with a kernel name for profilers: the name flows to the
+/// registered [`hook::LaunchObserver`] and labels the launch in kernel
+/// tables and traces. Pipeline kernels use this; anonymous launches
+/// report as `"kernel"`.
+pub fn launch_named<F>(device: &DeviceSpec, grid: Grid, name: &str, kernel: F) -> KernelStats
+where
+    F: Fn(&mut BlockCtx<'_>) + Sync,
+{
     assert!(
         grid.threads_per_block >= 1 && grid.threads_per_block <= device.max_threads_per_block,
         "threads_per_block {} outside 1..={} on {}",
@@ -636,22 +685,28 @@ where
     let total = grid.blocks.count();
     let gx = grid.blocks.x as u64;
     let gy = grid.blocks.y as u64;
-    pool::fold_indexed(
-        total as usize,
-        KernelStats::default,
-        |acc, i| {
-            let i = i as u64;
-            let block = Dim3 {
-                x: (i % gx) as u32,
-                y: ((i / gx) % gy) as u32,
-                z: (i / (gx * gy)) as u32,
-            };
-            let mut ctx = BlockCtx::new(block, grid, device);
-            kernel(&mut ctx);
-            acc.merged(ctx.finish())
-        },
-        KernelStats::merged,
-    )
+    // Launch-wide stats sink: every block's context flushes into it on
+    // drop (normal or unwinding), and integer adds commute, so the
+    // snapshot below is exact and scheduling-independent.
+    let sink = AtomicKernelStats::default();
+    let _report = LaunchReport {
+        name,
+        grid,
+        device,
+        sink: &sink,
+        t0: hook::enabled().then(Instant::now),
+    };
+    pool::par_for_each_index(total as usize, |i| {
+        let i = i as u64;
+        let block = Dim3 {
+            x: (i % gx) as u32,
+            y: ((i / gx) % gy) as u32,
+            z: (i / (gx * gy)) as u32,
+        };
+        let mut ctx = BlockCtx::new(block, grid, device, &sink);
+        kernel(&mut ctx);
+    });
+    sink.snapshot()
 }
 
 #[cfg(test)]
@@ -911,6 +966,65 @@ mod tests {
         slots.put(5, "five");
         slots.put(2, "two");
         assert_eq!(slots.into_first(), Some("two"));
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use crate::device::A100;
+    use crate::hook;
+    use std::sync::Mutex;
+
+    struct Capture;
+    static RECORDS: Mutex<Vec<(String, KernelStats, bool)>> = Mutex::new(Vec::new());
+
+    impl hook::LaunchObserver for Capture {
+        fn on_launch(&self, rec: &hook::LaunchRecord<'_>) {
+            RECORDS.lock().unwrap().push((rec.name.to_string(), rec.stats, rec.completed));
+        }
+    }
+
+    /// One test drives both the happy path and the unwind path: the
+    /// observer is a process-global OnceLock, so splitting these into
+    /// separate #[test]s would race on enable/disable.
+    #[test]
+    fn observer_sees_completed_and_unwound_launches() {
+        hook::set_observer(Box::new(Capture));
+        hook::enable(true);
+
+        launch_named(&A100, Grid::linear(4, 32), "obs-normal", |ctx| {
+            ctx.add_flops(5);
+        });
+
+        // A panicking kernel: blocks that ran must still be accounted
+        // (BlockCtx flushes from its drop guard) and the report must
+        // fire from the launch's own drop guard with completed=false.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::pool::with_threads(1, || {
+                launch_named(&A100, Grid::linear(8, 32), "obs-panic", |ctx| {
+                    ctx.add_flops(1);
+                    if ctx.block_linear() == 3 {
+                        panic!("kernel abort");
+                    }
+                });
+            })
+        }));
+        hook::enable(false);
+        assert!(result.is_err());
+
+        let records = RECORDS.lock().unwrap();
+        let normal = records.iter().find(|r| r.0 == "obs-normal").expect("normal record");
+        assert_eq!(normal.1.blocks, 4);
+        assert_eq!(normal.1.flops, 20);
+        assert!(normal.2, "completed launch reports completed=true");
+
+        let panicked = records.iter().find(|r| r.0 == "obs-panic").expect("panic record");
+        // Serial execution: blocks 0..=3 started, all four flushed their
+        // stats (block 3 partially, before its panic point).
+        assert_eq!(panicked.1.blocks, 4);
+        assert_eq!(panicked.1.flops, 4);
+        assert!(!panicked.2, "unwound launch reports completed=false");
     }
 }
 

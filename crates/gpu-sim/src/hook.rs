@@ -1,0 +1,78 @@
+//! Launch observation hooks for external profilers.
+//!
+//! The substrate itself stays dependency-free: a profiler (e.g. the
+//! `cuszi-profile` crate) registers a process-wide [`LaunchObserver`]
+//! once, then toggles recording with [`enable`]. Every
+//! [`crate::exec::launch_named`] reports its name, geometry, merged
+//! [`KernelStats`] and host wall time through the observer — including
+//! launches that unwound mid-flight (the notification fires from a drop
+//! guard, so partially-executed traffic is still accounted).
+//!
+//! When no observer is installed or recording is disabled, the hook is
+//! a single relaxed atomic load per launch — effectively free next to
+//! the launch itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::device::DeviceSpec;
+use crate::exec::Grid;
+use crate::stats::KernelStats;
+
+/// Everything the substrate knows about one finished (or unwound)
+/// kernel launch.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchRecord<'a> {
+    /// Kernel name (call sites use [`crate::exec::launch_named`];
+    /// unnamed launches report as `"kernel"`).
+    pub name: &'a str,
+    /// Launch geometry.
+    pub grid: Grid,
+    /// The device being modelled.
+    pub device: &'a DeviceSpec,
+    /// Merged stats of every block that executed.
+    pub stats: KernelStats,
+    /// Host wall-clock duration of the launch, in seconds.
+    pub wall_s: f64,
+    /// False when the launch is being reported during a panic unwind;
+    /// `stats` then covers only the blocks that ran.
+    pub completed: bool,
+}
+
+/// A process-wide observer of kernel launches.
+pub trait LaunchObserver: Send + Sync {
+    /// Called once per launch, after all workers have been joined (the
+    /// stats snapshot is quiescent and exact).
+    fn on_launch(&self, rec: &LaunchRecord<'_>);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static OBSERVER: OnceLock<Box<dyn LaunchObserver>> = OnceLock::new();
+
+/// Install the process-wide observer. The first installation wins and
+/// lives for the rest of the process; returns `false` if one was
+/// already installed.
+pub fn set_observer(obs: Box<dyn LaunchObserver>) -> bool {
+    OBSERVER.set(obs).is_ok()
+}
+
+/// Turn launch reporting on or off. Off by default; a no-op until an
+/// observer is installed.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether launch reporting is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The active observer, if reporting is on and one is installed.
+#[inline]
+pub(crate) fn active_observer() -> Option<&'static dyn LaunchObserver> {
+    if !enabled() {
+        return None;
+    }
+    OBSERVER.get().map(|b| &**b)
+}

@@ -34,13 +34,15 @@
 
 pub mod device;
 pub mod exec;
+pub mod hook;
 pub mod pool;
 pub mod shared;
 pub mod stats;
 pub mod timing;
 
 pub use device::{DeviceSpec, A100, A40};
-pub use exec::{launch, BlockCtx, BlockSlots, Dim3, GlobalRead, GlobalWrite, Grid};
+pub use exec::{launch, launch_named, BlockCtx, BlockSlots, Dim3, GlobalRead, GlobalWrite, Grid};
+pub use hook::{LaunchObserver, LaunchRecord};
 pub use shared::{ScratchVec, SharedTile};
-pub use stats::KernelStats;
-pub use timing::TimingModel;
+pub use stats::{AtomicKernelStats, KernelStats};
+pub use timing::{Bottleneck, TimeBreakdown, TimingModel};

@@ -1,5 +1,7 @@
 //! Per-kernel execution statistics.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counters accumulated while a kernel executes.
 ///
 /// Global-memory traffic is counted in 32-byte *sectors* (the DRAM
@@ -53,6 +55,17 @@ impl KernelStats {
         self.useful_bytes() as f64 / dram as f64
     }
 
+    /// DRAM bytes transacted but never used (sector padding waste).
+    ///
+    /// This is the absolute counterpart of [`Self::coalescing_efficiency`]:
+    /// an uncoalesced kernel touching few bytes can have a terrible
+    /// efficiency ratio yet waste almost nothing, while a heavy kernel at
+    /// 0.9 efficiency wastes gigabytes. Ranking kernels by excess bytes
+    /// points at the launches worth restructuring (§ V-D staged loads).
+    pub fn dram_excess_bytes(&self) -> u64 {
+        self.dram_bytes().saturating_sub(self.useful_bytes())
+    }
+
     /// Merge another stats record into this one.
     pub fn merge(&mut self, other: &KernelStats) {
         self.load_sectors += other.load_sectors;
@@ -69,6 +82,54 @@ impl KernelStats {
     pub fn merged(mut self, other: KernelStats) -> KernelStats {
         self.merge(&other);
         self
+    }
+}
+
+/// Shared launch-wide stats accumulator.
+///
+/// Every [`crate::BlockCtx`] flushes its private counters here when it
+/// drops — including on panic/unwind paths, so a profiler observing a
+/// launch never under-counts traffic from blocks that did run. Addition
+/// of integer counters is exact and commutative, so the final snapshot
+/// is identical for any worker-thread count or scheduling order.
+#[derive(Debug, Default)]
+pub struct AtomicKernelStats {
+    load_sectors: AtomicU64,
+    store_sectors: AtomicU64,
+    load_bytes: AtomicU64,
+    store_bytes: AtomicU64,
+    flops: AtomicU64,
+    shared_bytes: AtomicU64,
+    barriers: AtomicU64,
+    blocks: AtomicU64,
+}
+
+impl AtomicKernelStats {
+    /// Merge one block's counters into the launch total.
+    pub fn add(&self, s: &KernelStats) {
+        self.load_sectors.fetch_add(s.load_sectors, Ordering::Relaxed);
+        self.store_sectors.fetch_add(s.store_sectors, Ordering::Relaxed);
+        self.load_bytes.fetch_add(s.load_bytes, Ordering::Relaxed);
+        self.store_bytes.fetch_add(s.store_bytes, Ordering::Relaxed);
+        self.flops.fetch_add(s.flops, Ordering::Relaxed);
+        self.shared_bytes.fetch_add(s.shared_bytes, Ordering::Relaxed);
+        self.barriers.fetch_add(s.barriers, Ordering::Relaxed);
+        self.blocks.fetch_add(s.blocks, Ordering::Relaxed);
+    }
+
+    /// Read the current totals. Exact once the contributing workers have
+    /// been joined (the launch joins before snapshotting).
+    pub fn snapshot(&self) -> KernelStats {
+        KernelStats {
+            load_sectors: self.load_sectors.load(Ordering::Relaxed),
+            store_sectors: self.store_sectors.load(Ordering::Relaxed),
+            load_bytes: self.load_bytes.load(Ordering::Relaxed),
+            store_bytes: self.store_bytes.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+            shared_bytes: self.shared_bytes.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+        }
     }
 }
 

@@ -46,6 +46,81 @@ pub struct TimingModel {
     pub resident_blocks_per_sm: u32,
 }
 
+/// Which roofline term binds a kernel's simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// DRAM traffic term dominates.
+    Memory,
+    /// FLOP (+ shared-memory) term dominates.
+    Compute,
+    /// Barrier-fenced phase latency dominates.
+    Latency,
+    /// Fixed launch overhead dominates (kernel too small).
+    Launch,
+}
+
+impl Bottleneck {
+    /// Short display label (`memory-bound`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Bottleneck::Memory => "memory-bound",
+            Bottleneck::Compute => "compute-bound",
+            Bottleneck::Latency => "latency-bound",
+            Bottleneck::Launch => "launch-bound",
+        }
+    }
+}
+
+/// A kernel's simulated time split into the roofline terms.
+///
+/// Total time is `overhead + max(mem, compute + shared) + latency` —
+/// the same expression [`TimingModel::kernel_time`] evaluates, exposed
+/// term by term so a profiler can attribute time and name the binding
+/// ceiling (the per-kernel evidence Nsight gives the cuSZ authors).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Fixed kernel launch overhead, seconds.
+    pub overhead_s: f64,
+    /// DRAM traffic term, seconds.
+    pub mem_s: f64,
+    /// FLOP throughput term (excluding shared), seconds.
+    pub compute_s: f64,
+    /// Shared-memory traffic term, seconds.
+    pub shared_s: f64,
+    /// Barrier-fenced phase latency term, seconds.
+    pub latency_s: f64,
+    /// Occupancy waves the launch needs (blocks / resident blocks).
+    pub waves: f64,
+}
+
+impl TimeBreakdown {
+    /// Total simulated time in seconds (the roofline max, not the sum).
+    pub fn total_s(&self) -> f64 {
+        self.overhead_s + self.mem_s.max(self.compute_s + self.shared_s) + self.latency_s
+    }
+
+    /// The binding term and its share of the total time.
+    ///
+    /// The share answers "how close is this kernel to being limited by
+    /// exactly one ceiling": 1.0 means the verdict term is the whole
+    /// story; lower means overlapping terms share the blame.
+    pub fn verdict(&self) -> (Bottleneck, f64) {
+        let cmp = self.compute_s + self.shared_s;
+        let candidates = [
+            (Bottleneck::Memory, self.mem_s),
+            (Bottleneck::Compute, cmp),
+            (Bottleneck::Latency, self.latency_s),
+            (Bottleneck::Launch, self.overhead_s),
+        ];
+        let (kind, t) = candidates
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let total = self.total_s();
+        (kind, if total > 0.0 { t / total } else { 1.0 })
+    }
+}
+
 impl TimingModel {
     /// Model with the default calibration (see module docs).
     pub fn new(device: DeviceSpec) -> Self {
@@ -58,24 +133,36 @@ impl TimingModel {
         }
     }
 
-    /// Simulated execution time of one kernel, in seconds.
-    pub fn kernel_time(&self, stats: &KernelStats) -> f64 {
-        let overhead = self.device.kernel_launch_overhead_us * 1e-6;
+    /// Achievable DRAM bandwidth ceiling in bytes/s (peak x efficiency).
+    pub fn mem_ceiling_bytes_per_s(&self) -> f64 {
+        self.device.mem_bw_bytes_per_s() * self.mem_efficiency
+    }
+
+    /// Achievable FP32 ceiling in FLOP/s (peak x efficiency).
+    pub fn compute_ceiling_flops_per_s(&self) -> f64 {
+        self.device.fp32_flops_per_s() * self.compute_efficiency
+    }
+
+    /// Roofline decomposition of one kernel's simulated time.
+    pub fn breakdown(&self, stats: &KernelStats) -> TimeBreakdown {
+        let overhead_s = self.device.kernel_launch_overhead_us * 1e-6;
         if stats.blocks == 0 {
-            return overhead;
+            return TimeBreakdown { overhead_s, ..Default::default() };
         }
-        let t_mem =
-            stats.dram_bytes() as f64 / (self.device.mem_bw_bytes_per_s() * self.mem_efficiency);
-        let t_shared = stats.shared_bytes as f64
+        let mem_s = stats.dram_bytes() as f64 / self.mem_ceiling_bytes_per_s();
+        let shared_s = stats.shared_bytes as f64
             / (self.device.mem_bw_bytes_per_s() * SHARED_BW_MULTIPLIER);
-        let t_cmp = stats.flops as f64
-            / (self.device.fp32_flops_per_s() * self.compute_efficiency)
-            + t_shared;
+        let compute_s = stats.flops as f64 / self.compute_ceiling_flops_per_s();
         let concurrent = (self.device.sm_count * self.resident_blocks_per_sm) as f64;
         let waves = (stats.blocks as f64 / concurrent).ceil();
         let phases_per_block = stats.barriers as f64 / stats.blocks as f64;
-        let t_lat = phases_per_block * self.phase_latency_us * 1e-6 * waves;
-        overhead + t_mem.max(t_cmp) + t_lat
+        let latency_s = phases_per_block * self.phase_latency_us * 1e-6 * waves;
+        TimeBreakdown { overhead_s, mem_s, compute_s, shared_s, latency_s, waves }
+    }
+
+    /// Simulated execution time of one kernel, in seconds.
+    pub fn kernel_time(&self, stats: &KernelStats) -> f64 {
+        self.breakdown(stats).total_s()
     }
 
     /// Simulated time for a sequence of dependent kernels, in seconds.
@@ -149,6 +236,45 @@ mod tests {
         assert_eq!(m.pipeline_time(&[]), 0.0);
         let t = m.kernel_time(&KernelStats::default());
         assert!((t - 5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_total_matches_kernel_time() {
+        let m = TimingModel::new(A100);
+        for k in [
+            stream_kernel(1 << 26),
+            KernelStats { flops: 1 << 34, blocks: 7, ..Default::default() },
+            KernelStats { barriers: 4096, blocks: 64, ..Default::default() },
+            KernelStats::default(),
+        ] {
+            assert_eq!(m.breakdown(&k).total_s(), m.kernel_time(&k));
+        }
+    }
+
+    #[test]
+    fn verdicts_name_the_binding_term() {
+        let m = TimingModel::new(A100);
+        // Pure streaming kernel: memory-bound.
+        let (v, share) = m.breakdown(&stream_kernel(1 << 30)).verdict();
+        assert_eq!(v, Bottleneck::Memory);
+        assert!(share > 0.9, "share {share}");
+        // Pure FLOPs: compute-bound.
+        let k = KernelStats { flops: 1 << 40, blocks: 1, ..Default::default() };
+        assert_eq!(m.breakdown(&k).verdict().0, Bottleneck::Compute);
+        // Many barrier phases, little traffic: latency-bound.
+        let k = KernelStats { barriers: 100_000, blocks: 100, ..Default::default() };
+        assert_eq!(m.breakdown(&k).verdict().0, Bottleneck::Latency);
+        // Tiny kernel: launch-bound.
+        let k = KernelStats { load_sectors: 1, load_bytes: 32, blocks: 1, ..Default::default() };
+        assert_eq!(m.breakdown(&k).verdict().0, Bottleneck::Launch);
+    }
+
+    #[test]
+    fn waves_track_occupancy() {
+        let m = TimingModel::new(A100);
+        let concurrent = (A100.sm_count * m.resident_blocks_per_sm) as u64;
+        let k = KernelStats { blocks: concurrent * 3 + 1, ..stream_kernel(1 << 20) };
+        assert_eq!(m.breakdown(&k).waves, 4.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::AtomicU32;
 
-use cuszi_gpu_sim::{launch, DeviceSpec, GlobalRead, Grid, KernelStats};
+use cuszi_gpu_sim::{launch_named, DeviceSpec, GlobalRead, Grid, KernelStats};
 use cuszi_gpu_sim::exec::GlobalAtomicU32;
 
 /// Elements processed per thread block.
@@ -36,7 +36,7 @@ pub fn histogram_gpu(
     let stats = {
         let src = GlobalRead::new(codes);
         let gview = GlobalAtomicU32::new(&global);
-        launch(device, Grid::linear(nblocks, 256), |ctx| {
+        launch_named(device, Grid::linear(nblocks, 256), "histogram", |ctx| {
             let b = ctx.block_linear() as usize;
             let start = b * HIST_CHUNK;
             let end = (start + HIST_CHUNK).min(codes.len());

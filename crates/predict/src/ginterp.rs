@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 
-use cuszi_gpu_sim::{launch, BlockCtx, BlockSlots, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats, SharedTile};
+use cuszi_gpu_sim::{launch_named, BlockCtx, BlockSlots, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats, SharedTile};
 use cuszi_quant::{Outliers, Quantizer, OUTLIER_CODE};
 use cuszi_tensor::{NdArray, Shape};
 
@@ -225,7 +225,7 @@ pub fn gather_anchors_with(
             Dim3 { x: 1, y: counts[1] as u32, z: counts[0] as u32 },
             THREADS_PER_BLOCK.min(device.max_threads_per_block),
         );
-        launch(device, grid, |ctx: &mut BlockCtx<'_>| {
+        launch_named(device, grid, "anchor-gather", |ctx: &mut BlockCtx<'_>| {
             let az = ctx.block.z as usize;
             let ay = ctx.block.y as usize;
             // Analytic strided read: same sector accounting as a
@@ -297,7 +297,7 @@ pub fn compress_with(
     let interp_stats = {
         let src = GlobalRead::new(data.as_slice());
         let dst = GlobalWrite::new(&mut codes);
-        launch(device, grid, |ctx: &mut BlockCtx<'_>| {
+        launch_named(device, grid, "g-interp", |ctx: &mut BlockCtx<'_>| {
             let g = tile_geom(shape, chunk, ctx.block);
             let tlen = g.ext.iter().product::<usize>();
 
@@ -430,7 +430,7 @@ pub fn decompress_with(
         let code_view = GlobalRead::new(codes);
         let anchor_view = GlobalRead::new(anchors);
         let dst = GlobalWrite::new(&mut out);
-        launch(device, launch_grid(shape, chunk), |ctx: &mut BlockCtx<'_>| {
+        launch_named(device, launch_grid(shape, chunk), "g-interp-decode", |ctx: &mut BlockCtx<'_>| {
             let g = tile_geom(shape, chunk, ctx.block);
             let tlen = g.ext.iter().product::<usize>();
 
@@ -554,7 +554,7 @@ fn seed_anchors_from(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cuszi_gpu_sim::A100;
+    use cuszi_gpu_sim::{launch, A100};
 
     fn smooth_field(shape: Shape) -> NdArray<f32> {
         NdArray::from_fn(shape, |z, y, x| {
@@ -616,7 +616,7 @@ mod tests {
         // Spot-check lattice values.
         assert_eq!(anchors[0], data.get3(0, 0, 0));
         let counts = anchor_counts(data.shape(), 8);
-        let ai = (1 * counts[1] + 2) * counts[2] + 3;
+        let ai = (counts[1] + 2) * counts[2] + 3;
         assert_eq!(anchors[ai], data.get3(8, 16, 24));
     }
 

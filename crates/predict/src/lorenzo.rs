@@ -12,7 +12,7 @@
 //! raw `i32` delta bit-cast into the `f32` outlier channel (lossless,
 //! see [`encode_delta`]).
 
-use cuszi_gpu_sim::{launch, BlockSlots, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats};
+use cuszi_gpu_sim::{launch_named, BlockSlots, DeviceSpec, Dim3, GlobalRead, GlobalWrite, Grid, KernelStats};
 use cuszi_quant::{prequantize, Outliers};
 use cuszi_tensor::{NdArray, Shape};
 
@@ -80,7 +80,7 @@ pub fn compress(
     let stats = {
         let src = GlobalRead::new(&r);
         let dst = GlobalWrite::new(&mut codes);
-        launch(device, grid, |ctx| {
+        launch_named(device, grid, "lorenzo", |ctx| {
             let o = [
                 ctx.block.z as usize * LORENZO_TILE[0],
                 ctx.block.y as usize * LORENZO_TILE[1],
@@ -193,9 +193,10 @@ fn scan_axis(data: &mut [i32], dims: [usize; 3], axis: usize, device: &DeviceSpe
     let view = GlobalWrite::new(data);
     if axis == 2 {
         // Lines are contiguous: one block per (z, y) row.
-        return launch(
+        return launch_named(
             device,
             Grid::new(Dim3 { x: dims[1] as u32, y: dims[0] as u32, z: 1 }, THREADS_PER_BLOCK),
+            "lorenzo-scan-x",
             |ctx| {
                 let base = ctx.block.y as usize * strides[0] + ctx.block.x as usize * strides[1];
                 let n = dims[2];
@@ -216,9 +217,10 @@ fn scan_axis(data: &mut [i32], dims: [usize; 3], axis: usize, device: &DeviceSpe
     // coalesced and scanning down the lines in registers.
     let other = if axis == 1 { 0 } else { 1 };
     let xtiles = dims[2].div_ceil(SCAN_TILE_X);
-    launch(
+    launch_named(
         device,
         Grid::new(Dim3 { x: xtiles as u32, y: dims[other] as u32, z: 1 }, THREADS_PER_BLOCK),
+        "lorenzo-scan-yz",
         |ctx| {
             let x0 = ctx.block.x as usize * SCAN_TILE_X;
             let w = SCAN_TILE_X.min(dims[2] - x0);

@@ -179,7 +179,7 @@ mod tests {
     fn predict_line_two_neighbors_linear() {
         // len 4, c=1, stride 1: neighbours at 0 and 2 only (c+3 = 4 out,
         // c-3 < 0).
-        let v = vec![1.0, 0.0, 3.0, 5.0];
+        let v = [1.0, 0.0, 3.0, 5.0];
         let (p, fl) = predict_line(CubicVariant::NotAKnot, 1, 1, 3, |i| v[i]);
         assert_eq!(fl, LINEAR_FLOPS);
         assert_eq!(p, 2.0);
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn predict_line_one_neighbor_copies_left() {
         // c + stride >= len: copy x_{n-1}.
-        let v = vec![7.0, 0.0];
+        let v = [7.0, 0.0];
         let (p, fl) = predict_line(CubicVariant::NotAKnot, 1, 1, 2, |i| v[i]);
         assert_eq!(fl, 0);
         assert_eq!(p, 7.0);

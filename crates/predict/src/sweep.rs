@@ -68,10 +68,6 @@ impl VecGrid {
         self.data
     }
 
-    #[inline]
-    fn idx(&self, p: [usize; 3]) -> usize {
-        (p[0] * self.extent[1] + p[1]) * self.extent[2] + p[2]
-    }
 }
 
 impl GridView for VecGrid {

@@ -1,0 +1,261 @@
+//! Metrics registry: named monotonic counters and log-bucket histograms.
+//!
+//! Counters accumulate exact integer totals (bytes in/out, outliers,
+//! fields processed); histograms capture distributions (per-field
+//! compression ratio in parts-per-thousand, codebook entropy in
+//! milli-bits) in power-of-two buckets. Everything is keyed by plain
+//! string names so call sites stay one line.
+//!
+//! The registry is not on the per-element hot path — call sites record
+//! once per field/slab/stage — so a mutex-guarded map is the right
+//! trade: exact, ordered snapshots with zero unsafe code.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log2 buckets (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A power-of-two-bucket histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[0]` counts zeros; `buckets[b]` counts samples with
+    /// `2^(b-1) <= v < 2^b`.
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, v: u64) {
+        let b = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Arithmetic mean of the recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// An ordered, self-consistent copy of the registry at one instant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Render as a JSON object with `counters` and `histograms` keys
+    /// (histogram buckets are emitted sparsely as `[bucket, count]`
+    /// pairs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_str(k), v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let min = if h.count == 0 { 0 } else { h.min };
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"log2_buckets\": [",
+                json_str(k),
+                h.count,
+                h.sum,
+                min,
+                h.max,
+                fmt_f64(h.mean()),
+            ));
+            let mut first = true;
+            for (b, n) in h.buckets.iter().enumerate() {
+                if *n > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("[{b}, {n}]"));
+                    first = false;
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}");
+        out
+    }
+}
+
+/// JSON-escape a string (shared by the trace and metrics writers).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float so it is valid JSON (no `NaN`/`inf` literals).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The metrics registry.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named monotonic counter (created at zero).
+    pub fn count(&self, name: &str, delta: u64) {
+        let mut g = self.inner.lock().unwrap();
+        match g.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                g.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut g = self.inner.lock().unwrap();
+        match g.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                g.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Copy the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.lock().unwrap();
+        Snapshot { counters: g.counters.clone(), histograms: g.histograms.clone() }
+    }
+
+    /// Copy the current state and reset the registry to empty.
+    pub fn take(&self) -> Snapshot {
+        let mut g = self.inner.lock().unwrap();
+        Snapshot {
+            counters: std::mem::take(&mut g.counters),
+            histograms: std::mem::take(&mut g.histograms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = Registry::new();
+        r.count("bytes_in", 100);
+        r.count("bytes_in", 23);
+        r.count("fields", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counters["bytes_in"], 123);
+        assert_eq!(s.counters["fields"], 1);
+        r.count("bytes_in", u64::MAX);
+        assert_eq!(r.snapshot().counters["bytes_in"], u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let r = Registry::new();
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            r.observe("cr", v);
+        }
+        let s = r.snapshot();
+        let h = &s.histograms["cr"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2..3
+        assert_eq!(h.buckets[3], 1); // 4..7
+        assert_eq!(h.buckets[11], 1); // 1024..2047
+        assert!((h.mean() - (1034.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_resets() {
+        let r = Registry::new();
+        r.count("a", 1);
+        r.observe("h", 7);
+        let s = r.take();
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.histograms.len(), 1);
+        let empty = r.snapshot();
+        assert!(empty.counters.is_empty() && empty.histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable() {
+        let r = Registry::new();
+        r.count("bytes\"in\n", 5);
+        r.observe("entropy_mbits", 4321);
+        let json = r.snapshot().to_json();
+        let v = crate::minjson::parse(&json).expect("valid json");
+        let obj = v.as_object().unwrap();
+        assert!(obj.contains_key("counters"));
+        let hists = obj["histograms"].as_object().unwrap();
+        let h = hists["entropy_mbits"].as_object().unwrap();
+        assert_eq!(h["count"].as_f64().unwrap(), 1.0);
+        assert_eq!(h["sum"].as_f64().unwrap(), 4321.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Chrome `trace_event` export and flamegraph-style text summary.
+//!
+//! [`chrome_trace`] serialises recorded [`Event`]s in the Trace Event
+//! Format consumed by Perfetto (`ui.perfetto.dev`) and `chrome://tracing`:
+//! a `traceEvents` array of `B`/`E` duration events and `X` complete
+//! events, timestamps in microseconds, one `pid` for the process and the
+//! tracer's dense `tid` per recording thread.
+//!
+//! [`flame_summary`] folds the same events into an indented inclusive-
+//! time tree per thread — the quick look when loading a UI is overkill.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{fmt_f64, json_str};
+use crate::tracer::{Event, Phase};
+
+/// Serialise events as a Chrome trace JSON document.
+///
+/// `dropped` (ring wraparound losses from
+/// [`crate::tracer::Tracer::take_events`]) is recorded under
+/// `otherData.droppedEvents` so a truncated trace is never mistaken for
+/// a complete one.
+pub fn chrome_trace(events: &[Event], dropped: u64) -> String {
+    let mut out = String::from("{\n\"traceEvents\": [");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match ev.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Complete => "X",
+        };
+        let ts_us = ev.ts_ns as f64 / 1e3;
+        out.push_str(&format!(
+            "\n  {{\"name\": {}, \"cat\": {}, \"ph\": \"{}\", \"ts\": {}, \"pid\": 1, \"tid\": {}",
+            json_str(ev.name.as_str()),
+            json_str(ev.cat.label()),
+            ph,
+            fmt_f64(ts_us),
+            ev.tid,
+        ));
+        if ev.phase == Phase::Complete {
+            out.push_str(&format!(", \"dur\": {}", fmt_f64(ev.dur_ns as f64 / 1e3)));
+        }
+        out.push('}');
+    }
+    out.push_str(&format!(
+        "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {{\"droppedEvents\": {dropped}}}\n}}"
+    ));
+    out
+}
+
+struct Node {
+    total_ns: u64,
+    count: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node { total_ns: 0, count: 0, children: BTreeMap::new() }
+    }
+}
+
+/// Fold events into an indented per-thread inclusive-time tree.
+///
+/// `B`/`E` pairs nest by position; `X` events count as leaves under the
+/// currently open stack. Unbalanced `E`s (span opened before tracing
+/// was enabled) are ignored.
+pub fn flame_summary(events: &[Event]) -> String {
+    // Partition per tid, preserving order.
+    let mut threads: BTreeMap<u32, Vec<&Event>> = BTreeMap::new();
+    for ev in events {
+        threads.entry(ev.tid).or_default().push(ev);
+    }
+    let mut out = String::new();
+    for (tid, evs) in &threads {
+        let mut root = Node::new();
+        // Stack of (path of names, begin ts).
+        let mut stack: Vec<(String, u64)> = Vec::new();
+        for ev in evs {
+            match ev.phase {
+                Phase::Begin => stack.push((ev.name.as_str().to_string(), ev.ts_ns)),
+                Phase::End => {
+                    if let Some((name, t0)) = stack.pop() {
+                        let dur = ev.ts_ns.saturating_sub(t0);
+                        insert(&mut root, &stack, &name, dur);
+                    }
+                }
+                Phase::Complete => {
+                    insert(&mut root, &stack, ev.name.as_str(), ev.dur_ns);
+                }
+            }
+        }
+        if root.children.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("thread {tid}\n"));
+        render(&root, 1, &mut out);
+    }
+    if out.is_empty() {
+        out.push_str("no spans recorded\n");
+    }
+    out
+}
+
+fn insert(root: &mut Node, stack: &[(String, u64)], name: &str, dur_ns: u64) {
+    let mut node = root;
+    for (frame, _) in stack {
+        node = node.children.entry(frame.clone()).or_insert_with(Node::new);
+    }
+    let leaf = node.children.entry(name.to_string()).or_insert_with(Node::new);
+    leaf.total_ns += dur_ns;
+    leaf.count += 1;
+}
+
+fn render(node: &Node, depth: usize, out: &mut String) {
+    // Children sorted by inclusive time, heaviest first.
+    let mut kids: Vec<(&String, &Node)> = node.children.iter().collect();
+    kids.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    for (name, child) in kids {
+        out.push_str(&format!(
+            "{}{:<24} {:>10.3} ms  x{}\n",
+            "  ".repeat(depth),
+            name,
+            child.total_ns as f64 / 1e6,
+            child.count,
+        ));
+        render(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Category, Tracer};
+
+    fn sample_events() -> Vec<Event> {
+        let t = Tracer::new(64);
+        t.begin("compress", Category::Stage);
+        t.begin("predict", Category::Stage);
+        t.complete("g-interp", Category::Kernel, 500_000);
+        t.end("predict", Category::Stage);
+        t.end("compress", Category::Stage);
+        t.take_events().0
+    }
+
+    #[test]
+    fn chrome_trace_has_required_keys() {
+        let evs = sample_events();
+        let json = chrome_trace(&evs, 3);
+        let v = crate::minjson::parse(&json).expect("valid json");
+        let arr = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 5);
+        for ev in arr {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "missing {key}");
+            }
+        }
+        // X events carry a duration in microseconds.
+        let x = arr.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).unwrap();
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(500.0));
+        assert_eq!(
+            v.get("otherData").unwrap().get("droppedEvents").unwrap().as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn flame_summary_nests_and_sums() {
+        let text = flame_summary(&sample_events());
+        let compress_at = text.find("compress").unwrap();
+        let predict_at = text.find("predict").unwrap();
+        let kern_at = text.find("g-interp").unwrap();
+        assert!(compress_at < predict_at && predict_at < kern_at);
+        // The kernel leaf is indented deeper than its parents.
+        let indent = |pos: usize| text[..pos].rfind('\n').map(|n| pos - n - 1).unwrap_or(pos);
+        assert!(indent(kern_at) > indent(predict_at));
+        assert!(indent(predict_at) > indent(compress_at));
+    }
+
+    #[test]
+    fn flame_summary_ignores_unbalanced_ends() {
+        let t = Tracer::new(64);
+        t.end("phantom", Category::Stage);
+        t.begin("real", Category::Stage);
+        t.end("real", Category::Stage);
+        let (evs, _) = t.take_events();
+        let text = flame_summary(&evs);
+        assert!(text.contains("real"));
+        assert!(!text.contains("phantom"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Lock-free per-thread span recording.
+//!
+//! Each recording thread owns a fixed-capacity ring buffer (the same
+//! preallocated, write-disjoint discipline as `gpu-sim`'s `BlockSlots`):
+//! pushing an event is an index bump plus a slot write in the owner's
+//! own buffer — no lock, no allocation, no cross-thread contention on
+//! the hot path. The only lock in the tracer guards thread
+//! *registration* (first event of a new thread) and draining, both cold.
+//!
+//! Events are fixed-size `Copy` records with inline names, so a full
+//! ring simply wraps and overwrites the oldest events (the drop count is
+//! reported at drain time) instead of ever blocking a worker.
+
+use std::cell::RefCell;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum bytes of a span name stored inline in an event. Longer names
+/// are truncated at a UTF-8 boundary.
+pub const MAX_NAME: usize = 40;
+
+/// A fixed-capacity inline string (events must be `Copy` so a wrapped
+/// ring slot never tears a heap pointer).
+#[derive(Clone, Copy)]
+pub struct SmallName {
+    len: u8,
+    buf: [u8; MAX_NAME],
+}
+
+impl SmallName {
+    /// Store `s`, truncating to [`MAX_NAME`] bytes on a char boundary.
+    pub fn new(s: &str) -> Self {
+        let mut end = s.len().min(MAX_NAME);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut buf = [0u8; MAX_NAME];
+        buf[..end].copy_from_slice(&s.as_bytes()[..end]);
+        SmallName { len: end as u8, buf }
+    }
+
+    /// The stored name.
+    pub fn as_str(&self) -> &str {
+        // Construction guarantees valid UTF-8 up to `len`.
+        std::str::from_utf8(&self.buf[..self.len as usize]).unwrap_or("")
+    }
+}
+
+impl std::fmt::Debug for SmallName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl PartialEq for SmallName {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for SmallName {}
+
+/// What a span describes (becomes the Chrome trace `cat` field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// A kernel launch on the gpu-sim substrate.
+    Kernel,
+    /// A pipeline stage (predict, huffman, bitcomp, …).
+    Stage,
+    /// A batch container field.
+    Batch,
+    /// A stream slab.
+    Stream,
+    /// Anything else.
+    Other,
+}
+
+impl Category {
+    /// Chrome trace category string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Kernel => "kernel",
+            Category::Stage => "stage",
+            Category::Batch => "batch",
+            Category::Stream => "stream",
+            Category::Other => "other",
+        }
+    }
+}
+
+/// Event phase, mirroring Chrome `trace_event` `ph` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Complete event with an inline duration (`"X"`) — used for kernel
+    /// launches, which are reported once with their wall time.
+    Complete,
+}
+
+/// One recorded event. Fixed-size and `Copy` by design (see module
+/// docs).
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    pub name: SmallName,
+    pub cat: Category,
+    pub phase: Phase,
+    /// Small dense thread id assigned at registration (not the OS tid).
+    pub tid: u32,
+    /// Nanoseconds since the tracer's epoch.
+    pub ts_ns: u64,
+    /// Duration for [`Phase::Complete`] events, else 0.
+    pub dur_ns: u64,
+}
+
+/// Slot sequence protocol: `2*pos + 1` while the writer is mid-slot,
+/// `2*pos + 2` once the event at ring position `pos` is published.
+struct Slot {
+    seq: AtomicU64,
+    data: UnsafeCell<MaybeUninit<Event>>,
+}
+
+/// Single-writer ring buffer; the owner thread pushes, anyone may
+/// snapshot after the owner is quiescent.
+struct Ring {
+    tid: u32,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: `data` is written only by the owning thread; readers validate
+// the per-slot `seq` (odd or changed => torn, skipped) and only trust
+// slots published with a Release store. Drains are additionally
+// documented to run after the writers of interest have quiesced.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(tid: u32, capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
+        Ring {
+            tid,
+            head: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    data: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Owner-thread only.
+    fn push(&self, ev: Event) {
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos as usize) & (self.slots.len() - 1)];
+        slot.seq.store(pos * 2 + 1, Ordering::Release);
+        // SAFETY: single writer (owner thread); readers treat an odd or
+        // stale seq as torn and skip the slot.
+        unsafe { *slot.data.get() = MaybeUninit::new(ev) };
+        slot.seq.store(pos * 2 + 2, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Release);
+    }
+
+    /// Events in `[from, head)` in push order, plus the ring's current
+    /// head. Events older than one capacity are gone (overwritten).
+    fn snapshot(&self, from: u64) -> (Vec<Event>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = from.max(head.saturating_sub(cap));
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for pos in start..head {
+            let slot = &self.slots[(pos as usize) & (self.slots.len() - 1)];
+            if slot.seq.load(Ordering::Acquire) != pos * 2 + 2 {
+                continue; // torn or already overwritten: skip
+            }
+            // SAFETY: seq says the slot was fully published for `pos`;
+            // quiescent-drain contract makes overwrite-during-copy
+            // impossible for the rings being reported.
+            let ev = unsafe { (*slot.data.get()).assume_init() };
+            if slot.seq.load(Ordering::Acquire) == pos * 2 + 2 {
+                out.push(ev);
+            }
+        }
+        (out, head)
+    }
+}
+
+/// Per-ring drain bookkeeping.
+struct RingState {
+    ring: Arc<Ring>,
+    /// Ring position up to which events were already taken.
+    drained: u64,
+}
+
+/// The span tracer: a registry of per-thread rings plus the epoch.
+pub struct Tracer {
+    id: u64,
+    epoch: Instant,
+    capacity: usize,
+    rings: Mutex<Vec<RingState>>,
+    next_tid: AtomicUsize,
+    depth_hint: AtomicUsize,
+}
+
+static TRACER_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (tracer id, ring) pairs for every tracer this thread has written
+    /// to. Linear scan: a thread rarely records into more than one.
+    static LOCAL_RINGS: RefCell<Vec<(u64, Arc<Ring>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn global_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(1 << 14)
+    }
+}
+
+impl Tracer {
+    /// A tracer whose per-thread rings hold `capacity` events each
+    /// (rounded up to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            id: TRACER_IDS.fetch_add(1, Ordering::Relaxed),
+            epoch: global_epoch(),
+            capacity: capacity.next_power_of_two().max(8),
+            rings: Mutex::new(Vec::new()),
+            next_tid: AtomicUsize::new(0),
+            depth_hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Nanoseconds since the tracer epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn with_ring<R>(&self, f: impl FnOnce(&Ring) -> R) -> R {
+        LOCAL_RINGS.with(|cell| {
+            let mut local = cell.borrow_mut();
+            if let Some((_, ring)) = local.iter().find(|(id, _)| *id == self.id) {
+                return f(ring);
+            }
+            // Cold path: first event from this thread — register.
+            let tid = self.next_tid.fetch_add(1, Ordering::Relaxed) as u32;
+            let ring = Arc::new(Ring::new(tid, self.capacity));
+            self.rings
+                .lock()
+                .unwrap()
+                .push(RingState { ring: Arc::clone(&ring), drained: 0 });
+            let out = f(&ring);
+            local.push((self.id, ring));
+            out
+        })
+    }
+
+    /// Record a span-begin on the calling thread.
+    pub fn begin(&self, name: &str, cat: Category) {
+        let ev = Event {
+            name: SmallName::new(name),
+            cat,
+            phase: Phase::Begin,
+            tid: 0,
+            ts_ns: self.now_ns(),
+            dur_ns: 0,
+        };
+        self.push(ev);
+    }
+
+    /// Record a span-end on the calling thread.
+    pub fn end(&self, name: &str, cat: Category) {
+        let ev = Event {
+            name: SmallName::new(name),
+            cat,
+            phase: Phase::End,
+            tid: 0,
+            ts_ns: self.now_ns(),
+            dur_ns: 0,
+        };
+        self.push(ev);
+    }
+
+    /// Record a complete (`"X"`) event that ended now and lasted
+    /// `dur_ns`.
+    pub fn complete(&self, name: &str, cat: Category, dur_ns: u64) {
+        let now = self.now_ns();
+        let ev = Event {
+            name: SmallName::new(name),
+            cat,
+            phase: Phase::Complete,
+            tid: 0,
+            ts_ns: now.saturating_sub(dur_ns),
+            dur_ns,
+        };
+        self.push(ev);
+    }
+
+    fn push(&self, mut ev: Event) {
+        self.with_ring(|ring| {
+            ev.tid = ring.tid;
+            ring.push(ev);
+        });
+        self.depth_hint.fetch_add(0, Ordering::Relaxed); // keep field used cheaply
+    }
+
+    /// Take every event recorded since the previous `take_events`, in
+    /// per-thread push order, threads sorted by tid. Returns the events
+    /// and how many were lost to ring wraparound.
+    ///
+    /// Call when the recording threads of interest are quiescent (after
+    /// the pipeline/launch being profiled has returned).
+    pub fn take_events(&self) -> (Vec<Event>, u64) {
+        let mut rings = self.rings.lock().unwrap();
+        rings.sort_by_key(|r| r.ring.tid);
+        let mut out = Vec::new();
+        let mut dropped = 0u64;
+        for st in rings.iter_mut() {
+            let (evs, head) = st.ring.snapshot(st.drained);
+            let expected = head - st.drained;
+            dropped += expected.saturating_sub(evs.len() as u64);
+            st.drained = head;
+            out.extend(evs);
+        }
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_name_truncates_on_char_boundary() {
+        let n = SmallName::new("short");
+        assert_eq!(n.as_str(), "short");
+        let long = "x".repeat(100);
+        assert_eq!(SmallName::new(&long).as_str().len(), MAX_NAME);
+        // Multi-byte char straddling the limit is dropped whole.
+        let tricky = format!("{}é", "a".repeat(MAX_NAME - 1));
+        let t = SmallName::new(&tricky);
+        assert_eq!(t.as_str(), "a".repeat(MAX_NAME - 1));
+    }
+
+    #[test]
+    fn spans_record_in_order_with_nesting() {
+        let t = Tracer::new(64);
+        t.begin("outer", Category::Stage);
+        t.begin("inner", Category::Stage);
+        t.end("inner", Category::Stage);
+        t.complete("kern", Category::Kernel, 1000);
+        t.end("outer", Category::Stage);
+        let (evs, dropped) = t.take_events();
+        assert_eq!(dropped, 0);
+        let names: Vec<&str> = evs.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "inner", "kern", "outer"]);
+        assert_eq!(evs[0].phase, Phase::Begin);
+        assert_eq!(evs[2].phase, Phase::End);
+        assert_eq!(evs[3].phase, Phase::Complete);
+        assert_eq!(evs[3].dur_ns, 1000);
+        // Timestamps are monotone within the thread.
+        assert!(evs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns || w[1].phase == Phase::Complete));
+    }
+
+    #[test]
+    fn take_events_is_incremental() {
+        let t = Tracer::new(64);
+        t.begin("a", Category::Other);
+        assert_eq!(t.take_events().0.len(), 1);
+        assert_eq!(t.take_events().0.len(), 0);
+        t.end("a", Category::Other);
+        let (evs, _) = t.take_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].phase, Phase::End);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_reports_count() {
+        let t = Tracer::new(8); // power of two, tiny
+        for i in 0..20 {
+            t.begin(&format!("s{i}"), Category::Other);
+        }
+        let (evs, dropped) = t.take_events();
+        assert_eq!(evs.len(), 8);
+        assert_eq!(dropped, 12);
+        // The survivors are the newest eight, in order.
+        let names: Vec<&str> = evs.iter().map(|e| e.name.as_str()).collect();
+        let expect: Vec<String> = (12..20).map(|i| format!("s{i}")).collect();
+        assert_eq!(names, expect.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_thread_events_attribute_to_distinct_tids_in_order() {
+        let t = std::sync::Arc::new(Tracer::new(1024));
+        let mut handles = Vec::new();
+        for worker in 0..4 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    t.begin(&format!("w{worker}-{i}"), Category::Other);
+                    t.end(&format!("w{worker}-{i}"), Category::Other);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (evs, dropped) = t.take_events();
+        assert_eq!(dropped, 0);
+        assert_eq!(evs.len(), 4 * 100);
+        // Per tid: timestamps monotone and B/E alternate in push order.
+        let tids: std::collections::BTreeSet<u32> = evs.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4);
+        for tid in tids {
+            let mine: Vec<&Event> = evs.iter().filter(|e| e.tid == tid).collect();
+            assert_eq!(mine.len(), 100);
+            assert!(mine.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+            for pair in mine.chunks(2) {
+                assert_eq!(pair[0].phase, Phase::Begin);
+                assert_eq!(pair[1].phase, Phase::End);
+                assert_eq!(pair[0].name, pair[1].name);
+            }
+        }
+    }
+}

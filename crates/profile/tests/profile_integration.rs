@@ -1,0 +1,136 @@
+//! End-to-end tests of the global profiler against real `gpu-sim`
+//! launches: golden Chrome-trace schema and kernel-table determinism.
+//!
+//! These live in their own integration binary (own process) because
+//! they install and toggle the process-global profiler/launch hook.
+
+use std::sync::Mutex;
+
+use cuszi_gpu_sim::{launch_named, GlobalRead, GlobalWrite, Grid, A100};
+use cuszi_profile as profile;
+use cuszi_profile::{minjson, Category};
+
+/// The profiler and launch hook are process-global; serialise the tests
+/// that toggle them.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// One deterministic workload: two named kernels under a stage span.
+fn run_workload() -> profile::Report {
+    let p = profile::profiler().expect("profiler installed");
+    {
+        let _stage = profile::span("compress", Category::Stage);
+        let input: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+        let mut output = vec![0.0f32; input.len()];
+        {
+            let src = GlobalRead::new(&input);
+            let dst = GlobalWrite::new(&mut output);
+            launch_named(&A100, Grid::linear(16, 64), "copy-kernel", |ctx| {
+                let b = ctx.block_linear() as usize;
+                let chunk = 4096 / 16;
+                let mut buf = ctx.scratch(chunk, 0.0f32);
+                ctx.read_span(&src, b * chunk, &mut buf);
+                ctx.add_flops(chunk as u64);
+                ctx.write_span(&dst, b * chunk, &buf);
+            });
+        }
+        {
+            let _inner = profile::span("reduce", Category::Stage);
+            let src = GlobalRead::new(&output);
+            launch_named(&A100, Grid::linear(4, 32), "reduce-kernel", |ctx| {
+                let b = ctx.block_linear() as usize;
+                let chunk = 4096 / 4;
+                let mut buf = ctx.scratch(chunk, 0.0f32);
+                ctx.read_span(&src, b * chunk, &mut buf);
+                ctx.add_flops(chunk as u64);
+            });
+        }
+        profile::count("bytes_in", 4096 * 4);
+        profile::observe("cr_ppt", 2500);
+    }
+    p.report()
+}
+
+#[test]
+fn profiled_runs_emit_valid_traces_and_identical_kernel_tables() {
+    let _lock = TEST_LOCK.lock().unwrap();
+    profile::install();
+    profile::enable(true);
+    let rep1 = run_workload();
+    let rep2 = run_workload();
+    profile::enable(false);
+
+    // --- Golden Chrome-trace schema -------------------------------
+    let json = rep1.chrome_trace();
+    let v = minjson::parse(&json).expect("trace is valid JSON");
+    let events = v.get("traceEvents").expect("traceEvents key").as_array().unwrap();
+    // 2 stage spans (B+E each) + 2 kernel X events.
+    assert_eq!(events.len(), 6, "events: {json}");
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {json}");
+        }
+        let ph = ev.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "B" | "E" | "X"), "bad ph {ph}");
+        if ph == "X" {
+            assert!(ev.get("dur").unwrap().as_f64().unwrap() > 0.0);
+        }
+    }
+    let names: Vec<&str> =
+        events.iter().map(|e| e.get("name").unwrap().as_str().unwrap()).collect();
+    for expect in ["compress", "reduce", "copy-kernel", "reduce-kernel"] {
+        assert!(names.contains(&expect), "missing {expect} in {names:?}");
+    }
+
+    // --- Kernel tables: identical across runs ---------------------
+    assert_eq!(rep1.kernels.len(), 2);
+    assert_eq!(rep2.kernels.len(), 2);
+    for (a, b) in rep1.kernels.iter().zip(&rep2.kernels) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.launches, b.launches);
+        assert_eq!(a.incomplete, 0);
+        assert_eq!(a.stats, b.stats, "stats differ for {}", a.name);
+        assert_eq!(a.breakdown, b.breakdown, "breakdown differs for {}", a.name);
+        assert_eq!(a.sim_s(), b.sim_s());
+        // Wall time is the one field allowed to differ between runs.
+    }
+    // The kernel rows carry real measured traffic.
+    let copy = &rep1.kernels[0];
+    assert_eq!(copy.name, "copy-kernel");
+    assert_eq!(copy.stats.blocks, 16);
+    assert!(copy.stats.dram_bytes() >= 2 * 4096 * 4);
+    assert!(copy.achieved_gbps() > 0.0);
+
+    // Whole-table text/JSON renders are identical too (wall time is
+    // not part of the text report's columns... it is in JSON, so
+    // compare text only).
+    let mut t1 = profile::KernelTable::new();
+    t1.restore(rep1.kernels.clone());
+    let mut t2 = profile::KernelTable::new();
+    t2.restore(rep2.kernels.clone());
+    assert_eq!(t1.render(), t2.render());
+
+    // --- Metrics --------------------------------------------------
+    assert_eq!(rep1.metrics.counters["bytes_in"], 4096 * 4);
+    assert_eq!(rep1.metrics.histograms["cr_ppt"].count, 1);
+    assert_eq!(rep1.metrics, rep2.metrics);
+
+    // --- Flame summary nests the kernel under its stage -----------
+    let flame = rep1.flame_summary();
+    let c = flame.find("compress").expect("compress in flame");
+    let k = flame.find("copy-kernel").expect("kernel in flame");
+    assert!(c < k, "kernel should render under the stage:\n{flame}");
+}
+
+#[test]
+fn disabled_profiling_records_nothing() {
+    let _lock = TEST_LOCK.lock().unwrap();
+    profile::install();
+    profile::enable(false);
+    {
+        let _g = profile::span("ghost-stage", Category::Stage);
+        profile::count("ghost-counter", 1);
+    }
+    let rep = profile::profiler().unwrap().report();
+    assert!(!rep.events.iter().any(|e| e.name.as_str() == "ghost-stage"));
+    assert!(!rep.metrics.counters.contains_key("ghost-counter"));
+}

@@ -460,7 +460,7 @@ mod tests {
         }
 
         fn mapped_strategies_compose(n in (1usize..5).prop_map(|k| k * 8)) {
-            prop_assert!(n % 8 == 0 && n >= 8 && n < 40);
+            prop_assert!(n % 8 == 0 && (8..40).contains(&n));
         }
     }
 }

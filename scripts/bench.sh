@@ -6,20 +6,26 @@
 # the per-stage wall-clock bench, writing BENCH_<n>.json where <n> is
 # the first unused index in the output directory.
 #
-# Usage: scripts/bench.sh [--quick] [--out-dir DIR] [extra exp_hostperf args...]
+# Usage: scripts/bench.sh [--quick] [--profile] [--out-dir DIR] [extra exp_hostperf args...]
 #   --quick     2 samples per measurement (CI smoke); default is 5.
+#   --profile   enable the cuszi-profile tracer/kernel-table during the
+#               run; writes profile_<n>.json next to BENCH_<n>.json and
+#               prints the per-kernel roofline report.
 #   --out-dir   where BENCH_<n>.json goes (default: repo root).
-# Env: CUSZI_BENCH_SAMPLES overrides the sample count either way.
+# Env: CUSZI_BENCH_SAMPLES overrides the sample count either way;
+#      CUSZI_PROFILE=1 is equivalent to --profile.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out_dir="."
 quick=0
+profile=0
 extra=()
 while [ $# -gt 0 ]; do
     case "$1" in
         --quick) quick=1 ;;
+        --profile) profile=1 ;;
         --out-dir) out_dir="$2"; shift ;;
         *) extra+=("$1") ;;
     esac
@@ -33,6 +39,9 @@ out="$out_dir/BENCH_$n.json"
 
 if [ "$quick" = 1 ]; then
     export CUSZI_BENCH_QUICK=1
+fi
+if [ "$profile" = 1 ]; then
+    extra+=("--profile")
 fi
 
 cargo build --release -p cuszi-bench --bin exp_hostperf --benches

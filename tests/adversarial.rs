@@ -54,7 +54,7 @@ proptest! {
             let Ok((bytes, _)) = codec.compress_bytes(&data) else { continue };
             let mut bad = bytes.clone();
             for &(pos, val) in &mutations {
-                let i = pos % bad.len().min(120).max(1);
+                let i = pos % bad.len().clamp(1, 120);
                 bad[i] = val;
             }
             let _ = codec.decompress_bytes(&bad);
