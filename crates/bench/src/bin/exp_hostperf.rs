@@ -7,15 +7,20 @@
 //! pipeline. Results go to a JSON report (default `BENCH_1.json`) so
 //! successive commits can be diffed.
 //!
-//! Usage: `exp_hostperf [--paper] [--seed N] [--out PATH] [--profile]`
+//! Usage: `exp_hostperf [--paper] [--seed N] [--out PATH] [--profile]
+//! [--streams N]`
 //! Env: `CUSZI_BENCH_QUICK=1` / `CUSZI_BENCH_SAMPLES=N` (see
 //! `cuszi_bench::timing`); `CUSZI_PROFILE=1` is equivalent to
 //! `--profile`. Profiling dumps a `profile_<n>.json` companion (kernel
 //! table + span trace + metric counters) next to `BENCH_<n>.json`.
+//!
+//! `--streams N` adds an overlap section per dataset: batch (all
+//! fields) and slab-streamed compression at 1 stream vs N streams,
+//! wall-clock speedup plus the scheduler's sim-time overlap ratio.
 
 use cuszi_bench::timing::{section, Bench, Measurement};
 use cuszi_bench::{codec_roster, parse_args};
-use cuszi_core::Config;
+use cuszi_core::{compress_fields_streams, compress_slabs_streams, Config, NamedField};
 use cuszi_datagen::{generate, DatasetKind};
 use cuszi_gpu_sim::A100;
 use cuszi_huffman::{encode_gpu, histogram_gpu, Codebook};
@@ -78,6 +83,74 @@ fn cuszi_stages(b: &Bench, field: &cuszi_tensor::NdArray<f32>) -> Vec<Measuremen
     out
 }
 
+/// Multi-stream overlap benchmark on one dataset: batch (all fields)
+/// and slab-streamed (first field, >= 4 z-slabs) compression at one
+/// stream vs `n` streams.
+///
+/// Two timelines are reported. `sim_*` is the modelled-GPU timeline
+/// from the per-stream sim clocks (the metric the roofline model and
+/// `exp_fig9` speak in): with n streams the makespan is the *maximum*
+/// stream clock instead of the serial sum, which is exactly the
+/// latency win CUDA streams buy on hardware. `wall_*` is host
+/// wall-clock, which tracks the sim win only when the host has spare
+/// cores to run the streams on (`host_cores` is recorded so readers
+/// can tell — on a 1-core container wall time cannot improve).
+fn overlap_json(b: &Bench, ds: &cuszi_datagen::Dataset, n: usize) -> String {
+    let cfg = Config::new(ErrorBound::Rel(REL_EB));
+    let named: Vec<NamedField> =
+        ds.fields.iter().map(|f| NamedField { name: f.name, data: &f.data }).collect();
+    let total: u64 = named.iter().map(|f| (f.data.len() * 4) as u64).sum();
+    let b1 = b.run("batch --streams 1", Some(total), || {
+        compress_fields_streams(&named, cfg, 1).unwrap()
+    });
+    let bn = b.run(&format!("batch --streams {n}"), Some(total), || {
+        compress_fields_streams(&named, cfg, n).unwrap()
+    });
+    let (_, brep1) = compress_fields_streams(&named, cfg, 1).unwrap();
+    let (_, brepn) = compress_fields_streams(&named, cfg, n).unwrap();
+
+    let field = &ds.fields[0].data;
+    let shape = field.shape();
+    let [nz, ny, nx] = shape.dims3();
+    // Thick enough slabs to be real work, enough of them to overlap.
+    let slab_z = (nz / 8).max(1);
+    let produce = |z0: usize, snz: usize| {
+        cuszi_tensor::NdArray::from_fn(cuszi_tensor::Shape::d3(snz, ny, nx), |z, y, x| {
+            field.get3(z0 + z, y, x)
+        })
+    };
+    let fbytes = (field.len() * 4) as u64;
+    let s1 = b.run("slab --streams 1", Some(fbytes), || {
+        compress_slabs_streams(shape, slab_z, cfg, 1, produce).unwrap()
+    });
+    let sn = b.run(&format!("slab --streams {n}"), Some(fbytes), || {
+        compress_slabs_streams(shape, slab_z, cfg, n, produce).unwrap()
+    });
+    let (_, srep1) = compress_slabs_streams(shape, slab_z, cfg, 1, produce).unwrap();
+    let (_, srepn) = compress_slabs_streams(shape, slab_z, cfg, n, produce).unwrap();
+
+    let pair = |label: &str, extra: String, w1: f64, wn: f64, r1: &cuszi_core::ScheduleReport, rn: &cuszi_core::ScheduleReport| {
+        let sim1 = r1.sim_elapsed_ns() as f64 / 1e6;
+        let simn = rn.sim_elapsed_ns() as f64 / 1e6;
+        format!(
+            "\"{label}\":{{{extra}\"wall_serial_ms\":{:.4},\"wall_parallel_ms\":{:.4},\
+             \"wall_speedup\":{:.4},\"sim_serial_ms\":{sim1:.4},\"sim_parallel_ms\":{simn:.4},\
+             \"sim_speedup\":{:.4},\"sim_overlap\":{:.4}}}",
+            w1 * 1e3,
+            wn * 1e3,
+            w1 / wn.max(1e-12),
+            sim1 / simn.max(1e-9),
+            rn.overlap_speedup(),
+        )
+    };
+    format!(
+        "{{\"streams\":{n},\"host_cores\":{},{},{}}}",
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+        pair("batch", format!("\"fields\":{},", named.len()), b1.min_s, bn.min_s, &brep1, &brepn),
+        pair("slab", format!("\"slab_z\":{slab_z},"), s1.min_s, sn.min_s, &srep1, &srepn),
+    )
+}
+
 /// Companion profile dump path for a report path: `BENCH_1.json` ->
 /// `profile_1.json`; anything else gets a `.profile.json` suffix.
 fn profile_path_for(out_path: &str) -> String {
@@ -100,6 +173,7 @@ fn main() {
     let (scale, seed) = parse_args();
     let mut out_path = String::from("BENCH_1.json");
     let mut profile = false;
+    let mut streams = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {
@@ -108,6 +182,12 @@ fn main() {
             }
         } else if a == "--profile" {
             profile = true;
+        } else if a == "--streams" {
+            streams = args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--streams needs a count >= 1");
         }
     }
     let profiling = if profile {
@@ -172,8 +252,10 @@ fn main() {
                 stages
             ));
         }
+        let overlap = overlap_json(&b, &ds, streams);
         ds_json.push(format!(
-            "{{\"dataset\":\"{}\",\"field\":\"{}\",\"bytes\":{},\"codecs\":[{}]}}",
+            "{{\"dataset\":\"{}\",\"field\":\"{}\",\"bytes\":{},\"codecs\":[{}],\
+             \"overlap\":{overlap}}}",
             kind.name(),
             json_escape(field.name),
             nbytes,
@@ -183,7 +265,7 @@ fn main() {
 
     let json = format!(
         "{{\"experiment\":\"hostperf\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
-         \"samples\":{},\"rel_eb\":{REL_EB},\"datasets\":[{}]}}\n",
+         \"samples\":{},\"rel_eb\":{REL_EB},\"streams\":{streams},\"datasets\":[{}]}}\n",
         b.samples,
         ds_json.join(",")
     );

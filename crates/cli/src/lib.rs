@@ -15,8 +15,8 @@ use std::fs;
 use std::path::Path;
 
 use cuszi_core::{
-    compress_pw_rel, compress_slabs, compress_to_psnr, decompress_pw_rel, decompress_slabs,
-    Config, CuszError, CuszI,
+    compress_pw_rel, compress_slabs_streams, compress_to_psnr, decompress_pw_rel,
+    decompress_slabs, Config, CuszError, CuszI,
 };
 use cuszi_core::archive::Header;
 use cuszi_metrics::{bit_rate, compression_ratio, distortion};
@@ -36,6 +36,9 @@ pub enum Command {
         /// Stream the field in z-slabs of this thickness (bounded
         /// memory; 3-d only, --rel-eb/--abs-eb only).
         slab: Option<usize>,
+        /// Number of gpu-sim streams slab compression overlaps on
+        /// (`None` = auto). Archives are byte-identical for any count.
+        streams: Option<usize>,
         /// Profile the run: `Some(path)` writes a Chrome trace there,
         /// `Some("")` uses `<output>.trace.json`. `CUSZI_PROFILE=1`
         /// turns this on ambiently even when `None`.
@@ -91,7 +94,8 @@ cuszi — cuSZ-i error-bounded lossy compression for raw f32 fields
 USAGE:
   cuszi compress   -i <in.f32> -o <out.cszi> --dims ZxYxX
                    (--rel-eb E | --abs-eb E | --psnr DB | --pw-rel E [--floor F])
-                   [--no-bitcomp] [--verify] [--slab Z] [--profile[=TRACE.json]]
+                   [--no-bitcomp] [--verify] [--slab Z [--streams N]]
+                   [--profile[=TRACE.json]]
   cuszi decompress -i <in.cszi> -o <out.f32>
   cuszi info       -i <in.cszi>
 
@@ -101,7 +105,11 @@ Dims are slowest-to-fastest (z x y x x), e.g. --dims 256x384x384;
 --profile records a kernel/stage profile: a Perfetto-loadable Chrome
 trace (default <out>.trace.json), a per-kernel roofline table with
 bottleneck verdicts, and a span time summary. CUSZI_PROFILE=1 in the
-environment does the same without the flag.";
+environment does the same without the flag.
+
+--streams overlaps slab compression across N gpu-sim streams (default:
+auto from CUSZI_STREAMS or core count). Archives are byte-identical
+for any stream count.";
 
 /// Parse `ZxYxX` dims.
 pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
@@ -120,6 +128,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut bitcomp = true;
     let mut verify = false;
     let mut slab = None;
+    let mut streams = None;
     let mut profile = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -174,6 +183,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     val("--slab")?.parse().map_err(|_| CliError("bad --slab".into()))?,
                 )
             }
+            "--streams" => {
+                let n: usize =
+                    val("--streams")?.parse().map_err(|_| CliError("bad --streams".into()))?;
+                if n == 0 {
+                    return Err(CliError("--streams must be >= 1".into()));
+                }
+                streams = Some(n);
+            }
             other => return Err(CliError(format!("unknown argument '{other}'\n\n{USAGE}"))),
         }
     }
@@ -187,6 +204,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             bitcomp,
             verify,
             slab,
+            streams,
             profile,
         }),
         "decompress" => Ok(Command::Decompress {
@@ -225,7 +243,17 @@ pub fn write_f32_field(path: &Path, data: &NdArray<f32>) -> Result<(), CliError>
 pub fn run(cmd: Command) -> Result<String, CliError> {
     let mut out = String::new();
     match cmd {
-        Command::Compress { input, output, shape, mode, bitcomp, verify, slab, profile } => {
+        Command::Compress {
+            input,
+            output,
+            shape,
+            mode,
+            bitcomp,
+            verify,
+            slab,
+            streams,
+            profile,
+        } => {
             // Profiling wraps the whole compress run (either path);
             // `CUSZI_PROFILE=1` in the environment is equivalent to
             // passing --profile.
@@ -239,7 +267,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 cuszi_profile::enable(true);
             }
             let mut result = if let Some(slab_z) = slab {
-                compress_streamed(&input, &output, shape, mode, bitcomp, slab_z)
+                compress_streamed(&input, &output, shape, mode, bitcomp, slab_z, streams)
+            } else if streams.is_some() {
+                Err(CliError("--streams requires --slab".into()))
             } else {
                 compress_whole(&input, &output, shape, mode, bitcomp, verify)
             };
@@ -407,6 +437,7 @@ fn compress_streamed(
     mode: BoundMode,
     bitcomp: bool,
     slab_z: usize,
+    streams: Option<usize>,
 ) -> Result<String, CliError> {
     let eb = match mode {
         BoundMode::Rel(e) => ErrorBound::Rel(e),
@@ -436,7 +467,8 @@ fn compress_streamed(
     let mut f = fs::File::open(input)?;
     let [_, ny, nx] = shape.dims3();
     let mut failure: Option<CliError> = None;
-    let bytes = compress_slabs(
+    let n_streams = streams.unwrap_or_else(cuszi_core::default_streams);
+    let (bytes, report) = compress_slabs_streams(
         shape,
         slab_z,
         if bitcomp {
@@ -444,6 +476,7 @@ fn compress_streamed(
         } else {
             Config::new(eb).without_bitcomp()
         },
+        n_streams,
         |z0, nz| {
             let plane = ny * nx;
             let mut buf = vec![0u8; nz * plane * 4];
@@ -466,10 +499,13 @@ fn compress_streamed(
     }
     fs::write(output, &bytes)?;
     Ok(format!(
-        "{note}{input} ({shape}) -> {output} ({:.1} KB, {} z-slabs of {slab_z}, CR {:.1})\n",
+        "{note}{input} ({shape}) -> {output} ({:.1} KB, {} z-slabs of {slab_z}, CR {:.1}, \
+         {} streams, sim overlap {:.2}x)\n",
         bytes.len() as f64 / 1e3,
         shape.dims3()[0].div_ceil(slab_z),
         compression_ratio(shape.len() * 4, bytes.len()),
+        report.streams,
+        report.overlap_speedup(),
     ))
 }
 
@@ -539,9 +575,31 @@ mod tests {
                 bitcomp: false,
                 verify: true,
                 slab: None,
-            profile: None,
+                streams: None,
+                profile: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_streams_flag() {
+        let base = ["compress", "-i", "a.f32", "-o", "a.cszs", "--dims", "8x8x8", "--abs-eb",
+            "1e-3", "--slab", "4"];
+        let with = parse_args(&strings(&[&base[..], &["--streams", "3"]].concat())).unwrap();
+        match with {
+            Command::Compress { streams, .. } => assert_eq!(streams, Some(3)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&strings(&[&base[..], &["--streams", "0"]].concat())).is_err());
+        assert!(parse_args(&strings(&[&base[..], &["--streams"]].concat())).is_err());
+        // --streams without --slab parses, but run() rejects it.
+        let no_slab = parse_args(&strings(&[
+            "compress", "-i", "a.f32", "-o", "a.cszi", "--dims", "8x8x8", "--abs-eb", "1e-3",
+            "--streams", "2",
+        ]))
+        .unwrap();
+        let err = run(no_slab).unwrap_err();
+        assert!(err.0.contains("--streams requires --slab"), "{err}");
     }
 
     #[test]
@@ -571,6 +629,7 @@ mod tests {
             bitcomp: true,
             verify: true,
             slab: None,
+            streams: None,
             profile: None,
         })
         .unwrap();
@@ -609,6 +668,7 @@ mod tests {
             bitcomp: true,
             verify: false,
             slab: None,
+            streams: None,
             profile: None,
         })
         .unwrap();
@@ -652,6 +712,7 @@ mod tests {
             bitcomp: true,
             verify: false,
             slab: None,
+            streams: None,
             profile: Some(ftrace.to_string_lossy().into()),
         })
         .unwrap();
@@ -740,6 +801,7 @@ mod pwrel_cli_tests {
             bitcomp: true,
             verify: true,
             slab: None,
+            streams: None,
             profile: None,
         })
         .unwrap();
@@ -790,6 +852,7 @@ mod slab_cli_tests {
             bitcomp: true,
             verify: false,
             slab: Some(8),
+            streams: Some(2),
             profile: None,
         })
         .unwrap();
@@ -821,6 +884,7 @@ mod slab_cli_tests {
             bitcomp: true,
             verify: false,
             slab: Some(4),
+            streams: None,
             profile: None,
         })
         .unwrap_err();

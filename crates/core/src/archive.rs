@@ -36,6 +36,12 @@ pub const FLAG_CONSTANT: u8 = 1 << 1;
 /// Fixed header byte length.
 pub const HEADER_LEN: usize = 4 + 2 + 1 + 1 + 24 + 8 + 8 + 2 + 1 + 1 + 3 + 4 + 5 * 8;
 
+/// Largest element count a header may declare (per axis and in total):
+/// 2^32 f32 elements = 16 GiB, comfortably above the paper's biggest
+/// fields while keeping the damage from a crafted header's allocations
+/// bounded.
+pub const MAX_ELEMENTS: u64 = 1 << 32;
+
 /// Parsed archive header.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Header {
@@ -112,7 +118,7 @@ impl Header {
         let mut dims3 = [0usize; 3];
         for (i, d) in dims3.iter_mut().enumerate() {
             let v = u64::from_le_bytes(data[8 + i * 8..16 + i * 8].try_into().unwrap());
-            if v == 0 || v > (1 << 40) {
+            if v == 0 || v > MAX_ELEMENTS {
                 return Err(CuszError::CorruptArchive("dimension out of range"));
             }
             *d = v as usize;
@@ -122,11 +128,12 @@ impl Header {
         }
         // Cap the total element count too: the per-axis bound alone lets
         // a crafted archive wrap the element-count product and drive
-        // giant allocations from corrupt input.
+        // giant allocations from corrupt input (the constant fast path
+        // allocates the full field before reading any payload).
         let total = dims3
             .iter()
             .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
-            .filter(|&t| t <= 1 << 40)
+            .filter(|&t| t <= MAX_ELEMENTS)
             .ok_or(CuszError::CorruptArchive("element count out of range"))?;
         let _ = total;
         let shape = Shape::from_dims(&dims3[3 - rank..])
@@ -320,13 +327,22 @@ mod overflow_tests {
             sections: [0; 5],
         };
         let mut b = h.to_bytes();
-        let big = ((1u64 << 40) - 1).to_le_bytes();
+        // Each axis exactly at the cap passes the per-axis check, but
+        // the product overflows it.
+        let big = MAX_ELEMENTS.to_le_bytes();
         b[8..16].copy_from_slice(&big);
         b[16..24].copy_from_slice(&big);
         b[24..32].copy_from_slice(&big);
         assert!(matches!(
             Header::from_bytes(&b),
             Err(CuszError::CorruptArchive("element count out of range"))
+        ));
+        // A single axis past the cap is caught even earlier.
+        let mut b2 = h.to_bytes();
+        b2[8..16].copy_from_slice(&(MAX_ELEMENTS + 1).to_le_bytes());
+        assert!(matches!(
+            Header::from_bytes(&b2),
+            Err(CuszError::CorruptArchive("dimension out of range"))
         ));
     }
 }

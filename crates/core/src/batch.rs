@@ -53,27 +53,36 @@ impl Container {
     }
 }
 
-/// Compress several named fields with one configuration. Fields are
-/// compressed in parallel (each pipeline is itself block-parallel, so
-/// this mainly hides per-field serial stages like the CPU codebook
-/// build); the container layout is deterministic regardless.
+/// Compress several named fields with one configuration, on
+/// [`crate::sched::default_streams`] gpu-sim streams. See
+/// [`compress_fields_streams`].
 pub fn compress_fields(fields: &[NamedField<'_>], cfg: Config) -> Result<Container, CuszError> {
-    if let Some(f) = fields.iter().find(|f| f.name.len() > u16::MAX as usize) {
-        let _ = f;
+    compress_fields_streams(fields, cfg, crate::sched::default_streams()).map(|(c, _)| c)
+}
+
+/// Compress several named fields with one configuration, scheduling
+/// field `i` on gpu-sim stream `i % n_streams`. Overlap hides each
+/// field's host-serial stages (tuning, CPU codebook, assembly) behind
+/// its siblings' kernels. The container bytes are identical for any
+/// stream count — layout is by field index, and the per-field
+/// pipelines are deterministic.
+pub fn compress_fields_streams(
+    fields: &[NamedField<'_>],
+    cfg: Config,
+    n_streams: usize,
+) -> Result<(Container, crate::sched::ScheduleReport), CuszError> {
+    if fields.iter().any(|f| f.name.len() > u16::MAX as usize) {
         return Err(CuszError::InvalidConfig("field name too long"));
     }
     let codec = CuszI::new(cfg);
     let _span = cuszi_profile::span("batch", cuszi_profile::Category::Batch);
-    let archives: Result<Vec<Compressed>, CuszError> =
-        cuszi_gpu_sim::pool::par_map(fields, |f| {
-            // The field name is already a borrowed &str — no formatting
-            // on the disabled path, and the span itself is a no-op.
-            let _g = cuszi_profile::span(f.name, cuszi_profile::Category::Batch);
-            codec.compress(f.data)
-        })
-        .into_iter()
-        .collect();
-    let archives = archives?;
+    let (results, report) = crate::sched::run_jobs(fields, n_streams, |f, _| {
+        // The field name is already a borrowed &str — no formatting
+        // on the disabled path, and the span itself is a no-op.
+        let _g = cuszi_profile::span(f.name, cuszi_profile::Category::Batch);
+        codec.compress(f.data)
+    });
+    let archives: Vec<Compressed> = results.into_iter().collect::<Result<_, _>>()?;
 
     let mut bytes = Vec::new();
     bytes.extend_from_slice(MAGIC);
@@ -92,10 +101,12 @@ pub fn compress_fields(fields: &[NamedField<'_>], cfg: Config) -> Result<Contain
         // Recycle the consumed archive buffer for later fields/slabs.
         crate::arena::put(c.bytes);
     }
-    Ok(Container { bytes, fields: summaries })
+    Ok((Container { bytes, fields: summaries }, report))
 }
 
-/// Decompress a container into `(name, field)` pairs.
+/// Decompress a container into `(name, field)` pairs. The entry table
+/// is walked serially (it is self-delimiting), then the per-field
+/// archives decompress in parallel.
 pub fn decompress_fields(
     bytes: &[u8],
     cfg: Config,
@@ -104,9 +115,8 @@ pub fn decompress_fields(
         return Err(CuszError::CorruptArchive("container magic"));
     }
     let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
-    let codec = CuszI::new(cfg);
     let mut at = 8usize;
-    let mut out = Vec::with_capacity(count);
+    let mut entries: Vec<(String, &[u8])> = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         if at + 2 > bytes.len() {
             return Err(CuszError::CorruptArchive("container name length"));
@@ -122,17 +132,23 @@ pub fn decompress_fields(
         at += nlen;
         let alen = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
         at += 8;
-        if at + alen > bytes.len() {
+        if alen > bytes.len() || at + alen > bytes.len() {
             return Err(CuszError::CorruptArchive("container archive truncated"));
         }
-        let d = codec.decompress(&bytes[at..at + alen])?;
+        entries.push((name, &bytes[at..at + alen]));
         at += alen;
-        out.push((name, d.data));
     }
     if at != bytes.len() {
         return Err(CuszError::CorruptArchive("container trailing bytes"));
     }
-    Ok(out)
+    let codec = CuszI::new(cfg);
+    let fields: Result<Vec<NdArray<f32>>, CuszError> =
+        cuszi_gpu_sim::pool::par_map(&entries, |(_, archive)| {
+            codec.decompress(archive).map(|d| d.data)
+        })
+        .into_iter()
+        .collect();
+    Ok(entries.into_iter().map(|(name, _)| name).zip(fields?).collect())
 }
 
 #[cfg(test)]

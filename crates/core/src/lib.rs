@@ -37,6 +37,8 @@ pub mod pipeline;
 pub mod quality;
 pub mod pwrel;
 pub mod report;
+pub mod sched;
+pub mod stage;
 pub mod stream;
 pub mod traits;
 
@@ -45,8 +47,12 @@ pub use config::Config;
 pub use error::CuszError;
 pub use pipeline::{Compressed, CuszI, Decompressed, SectionSizes};
 pub use quality::{compress_to_psnr, QualityResult};
-pub use batch::{compress_fields, decompress_fields, Container, NamedField};
+pub use batch::{
+    compress_fields, compress_fields_streams, decompress_fields, Container, NamedField,
+};
 pub use pwrel::{compress_pw_rel, decompress_pw_rel, PwRelCompressed};
 pub use report::{render_breakdown, stage_breakdown, StageCost};
-pub use stream::{compress_slabs, decompress_slabs};
+pub use sched::{default_streams, ScheduleReport};
+pub use stage::{StageGraph, StageKind};
+pub use stream::{compress_slabs, compress_slabs_streams, decompress_slabs};
 pub use traits::{Codec, CodecArtifacts};

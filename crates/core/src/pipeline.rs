@@ -1,20 +1,15 @@
 //! The end-to-end cuSZ-i pipeline.
 
 use cuszi_gpu_sim::KernelStats;
-use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook, EncodedStream};
-use cuszi_predict::ginterp;
-use cuszi_predict::tuning::{alpha_from_rel_eb, profile_and_tune, InterpConfig};
+use cuszi_predict::tuning::InterpConfig;
 use cuszi_profile::Category;
-use cuszi_quant::Outliers;
 use cuszi_tensor::stats::ValueRange;
 use cuszi_tensor::NdArray;
 
-use crate::archive::{
-    f32_section, split_sections, u64_section, Header, FLAG_BITCOMP, FLAG_CONSTANT, HEADER_LEN,
-    VERSION,
-};
+use crate::archive::{Header, FLAG_BITCOMP, FLAG_CONSTANT, HEADER_LEN, VERSION};
 use crate::config::Config;
 use crate::error::CuszError;
+use crate::stage::{self, CompressJob, DecompressJob, StageGraph};
 use crate::traits::{Codec, CodecArtifacts};
 
 /// Byte sizes of the archive's logical parts (pre-Bitcomp), for the
@@ -69,6 +64,13 @@ impl CuszI {
     }
 
     /// Compress a field.
+    ///
+    /// Thin wrapper over the [`crate::stage`] graph: validation, the
+    /// constant-field fast path, and error-bound resolution happen
+    /// here; everything else is the `tune → predict-quant → histogram →
+    /// codebook → huffman-encode → assemble → [bitcomp] → finalize`
+    /// stage DAG, which the multi-stream scheduler executes the same
+    /// way — archives are byte-identical either route.
     pub fn compress(&self, data: &NdArray<f32>) -> Result<Compressed, CuszError> {
         let _span = cuszi_profile::span("compress", Category::Stage);
         let cfg = &self.cfg;
@@ -109,156 +111,10 @@ impl CuszI {
             return Err(CuszError::InvalidErrorBound);
         }
 
-        // § V-C: profiling + auto-tuning (or the untuned ablation,
-        // which still applies Eq. 1's alpha — the paper's "lightweight"
-        // path always computes alpha from the relative bound).
-        let interp = {
-            let _g = cuszi_profile::span("tune", Category::Stage);
-            if cfg.auto_tune {
-                profile_and_tune(data, rel_eb).0
-            } else {
-                InterpConfig {
-                    alpha: alpha_from_rel_eb(rel_eb),
-                    ..InterpConfig::untuned(data.shape().rank())
-                }
-            }
-        };
-
-        // § V: G-Interp prediction + quantization.
-        let pred = {
-            let _g = cuszi_profile::span("predict-quant", Category::Stage);
-            ginterp::compress(data, eb_abs, cfg.radius, &interp, &cfg.device)
-        };
-        let mut kernels = pred.kernels.clone();
-
-        // § VI-A: histogram + CPU codebook + coarse-grained Huffman.
-        let _huff = cuszi_profile::span("huffman", Category::Stage);
-        let alphabet = 2 * cfg.radius as usize;
-        let (hist, hstats) = histogram_gpu(
-            &pred.codes,
-            alphabet,
-            cfg.radius,
-            cfg.histogram_topk,
-            &cfg.device,
-        );
-        kernels.push(hstats);
-        if cuszi_profile::enabled() {
-            // Shannon entropy of the quant-code distribution, in
-            // milli-bits per symbol — the floor the Huffman stage is
-            // chasing. Only computed when profiling (it walks the
-            // histogram).
-            let total: u64 = hist.iter().map(|&c| c as u64).sum();
-            if total > 0 {
-                let h: f64 = hist
-                    .iter()
-                    .filter(|&&c| c > 0)
-                    .map(|&c| {
-                        let p = c as f64 / total as f64;
-                        -p * p.log2()
-                    })
-                    .sum();
-                cuszi_profile::observe("compress.codebook_entropy_mbits", (h * 1000.0) as u64);
-            }
-        }
-        let book = Codebook::from_histogram(&hist)
-            .map_err(|_| CuszError::LosslessStage("codebook construction"))?;
-        let (stream, estats) = encode_gpu(&pred.codes, &book, &cfg.device);
-        kernels.extend(estats);
-        drop(_huff);
-        let _asm = cuszi_profile::span("assemble", Category::Stage);
-
-        // Assemble the payload. All transient assembly buffers come
-        // from (and return to) the thread-local scratch arena, so
-        // multi-field batch/stream compression reuses them instead of
-        // reallocating per field.
-        let mut anchors_bytes = crate::arena::take(pred.anchors.len() * 4);
-        for v in &pred.anchors {
-            anchors_bytes.extend_from_slice(&v.to_le_bytes());
-        }
-        let book_bytes = book.to_bytes();
-        let stream_bytes = stream.to_bytes();
-        let mut oidx_bytes = crate::arena::take(pred.outliers.indices().len() * 8);
-        for v in pred.outliers.indices() {
-            oidx_bytes.extend_from_slice(&v.to_le_bytes());
-        }
-        let mut oval_bytes = crate::arena::take(pred.outliers.values().len() * 4);
-        for v in pred.outliers.values() {
-            oval_bytes.extend_from_slice(&v.to_le_bytes());
-        }
-        let sections = [
-            anchors_bytes.len() as u64,
-            book_bytes.len() as u64,
-            stream_bytes.len() as u64,
-            oidx_bytes.len() as u64,
-            oval_bytes.len() as u64,
-        ];
-        let mut payload =
-            crate::arena::take(sections.iter().map(|&s| s as usize).sum::<usize>());
-        payload.extend_from_slice(&anchors_bytes);
-        payload.extend_from_slice(&book_bytes);
-        payload.extend_from_slice(&stream_bytes);
-        payload.extend_from_slice(&oidx_bytes);
-        payload.extend_from_slice(&oval_bytes);
-
-        let section_sizes = SectionSizes {
-            header: HEADER_LEN,
-            anchors: anchors_bytes.len(),
-            codebook: book_bytes.len(),
-            huffman: stream_bytes.len(),
-            outliers: oidx_bytes.len() + oval_bytes.len(),
-        };
-        crate::arena::put(anchors_bytes);
-        crate::arena::put(book_bytes);
-        crate::arena::put(stream_bytes);
-        crate::arena::put(oidx_bytes);
-        crate::arena::put(oval_bytes);
-
-        drop(_asm);
-
-        // § VI-B: optional Bitcomp-lossless pass over the whole payload.
-        let mut flags = 0u8;
-        let payload = if cfg.bitcomp {
-            let _g = cuszi_profile::span("bitcomp", Category::Stage);
-            flags |= FLAG_BITCOMP;
-            let (packed, bstats) = cuszi_bitcomp::compress(&payload, &cfg.device);
-            kernels.extend(bstats);
-            crate::arena::put(payload);
-            packed
-        } else {
-            payload
-        };
-
-        let header = Header {
-            version: VERSION,
-            flags,
-            shape: data.shape(),
-            eb_abs,
-            alpha: interp.alpha,
-            radius: cfg.radius,
-            variants: interp.variants,
-            order: interp.order.clone(),
-            const_value: 0.0,
-            sections,
-        };
-        let mut bytes = header.to_bytes();
-        bytes.extend_from_slice(&payload);
-        crate::arena::put(payload);
-        if cuszi_profile::enabled() {
-            let bytes_in = (data.len() * 4) as u64;
-            let bytes_out = bytes.len() as u64;
-            cuszi_profile::count("compress.fields", 1);
-            cuszi_profile::count("compress.bytes_in", bytes_in);
-            cuszi_profile::count("compress.bytes_out", bytes_out);
-            cuszi_profile::count("compress.outliers", pred.outliers.indices().len() as u64);
-            // Per-field distributions: CR in parts-per-thousand,
-            // outlier rate in parts-per-million.
-            cuszi_profile::observe("compress.cr_ppt", bytes_in * 1000 / bytes_out.max(1));
-            cuszi_profile::observe(
-                "compress.outlier_rate_ppm",
-                pred.outliers.indices().len() as u64 * 1_000_000 / (data.len() as u64).max(1),
-            );
-        }
-        Ok(Compressed { bytes, kernels, sections: section_sizes, eb_abs, interp })
+        let graph = StageGraph::compress(cfg);
+        let mut job = CompressJob::new(data, cfg, eb_abs, rel_eb);
+        stage::run_compress(&graph, &mut job)?;
+        Ok(job.into_compressed())
     }
 
     /// Decompress an archive produced by [`CuszI::compress`].
@@ -268,78 +124,26 @@ impl CuszI {
     pub fn decompress(&self, bytes: &[u8]) -> Result<Decompressed, CuszError> {
         let _span = cuszi_profile::span("decompress", Category::Stage);
         let header = Header::from_bytes(bytes)?;
-        let mut kernels = Vec::new();
 
         if header.flags & FLAG_CONSTANT != 0 {
             let mut data = NdArray::zeros(header.shape);
             data.as_mut_slice().fill(header.const_value);
-            return Ok(Decompressed { data, kernels });
+            return Ok(Decompressed { data, kernels: Vec::new() });
         }
         if header.eb_abs <= 0.0 {
             return Err(CuszError::CorruptArchive("non-positive error bound"));
         }
 
-        let raw = &bytes[HEADER_LEN..];
-        let payload: Vec<u8> = if header.flags & FLAG_BITCOMP != 0 {
-            let _g = cuszi_profile::span("bitcomp-decode", Category::Stage);
-            let (p, bstats) = cuszi_bitcomp::decompress(raw, &self.cfg.device)
-                .map_err(|e| CuszError::LosslessStage(e.0))?;
-            kernels.push(bstats);
-            p
-        } else {
-            raw.to_vec()
-        };
-        let [anchors_b, book_b, stream_b, oidx_b, oval_b] =
-            split_sections(&payload, &header.sections)?;
-
-        let anchors = f32_section(anchors_b)?;
-        let book =
-            Codebook::from_bytes(book_b).map_err(|_| CuszError::CorruptArchive("codebook"))?;
-        let stream = EncodedStream::from_bytes(stream_b)
-            .ok_or(CuszError::CorruptArchive("huffman stream"))?;
-        if stream.n as usize != header.shape.len() {
-            return Err(CuszError::CorruptArchive("stream length != shape"));
-        }
-        let outliers = Outliers::from_parts(u64_section(oidx_b)?, f32_section(oval_b)?)
-            .ok_or(CuszError::CorruptArchive("outlier sections disagree"))?;
-        if outliers.indices().iter().any(|&i| i as usize >= header.shape.len()) {
-            return Err(CuszError::CorruptArchive("outlier index out of range"));
-        }
-
-        let (codes, dstats) = {
-            let _g = cuszi_profile::span("huffman-decode", Category::Stage);
-            decode_gpu(&stream, &book, &self.cfg.device)
-                .map_err(|e| CuszError::LosslessStage(e.0))?
-        };
-        kernels.push(dstats);
-
-        let expected_anchors = ginterp::anchor_len(
-            header.shape,
-            ginterp::anchor_stride_for_rank(header.shape.rank()),
-        );
-        if anchors.len() != expected_anchors {
-            return Err(CuszError::CorruptArchive("anchor section length"));
-        }
-
-        let interp = header.interp_config();
-        let _g = cuszi_profile::span("g-interp-reconstruct", Category::Stage);
-        let (data, gstats) = ginterp::decompress(
-            &codes,
-            &anchors,
-            &outliers,
-            header.shape,
-            header.eb_abs,
-            header.radius,
-            &interp,
-            &self.cfg.device,
-        );
-        kernels.extend(gstats);
+        let graph = StageGraph::decompress(header.flags & FLAG_BITCOMP != 0);
+        let mut job = DecompressJob::new(bytes, &header, &self.cfg);
+        stage::run_decompress(&graph, &mut job)?;
+        let d = job.into_decompressed();
         if cuszi_profile::enabled() {
             cuszi_profile::count("decompress.fields", 1);
             cuszi_profile::count("decompress.bytes_in", bytes.len() as u64);
-            cuszi_profile::count("decompress.bytes_out", (data.len() * 4) as u64);
+            cuszi_profile::count("decompress.bytes_out", (d.data.len() * 4) as u64);
         }
-        Ok(Decompressed { data, kernels })
+        Ok(d)
     }
 }
 

@@ -96,7 +96,10 @@ pub fn decompress_pw_rel(bytes: &[u8], base: Config) -> Result<NdArray<f32>, Cus
     }
     let sign_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
     let inner_len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
-    if bytes.len() != 36 + sign_len + inner_len {
+    // Checked sum: crafted lengths near usize::MAX must not wrap into
+    // a passing comparison.
+    let total = 36usize.checked_add(sign_len).and_then(|t| t.checked_add(inner_len));
+    if total != Some(bytes.len()) {
         return Err(CuszError::CorruptArchive("pw-rel section lengths"));
     }
     let (signs, _) = cuszi_bitcomp::decompress(&bytes[36..36 + sign_len], &base.device)

@@ -12,6 +12,8 @@
 //! Format: `magic "CSZS" | u8 rank | dims [u64;3] | u32 slab_z |
 //! u32 slab count | per slab: [u64 len][cuSZ-i archive]`.
 
+use std::sync::Mutex;
+
 use cuszi_tensor::{NdArray, Shape};
 
 use crate::config::Config;
@@ -20,20 +22,45 @@ use crate::pipeline::CuszI;
 
 const MAGIC: &[u8; 4] = b"CSZS";
 
-/// Compress `shape` slab-by-slab. `produce(z0, nz)` must return the
-/// slab covering global planes `z0 .. z0+nz` as an `nz x ny x nx`
-/// field; it is called in ascending `z0` order and each slab is
-/// dropped before the next is requested.
-///
-/// A [`cuszi_quant::ErrorBound::Rel`] bound resolves against each
-/// *slab's* value range (the stream never sees the whole field);
-/// pass an absolute bound for a globally uniform guarantee.
+/// Compress `shape` slab-by-slab on [`crate::sched::default_streams`]
+/// gpu-sim streams. See [`compress_slabs_streams`].
 pub fn compress_slabs(
     shape: Shape,
     slab_z: usize,
     cfg: Config,
-    mut produce: impl FnMut(usize, usize) -> NdArray<f32>,
+    produce: impl FnMut(usize, usize) -> NdArray<f32>,
 ) -> Result<Vec<u8>, CuszError> {
+    compress_slabs_streams(shape, slab_z, cfg, crate::sched::default_streams(), produce)
+        .map(|(bytes, _)| bytes)
+}
+
+/// Compress `shape` slab-by-slab, pipelining slab `s` onto gpu-sim
+/// stream `s % n_streams`. `produce(z0, nz)` must return the slab
+/// covering global planes `z0 .. z0+nz` as an `nz x ny x nx` field; it
+/// is called on the host thread in ascending `z0` order. Event-based
+/// backpressure bounds the live slabs at `n_streams`: before producing
+/// slab `s`, the host waits for slab `s - n_streams` to finish, so
+/// memory stays bounded while slab `s+1` is produced (and compressed)
+/// while slab `s` is still in its serial stages.
+///
+/// The stream bytes are identical for any `n_streams` (slabs are
+/// written in `z` order and each slab's pipeline is deterministic).
+///
+/// # `Rel` error bounds resolve per slab
+///
+/// A [`cuszi_quant::ErrorBound::Rel`] bound resolves against each
+/// *slab's* value range, not the whole field's — the stream never sees
+/// the whole field. Slabs whose local range is narrower than the
+/// global range get a *tighter* absolute bound than whole-field
+/// compression would apply (larger archive, smaller error). Pass an
+/// absolute bound for a globally uniform guarantee; see DESIGN.md.
+pub fn compress_slabs_streams(
+    shape: Shape,
+    slab_z: usize,
+    cfg: Config,
+    n_streams: usize,
+    mut produce: impl FnMut(usize, usize) -> NdArray<f32>,
+) -> Result<(Vec<u8>, crate::sched::ScheduleReport), CuszError> {
     if shape.rank() != 3 {
         return Err(CuszError::InvalidConfig("slab streaming requires a 3-d shape"));
     }
@@ -56,24 +83,54 @@ pub fn compress_slabs(
     out.extend_from_slice(&(slab_z as u32).to_le_bytes());
     out.extend_from_slice(&(nslabs as u32).to_le_bytes());
 
-    for s in 0..nslabs {
-        let z0 = s * slab_z;
-        let znum = slab_z.min(nz - z0);
-        let _g = cuszi_profile::enabled().then(|| {
-            cuszi_profile::span(&format!("slab-z{z0}"), cuszi_profile::Category::Stream)
-        });
-        let slab = produce(z0, znum);
-        if slab.shape() != Shape::d3(znum, ny, nx) {
-            return Err(CuszError::InvalidConfig("produced slab has the wrong shape"));
+    let n = n_streams.clamp(1, nslabs.max(1));
+    let workers = (cuszi_gpu_sim::pool::current_threads() / n).max(1);
+    type SlabSlot = Mutex<Option<Result<Vec<u8>, CuszError>>>;
+    let slots: Vec<SlabSlot> = (0..nslabs).map(|_| Mutex::new(None)).collect();
+    let mut bad_shape = false;
+    let per_stream_sim_ns = cuszi_gpu_sim::with_streams(n, |streams| {
+        let mut done: Vec<cuszi_gpu_sim::Event> = Vec::with_capacity(nslabs);
+        for s in 0..nslabs {
+            // Backpressure: never hold more than `n` slabs in flight.
+            if s >= n {
+                done[s - n].synchronize();
+            }
+            let z0 = s * slab_z;
+            let znum = slab_z.min(nz - z0);
+            let slab = produce(z0, znum);
+            if slab.shape() != Shape::d3(znum, ny, nx) {
+                bad_shape = true;
+                break;
+            }
+            let slot = &slots[s];
+            streams[s % n].submit(move || {
+                let _g = cuszi_profile::enabled().then(|| {
+                    cuszi_profile::span(&format!("slab-z{z0}"), cuszi_profile::Category::Stream)
+                });
+                let r = cuszi_gpu_sim::pool::with_threads(workers, || codec.compress(&slab));
+                *slot.lock().unwrap() = Some(r.map(|c| {
+                    cuszi_profile::observe("stream.slab_archive_bytes", c.bytes.len() as u64);
+                    c.bytes
+                }));
+            });
+            done.push(streams[s % n].record());
         }
-        let c = codec.compress(&slab)?;
-        cuszi_profile::observe("stream.slab_archive_bytes", c.bytes.len() as u64);
-        out.extend_from_slice(&(c.bytes.len() as u64).to_le_bytes());
-        out.extend_from_slice(&c.bytes);
-        // Recycle the consumed archive buffer for the next slab.
-        crate::arena::put(c.bytes);
+        for st in streams {
+            st.synchronize();
+        }
+        streams.iter().map(|st| st.sim_time_ns()).collect()
+    });
+    if bad_shape {
+        return Err(CuszError::InvalidConfig("produced slab has the wrong shape"));
     }
-    Ok(out)
+    for slot in slots {
+        let archive = slot.into_inner().unwrap().expect("every slab job ran")?;
+        out.extend_from_slice(&(archive.len() as u64).to_le_bytes());
+        out.extend_from_slice(&archive);
+        // Recycle the consumed archive buffer for the next slab.
+        crate::arena::put(archive);
+    }
+    Ok((out, crate::sched::ScheduleReport { streams: n, per_stream_sim_ns }))
 }
 
 /// Decompress a slab stream, handing each slab to `consume(z0, slab)`
@@ -92,14 +149,14 @@ pub fn decompress_slabs(
     let mut dims = [0usize; 3];
     for (i, d) in dims.iter_mut().enumerate() {
         let v = u64::from_le_bytes(bytes[5 + i * 8..13 + i * 8].try_into().unwrap());
-        if v == 0 || v > (1 << 40) {
+        if v == 0 || v > crate::archive::MAX_ELEMENTS {
             return Err(CuszError::CorruptArchive("slab stream dims"));
         }
         *d = v as usize;
     }
     dims.iter()
         .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
-        .filter(|&t| t <= 1 << 40)
+        .filter(|&t| t <= crate::archive::MAX_ELEMENTS)
         .ok_or(CuszError::CorruptArchive("slab stream element count"))?;
     let shape =
         Shape::from_dims(&dims).ok_or(CuszError::CorruptArchive("slab stream shape"))?;
@@ -203,6 +260,52 @@ mod tests {
             (slabs as f64) < whole as f64 * 1.25,
             "slab stream {slabs} vs whole {whole}"
         );
+    }
+
+    #[test]
+    fn stream_bytes_identical_for_any_stream_count() {
+        let shape = Shape::d3(24, 12, 12);
+        let full = full_field(shape);
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let (one, _) =
+            compress_slabs_streams(shape, 8, cfg, 1, |z0, nz| slab_of(&full, z0, nz)).unwrap();
+        let (four, _) =
+            compress_slabs_streams(shape, 8, cfg, 4, |z0, nz| slab_of(&full, z0, nz)).unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn rel_bound_resolves_per_slab_not_per_field() {
+        // Slab 0 sits near +10 with a small wiggle, slab 1 near -10
+        // with a larger one: the global extremes span slabs, so the
+        // whole-field range exceeds both slab ranges and a Rel bound
+        // resolves to three different absolute bounds.
+        let shape = Shape::d3(16, 8, 8);
+        let full = NdArray::from_fn(shape, |z, y, x| {
+            let (level, amp) = if z < 8 { (10.0, 0.1) } else { (-10.0, 0.5) };
+            level + amp * (((x + 2 * y + z) as f32) * 0.3).sin()
+        });
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let whole_eb = CuszI::new(cfg).compress(&full).unwrap().eb_abs;
+        let bytes = compress_slabs(shape, 8, cfg, |z0, nz| slab_of(&full, z0, nz)).unwrap();
+        // Walk the stream container and parse each slab archive header.
+        let mut at = 37usize;
+        let mut ebs = Vec::new();
+        while at < bytes.len() {
+            let len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+            at += 8;
+            let h = crate::archive::Header::from_bytes(&bytes[at..at + len]).unwrap();
+            ebs.push(h.eb_abs);
+            at += len;
+        }
+        assert_eq!(ebs.len(), 2);
+        assert_ne!(ebs[0], ebs[1], "slab value ranges differ, so must the resolved bounds");
+        for eb in &ebs {
+            assert!(
+                *eb < whole_eb,
+                "per-slab eb {eb} should be tighter than whole-field {whole_eb}"
+            );
+        }
     }
 
     #[test]

@@ -655,6 +655,7 @@ impl Drop for LaunchReport<'_> {
     fn drop(&mut self) {
         let Some(t0) = self.t0 else { return };
         if let Some(obs) = hook::active_observer() {
+            let stream = crate::stream::current_stream();
             obs.on_launch(&hook::LaunchRecord {
                 name: self.name,
                 grid: self.grid,
@@ -662,6 +663,7 @@ impl Drop for LaunchReport<'_> {
                 stats: self.sink.snapshot(),
                 wall_s: t0.elapsed().as_secs_f64(),
                 completed: !std::thread::panicking(),
+                stream: stream.as_ref().map(|(id, label)| (*id, label.as_str())),
             });
         }
     }
@@ -706,7 +708,12 @@ where
         let mut ctx = BlockCtx::new(block, grid, device, &sink);
         kernel(&mut ctx);
     });
-    sink.snapshot()
+    let stats = sink.snapshot();
+    // If this launch was issued from a stream worker, charge its
+    // simulated roofline time to that stream's clock (overlap shows up
+    // as max-over-streams elapsed time; see `stream::sim_elapsed_ns`).
+    crate::stream::note_launch(device, &stats);
+    stats
 }
 
 #[cfg(test)]

@@ -37,6 +37,10 @@ pub struct LaunchRecord<'a> {
     /// False when the launch is being reported during a panic unwind;
     /// `stats` then covers only the blocks that ran.
     pub completed: bool,
+    /// `(id, label)` of the [`crate::stream::Stream`] the launch was
+    /// issued on, or `None` for inline (host-thread) launches. Profilers
+    /// use the label as the trace lane name (one lane per stream).
+    pub stream: Option<(u32, &'a str)>,
 }
 
 /// A process-wide observer of kernel launches.

@@ -38,6 +38,7 @@ pub mod hook;
 pub mod pool;
 pub mod shared;
 pub mod stats;
+pub mod stream;
 pub mod timing;
 
 pub use device::{DeviceSpec, A100, A40};
@@ -45,4 +46,5 @@ pub use exec::{launch, launch_named, BlockCtx, BlockSlots, Dim3, GlobalRead, Glo
 pub use hook::{LaunchObserver, LaunchRecord};
 pub use shared::{ScratchVec, SharedTile};
 pub use stats::{AtomicKernelStats, KernelStats};
+pub use stream::{sim_elapsed_ns, sim_serial_ns, with_streams, Event, Stream};
 pub use timing::{Bottleneck, TimeBreakdown, TimingModel};

@@ -1,0 +1,425 @@
+//! CUDA-style streams and events for the CPU substrate.
+//!
+//! A [`Stream`] is an ordered asynchronous command queue: work submitted
+//! to it runs on a dedicated worker thread in submission order, exactly
+//! like kernels enqueued on a `cudaStream_t`. Work on *different*
+//! streams overlaps. An [`Event`] is the CUDA `cudaEvent_t` analogue:
+//! [`Stream::record`] marks a point in a stream's command sequence,
+//! [`Stream::wait_event`] makes another stream (or, via
+//! [`Event::synchronize`], the host) block until that point has
+//! executed.
+//!
+//! # Launch attribution
+//!
+//! Existing kernel call sites need no rewrite to run on a stream: a
+//! thread-local *current stream* binding is installed on each stream's
+//! worker thread, and [`crate::exec::launch_named`] consults it. Any
+//! launch executed inside a closure given to [`Stream::submit`] is
+//! therefore attributed to that stream — its [`LaunchRecord`] is tagged
+//! with the stream id/label (one Perfetto lane per stream in the
+//! profiler) and the stream's **simulated clock** advances by the
+//! roofline [`TimingModel::kernel_time`] of the launch.
+//!
+//! # Simulated time
+//!
+//! Each stream carries a monotonic sim-time clock (nanoseconds). The
+//! model is the standard multi-stream timeline: all streams start at
+//! t=0 and execute their launches back-to-back, so
+//!
+//! * [`Stream::sim_time_ns`] is the simulated busy time of one stream,
+//! * [`sim_elapsed_ns`] (max over streams) is the simulated wall time
+//!   of the whole schedule, and
+//! * [`sim_serial_ns`] (sum over streams) is what the same work would
+//!   cost on a single stream.
+//!
+//! `record` captures the recording stream's clock into the event;
+//! `wait_event` raises the waiting stream's clock to the event's
+//! timestamp (a cross-stream dependency cannot make time go backwards).
+//! The ratio `serial / elapsed` is the overlap speedup the roofline
+//! model predicts — the simulated counterpart of the host wall-clock
+//! win `exp_hostperf --streams N` measures.
+//!
+//! Streams are scoped ([`with_streams`]) so submitted closures may
+//! borrow from the caller's environment, mirroring how
+//! [`std::thread::scope`] relaxes `'static`.
+//!
+//! [`LaunchRecord`]: crate::hook::LaunchRecord
+//! [`TimingModel::kernel_time`]: crate::timing::TimingModel::kernel_time
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use crate::device::DeviceSpec;
+use crate::stats::KernelStats;
+use crate::timing::TimingModel;
+
+thread_local! {
+    /// The stream whose worker thread is currently executing, if any.
+    static CURRENT: RefCell<Option<Arc<StreamShared>>> = const { RefCell::new(None) };
+}
+
+/// State shared between a [`Stream`] handle and its worker thread.
+struct StreamShared {
+    id: u32,
+    label: String,
+    /// Simulated nanoseconds of kernel time issued on this stream.
+    clock_ns: AtomicU64,
+}
+
+impl StreamShared {
+    fn advance(&self, ns: u64) {
+        self.clock_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn raise_to(&self, ns: u64) {
+        self.clock_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Advance the calling thread's current stream clock by the simulated
+/// time of one launch. Called by [`crate::exec::launch_named`]; a no-op
+/// off-stream.
+pub(crate) fn note_launch(device: &DeviceSpec, stats: &KernelStats) {
+    CURRENT.with(|c| {
+        if let Some(s) = c.borrow().as_ref() {
+            let ns = (TimingModel::new(*device).kernel_time(stats) * 1e9).round() as u64;
+            s.advance(ns);
+        }
+    });
+}
+
+/// `(id, label)` of the stream the calling thread is executing on, if
+/// any. Used by the launch hook to tag [`crate::hook::LaunchRecord`]s.
+pub fn current_stream() -> Option<(u32, String)> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|s| (s.id, s.label.clone())))
+}
+
+enum SignalState {
+    Pending,
+    /// Sim timestamp captured when the event was recorded/executed.
+    Done(u64),
+}
+
+struct EventState {
+    state: Mutex<SignalState>,
+    cv: Condvar,
+}
+
+impl EventState {
+    fn signal(&self, ts_ns: u64) {
+        *self.state.lock().unwrap() = SignalState::Done(ts_ns);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let SignalState::Done(ts) = *st {
+                return ts;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// A recorded point in a stream's command sequence (CUDA `cudaEvent_t`).
+///
+/// Created by [`Stream::record`]. Another stream can order itself after
+/// it with [`Stream::wait_event`]; the host can block on it with
+/// [`Event::synchronize`].
+pub struct Event {
+    st: Arc<EventState>,
+}
+
+impl Event {
+    /// Whether the recorded point has executed (CUDA `cudaEventQuery`).
+    pub fn query(&self) -> bool {
+        matches!(*self.st.state.lock().unwrap(), SignalState::Done(_))
+    }
+
+    /// Block the host until the recorded point has executed, returning
+    /// the recording stream's sim clock (ns) at that point.
+    pub fn synchronize(&self) -> u64 {
+        self.st.wait()
+    }
+}
+
+enum Cmd<'env> {
+    Run(Box<dyn FnOnce() + Send + 'env>),
+    Record(Arc<EventState>),
+    Wait(Arc<EventState>),
+}
+
+/// An ordered asynchronous command queue with a dedicated worker thread
+/// (CUDA `cudaStream_t`). Obtained from [`with_streams`].
+pub struct Stream<'env> {
+    shared: Arc<StreamShared>,
+    tx: mpsc::Sender<Cmd<'env>>,
+}
+
+impl<'env> Stream<'env> {
+    /// Stream id (dense, 0-based within one [`with_streams`] scope).
+    pub fn id(&self) -> u32 {
+        self.shared.id
+    }
+
+    /// Display label (`stream-<id>`), also the Perfetto lane name.
+    pub fn label(&self) -> &str {
+        &self.shared.label
+    }
+
+    /// Enqueue `f` on this stream. It runs on the stream's worker
+    /// thread after everything previously submitted; kernel launches
+    /// inside it are attributed to this stream.
+    pub fn submit(&self, f: impl FnOnce() + Send + 'env) {
+        self.tx.send(Cmd::Run(Box::new(f))).expect("stream worker exited");
+    }
+
+    /// Enqueue an event-record (CUDA `cudaEventRecord`): the returned
+    /// [`Event`] fires once every command submitted before it has run.
+    pub fn record(&self) -> Event {
+        let st = Arc::new(EventState {
+            state: Mutex::new(SignalState::Pending),
+            cv: Condvar::new(),
+        });
+        self.tx.send(Cmd::Record(Arc::clone(&st))).expect("stream worker exited");
+        Event { st }
+    }
+
+    /// Enqueue a wait (CUDA `cudaStreamWaitEvent`): commands submitted
+    /// after this do not run until `ev` has fired. Raises this stream's
+    /// sim clock to the event's timestamp.
+    pub fn wait_event(&self, ev: &Event) {
+        self.tx.send(Cmd::Wait(Arc::clone(&ev.st))).expect("stream worker exited");
+    }
+
+    /// Block the host until every command submitted so far has run
+    /// (CUDA `cudaStreamSynchronize`).
+    pub fn synchronize(&self) {
+        self.record().synchronize();
+    }
+
+    /// Simulated nanoseconds of kernel time issued on this stream so
+    /// far. Exact only after [`Stream::synchronize`].
+    pub fn sim_time_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+}
+
+/// Simulated wall time of a multi-stream schedule: the busiest stream's
+/// clock (all streams run concurrently from t=0).
+pub fn sim_elapsed_ns(streams: &[Stream<'_>]) -> u64 {
+    streams.iter().map(|s| s.sim_time_ns()).max().unwrap_or(0)
+}
+
+/// Simulated time the same work would take issued on a single stream.
+pub fn sim_serial_ns(streams: &[Stream<'_>]) -> u64 {
+    streams.iter().map(|s| s.sim_time_ns()).sum()
+}
+
+fn worker(shared: Arc<StreamShared>, rx: mpsc::Receiver<Cmd<'_>>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
+    // A panicking command must not wedge the queue: later events still
+    // have to fire or the host (or a sibling stream) would deadlock
+    // waiting on them. Defer the payload and re-raise once the queue
+    // drains, so `with_streams` still propagates the panic.
+    let mut panicked = None;
+    for cmd in rx {
+        match cmd {
+            Cmd::Run(f) => {
+                if panicked.is_none() {
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                        panicked = Some(p);
+                    }
+                }
+            }
+            Cmd::Record(ev) => ev.signal(shared.now_ns()),
+            Cmd::Wait(ev) => {
+                let ts = ev.wait();
+                shared.raise_to(ts);
+            }
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    if let Some(p) = panicked {
+        resume_unwind(p);
+    }
+}
+
+/// Run `f` with `n` live streams. Submitted closures may borrow from
+/// the caller's environment (the streams are scoped); when `f` returns,
+/// all queues are drained and their worker threads joined, so every
+/// submitted command has finished — and any panic from one is
+/// propagated — before `with_streams` returns.
+///
+/// The caller's [`crate::pool::with_threads`] override (if any) is
+/// forwarded to the stream workers, so launches inside stream commands
+/// use the same per-launch worker count they would inline.
+pub fn with_streams<'env, R>(n: usize, f: impl FnOnce(&[Stream<'env>]) -> R) -> R {
+    assert!(n >= 1, "need at least one stream");
+    let launch_threads = crate::pool::current_threads();
+    std::thread::scope(|scope| {
+        let streams: Vec<Stream<'env>> = (0..n)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<Cmd<'env>>();
+                let shared = Arc::new(StreamShared {
+                    id: i as u32,
+                    label: format!("stream-{i}"),
+                    clock_ns: AtomicU64::new(0),
+                });
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cuszi-stream-{i}"))
+                    .spawn_scoped(scope, move || {
+                        crate::pool::with_threads(launch_threads, || worker(sh, rx))
+                    })
+                    .expect("spawn stream worker");
+                Stream { shared, tx }
+            })
+            .collect();
+        f(&streams)
+        // `streams` drops here: senders close, workers drain and exit,
+        // and the scope joins them (re-raising any deferred panic).
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::A100;
+    use crate::exec::{launch_named, Grid};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn commands_run_in_submission_order() {
+        let log = Mutex::new(Vec::new());
+        with_streams(1, |s| {
+            let log = &log;
+            for i in 0..20 {
+                s[0].submit(move || log.lock().unwrap().push(i));
+            }
+            s[0].synchronize();
+        });
+        assert_eq!(log.into_inner().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streams_overlap_and_events_order_across_streams() {
+        let stage = AtomicUsize::new(0);
+        with_streams(2, |s| {
+            s[0].submit(|| {
+                stage.store(1, Ordering::SeqCst);
+            });
+            let ev = s[0].record();
+            s[1].wait_event(&ev);
+            s[1].submit(|| {
+                // Must observe stream 0's write: the wait orders us.
+                assert_eq!(stage.load(Ordering::SeqCst), 1);
+                stage.store(2, Ordering::SeqCst);
+            });
+            s[1].synchronize();
+        });
+        assert_eq!(stage.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn event_query_and_host_synchronize() {
+        with_streams(1, |s| {
+            let (tx, rx) = mpsc::channel::<()>();
+            s[0].submit(move || {
+                rx.recv().unwrap();
+            });
+            let ev = s[0].record();
+            assert!(!ev.query(), "event cannot fire before the blocker runs");
+            tx.send(()).unwrap();
+            ev.synchronize();
+            assert!(ev.query());
+        });
+    }
+
+    #[test]
+    fn launches_advance_the_current_stream_clock() {
+        let data = vec![1.0f32; 1 << 16];
+        let expect = {
+            // Reference: same launch inline, timed by the same model.
+            let stats = launch_named(&A100, Grid::linear(64, 128), "clock-ref", |ctx| {
+                let view = crate::exec::GlobalRead::new(&data);
+                let mut buf = [0.0f32; 128];
+                let b = ctx.block.x as usize;
+                ctx.read_span(&view, b * 128, &mut buf);
+            });
+            (TimingModel::new(A100).kernel_time(&stats) * 1e9).round() as u64
+        };
+        with_streams(2, |s| {
+            assert_eq!(current_stream(), None, "host thread is off-stream");
+            s[0].submit(|| {
+                assert_eq!(current_stream().unwrap().1, "stream-0");
+                launch_named(&A100, Grid::linear(64, 128), "clock-ref", |ctx| {
+                    let view = crate::exec::GlobalRead::new(&data);
+                    let mut buf = [0.0f32; 128];
+                    let b = ctx.block.x as usize;
+                    ctx.read_span(&view, b * 128, &mut buf);
+                });
+            });
+            s[0].synchronize();
+            s[1].synchronize();
+            assert_eq!(s[0].sim_time_ns(), expect);
+            assert_eq!(s[1].sim_time_ns(), 0, "idle stream spends no sim time");
+            assert_eq!(sim_elapsed_ns(s), expect, "overlap = max over streams");
+            assert_eq!(sim_serial_ns(s), expect);
+        });
+    }
+
+    #[test]
+    fn wait_event_propagates_sim_time() {
+        with_streams(2, |s| {
+            let data = vec![0.0f32; 1 << 14];
+            s[0].submit(move || {
+                launch_named(&A100, Grid::linear(16, 128), "wait-prop", |ctx| {
+                    let view = crate::exec::GlobalRead::new(&data);
+                    let mut buf = [0.0f32; 128];
+                    let b = ctx.block.x as usize;
+                    ctx.read_span(&view, b * 128, &mut buf);
+                });
+            });
+            let ev = s[0].record();
+            s[1].wait_event(&ev);
+            s[1].synchronize();
+            assert!(s[0].sim_time_ns() > 0);
+            assert_eq!(
+                s[1].sim_time_ns(),
+                s[0].sim_time_ns(),
+                "waiting raises the dependent stream's clock"
+            );
+        });
+    }
+
+    #[test]
+    fn with_threads_override_reaches_stream_workers() {
+        crate::pool::with_threads(3, || {
+            with_streams(1, |s| {
+                s[0].submit(|| assert_eq!(crate::pool::current_threads(), 3));
+                s[0].synchronize();
+            });
+        });
+    }
+
+    #[test]
+    fn panic_in_command_propagates_but_events_still_fire() {
+        let r = std::panic::catch_unwind(|| {
+            with_streams(1, |s| {
+                s[0].submit(|| panic!("boom"));
+                // The queue must stay live: this event has to fire or
+                // synchronize() would deadlock.
+                s[0].synchronize();
+            });
+        });
+        assert!(r.is_err(), "the deferred panic re-raises at scope exit");
+    }
+}

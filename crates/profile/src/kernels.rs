@@ -237,6 +237,7 @@ mod tests {
             stats,
             wall_s: 0.001,
             completed,
+            stream: None,
         }
     }
 

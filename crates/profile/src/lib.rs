@@ -82,6 +82,12 @@ impl Profiler {
     /// Record a kernel launch (normally driven by the gpu-sim hook).
     pub fn record_launch(&self, rec: &LaunchRecord<'_>) {
         self.kernels.lock().unwrap().record(rec);
+        // A launch issued on a gpu-sim stream arrives on that stream's
+        // worker thread; naming the lane after the stream gives the
+        // trace one Perfetto lane per stream.
+        if let Some((_, label)) = rec.stream {
+            self.tracer.label_current_thread(label);
+        }
         // Mirror the launch into the trace as a complete event whose
         // duration is the *simulated* kernel time — what the timeline
         // should show for a modelled GPU.
@@ -98,6 +104,7 @@ impl Profiler {
         Report {
             events,
             dropped_events: dropped,
+            thread_labels: self.tracer.thread_labels(),
             kernels: self.kernels.lock().unwrap().take(),
             metrics: self.metrics.take(),
         }
@@ -123,19 +130,22 @@ impl ProfileSink for Profiler {
 pub struct Report {
     pub events: Vec<Event>,
     pub dropped_events: u64,
+    /// `(tid, lane label)` pairs — one per gpu-sim stream observed.
+    pub thread_labels: Vec<(u32, String)>,
     pub kernels: Vec<KernelRow>,
     pub metrics: Snapshot,
 }
 
 impl Report {
-    /// Chrome `trace_event` JSON (Perfetto-loadable).
+    /// Chrome `trace_event` JSON (Perfetto-loadable; stream lanes are
+    /// named via `thread_name` metadata).
     pub fn chrome_trace(&self) -> String {
-        trace_json::chrome_trace(&self.events, self.dropped_events)
+        trace_json::chrome_trace(&self.events, self.dropped_events, &self.thread_labels)
     }
 
     /// Flamegraph-style indented text summary of the spans.
     pub fn flame_summary(&self) -> String {
-        trace_json::flame_summary(&self.events)
+        trace_json::flame_summary_labeled(&self.events, &self.thread_labels)
     }
 
     /// Nsight-style kernel table text report.

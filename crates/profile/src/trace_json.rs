@@ -19,13 +19,29 @@ use crate::tracer::{Event, Phase};
 /// `dropped` (ring wraparound losses from
 /// [`crate::tracer::Tracer::take_events`]) is recorded under
 /// `otherData.droppedEvents` so a truncated trace is never mistaken for
-/// a complete one.
-pub fn chrome_trace(events: &[Event], dropped: u64) -> String {
+/// a complete one. `thread_labels` (from
+/// [`crate::tracer::Tracer::thread_labels`]) become `thread_name`
+/// metadata events, which is how Perfetto names a lane — gpu-sim stream
+/// workers show up as one `stream-<n>` lane each.
+pub fn chrome_trace(events: &[Event], dropped: u64, thread_labels: &[(u32, String)]) -> String {
     let mut out = String::from("{\n\"traceEvents\": [");
-    for (i, ev) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for (tid, label) in thread_labels {
+        if !first {
             out.push(',');
         }
+        first = false;
+        out.push_str(&format!(
+            "\n  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \"args\": {{\"name\": {}}}}}",
+            tid,
+            json_str(label),
+        ));
+    }
+    for ev in events.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
         let ph = match ev.phase {
             Phase::Begin => "B",
             Phase::End => "E",
@@ -67,8 +83,9 @@ impl Node {
 ///
 /// `B`/`E` pairs nest by position; `X` events count as leaves under the
 /// currently open stack. Unbalanced `E`s (span opened before tracing
-/// was enabled) are ignored.
-pub fn flame_summary(events: &[Event]) -> String {
+/// was enabled) are ignored. Labelled threads (gpu-sim streams) show
+/// their lane name in the header.
+pub fn flame_summary_labeled(events: &[Event], thread_labels: &[(u32, String)]) -> String {
     // Partition per tid, preserving order.
     let mut threads: BTreeMap<u32, Vec<&Event>> = BTreeMap::new();
     for ev in events {
@@ -96,13 +113,21 @@ pub fn flame_summary(events: &[Event]) -> String {
         if root.children.is_empty() {
             continue;
         }
-        out.push_str(&format!("thread {tid}\n"));
+        match thread_labels.iter().find(|(t, _)| t == tid) {
+            Some((_, label)) => out.push_str(&format!("thread {tid} ({label})\n")),
+            None => out.push_str(&format!("thread {tid}\n")),
+        }
         render(&root, 1, &mut out);
     }
     if out.is_empty() {
         out.push_str("no spans recorded\n");
     }
     out
+}
+
+/// [`flame_summary_labeled`] with no lane labels.
+pub fn flame_summary(events: &[Event]) -> String {
+    flame_summary_labeled(events, &[])
 }
 
 fn insert(root: &mut Node, stack: &[(String, u64)], name: &str, dur_ns: u64) {
@@ -149,7 +174,7 @@ mod tests {
     #[test]
     fn chrome_trace_has_required_keys() {
         let evs = sample_events();
-        let json = chrome_trace(&evs, 3);
+        let json = chrome_trace(&evs, 3, &[]);
         let v = crate::minjson::parse(&json).expect("valid json");
         let arr = v.get("traceEvents").unwrap().as_array().unwrap();
         assert_eq!(arr.len(), 5);

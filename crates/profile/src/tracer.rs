@@ -205,6 +205,9 @@ pub struct Tracer {
     rings: Mutex<Vec<RingState>>,
     next_tid: AtomicUsize,
     depth_hint: AtomicUsize,
+    /// Display labels for trace lanes (`(tid, label)`, first label
+    /// wins). Cold: written once per labelled thread.
+    labels: Mutex<Vec<(u32, String)>>,
 }
 
 static TRACER_IDS: AtomicU64 = AtomicU64::new(1);
@@ -237,7 +240,29 @@ impl Tracer {
             rings: Mutex::new(Vec::new()),
             next_tid: AtomicUsize::new(0),
             depth_hint: AtomicUsize::new(0),
+            labels: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attach a display label to the calling thread's trace lane — it
+    /// becomes the Perfetto `thread_name` for this `tid` (how gpu-sim
+    /// stream workers get a `stream-<n>` lane). The first label a
+    /// thread receives wins; relabelling is ignored.
+    pub fn label_current_thread(&self, label: &str) {
+        let tid = self.with_ring(|ring| ring.tid);
+        let mut labels = self.labels.lock().unwrap();
+        if !labels.iter().any(|(t, _)| *t == tid) {
+            labels.push((tid, label.to_string()));
+        }
+    }
+
+    /// `(tid, label)` pairs registered so far, sorted by tid. Labels
+    /// persist across [`Tracer::take_events`] drains (a thread's lane
+    /// name does not change between captures).
+    pub fn thread_labels(&self) -> Vec<(u32, String)> {
+        let mut out = self.labels.lock().unwrap().clone();
+        out.sort_by_key(|(t, _)| *t);
+        out
     }
 
     /// Nanoseconds since the tracer epoch.

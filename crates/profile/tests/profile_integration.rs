@@ -122,6 +122,69 @@ fn profiled_runs_emit_valid_traces_and_identical_kernel_tables() {
 }
 
 #[test]
+fn stream_launches_get_one_labeled_lane_per_stream() {
+    let _lock = TEST_LOCK.lock().unwrap();
+    profile::install();
+    profile::enable(true);
+    let input: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+    cuszi_gpu_sim::with_streams(2, |streams| {
+        for s in streams {
+            let input = &input;
+            s.submit(move || {
+                let src = GlobalRead::new(input);
+                launch_named(&A100, Grid::linear(16, 64), "lane-kernel", |ctx| {
+                    let b = ctx.block_linear() as usize;
+                    let chunk = 4096 / 16;
+                    let mut buf = ctx.scratch(chunk, 0.0f32);
+                    ctx.read_span(&src, b * chunk, &mut buf);
+                });
+            });
+        }
+        for s in streams {
+            s.synchronize();
+        }
+    });
+    profile::enable(false);
+    let rep = profile::profiler().unwrap().report();
+
+    // Each stream worker is its own tracer thread, labeled by the
+    // stream it serves.
+    let labels: Vec<&str> = rep.thread_labels.iter().map(|(_, l)| l.as_str()).collect();
+    assert!(labels.contains(&"stream-0"), "labels: {labels:?}");
+    assert!(labels.contains(&"stream-1"), "labels: {labels:?}");
+    let tid_of = |want: &str| {
+        rep.thread_labels.iter().find(|(_, l)| l == want).map(|(t, _)| *t).unwrap()
+    };
+    assert_ne!(tid_of("stream-0"), tid_of("stream-1"), "one lane per stream");
+
+    // The kernel X events land on the labeled lanes, and the trace
+    // carries Perfetto `thread_name` metadata for them.
+    let lane_tids: Vec<u32> = rep.thread_labels.iter().map(|(t, _)| *t).collect();
+    let xs: Vec<_> = rep
+        .events
+        .iter()
+        .filter(|e| e.name.as_str() == "lane-kernel")
+        .collect();
+    assert_eq!(xs.len(), 2);
+    assert!(xs.iter().all(|e| lane_tids.contains(&e.tid)));
+    let json = rep.chrome_trace();
+    let v = minjson::parse(&json).expect("valid trace json");
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+    let metas: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+        .collect();
+    assert!(metas.len() >= 2, "thread_name metadata present: {json}");
+    for m in &metas {
+        assert_eq!(m.get("name").unwrap().as_str(), Some("thread_name"));
+        assert!(m.get("args").unwrap().get("name").is_some());
+    }
+    // Flame summary headers show the lane names.
+    let flame = rep.flame_summary();
+    assert!(flame.contains("(stream-0)"), "flame:\n{flame}");
+}
+
+#[test]
 fn disabled_profiling_records_nothing() {
     let _lock = TEST_LOCK.lock().unwrap();
     profile::install();

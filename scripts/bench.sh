@@ -12,6 +12,11 @@
 #               run; writes profile_<n>.json next to BENCH_<n>.json and
 #               prints the per-kernel roofline report.
 #   --out-dir   where BENCH_<n>.json goes (default: repo root).
+#
+# The report includes a per-dataset "overlap" section (batch + slab
+# compression at --streams 1 vs --streams N, default 4; pass
+# `--streams N` through to change it). sim_speedup is the modelled
+# stream-overlap win; wall_speedup only follows it on multi-core hosts.
 # Env: CUSZI_BENCH_SAMPLES overrides the sample count either way;
 #      CUSZI_PROFILE=1 is equivalent to --profile.
 

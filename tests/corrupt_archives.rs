@@ -1,0 +1,86 @@
+//! Corruption robustness for every container format in `cuszi-core`:
+//! truncating a real archive at any point must yield a typed error
+//! (never a panic, never a silent `Ok`), and flipping payload bits must
+//! never panic. Complements `adversarial.rs`, which feeds random bytes
+//! and header mutations; here the corruption starts from *valid*
+//! archives, so the deep payload parsers (sections, codebook, Huffman
+//! stream, slab table) all get exercised past the header checks.
+
+use cuszi_repro::core::{
+    compress_fields, compress_pw_rel, compress_slabs, decompress_fields, decompress_pw_rel,
+    decompress_slabs, Config, CuszI, NamedField,
+};
+use cuszi_repro::quant::ErrorBound;
+use cuszi_repro::tensor::{NdArray, Shape};
+use proptest::prelude::*;
+
+fn field() -> NdArray<f32> {
+    NdArray::from_fn(Shape::d3(12, 10, 10), |z, y, x| {
+        ((x as f32) * 0.2).sin() + ((y as f32) * 0.15).cos() + (z as f32) * 0.05 + 0.5
+    })
+}
+
+/// A format's decompressor, reduced to "did it return Ok".
+type DecompressOk = Box<dyn Fn(&[u8]) -> bool>;
+
+/// One valid archive per format: (label, bytes, decompress-callable).
+fn archives() -> Vec<(&'static str, Vec<u8>, DecompressOk)> {
+    let data = field();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    let plain_cfg = cfg.without_bitcomp();
+    let cszi = CuszI::new(cfg).compress(&data).unwrap().bytes;
+    let cszi_plain = CuszI::new(plain_cfg).compress(&data).unwrap().bytes;
+    let named = [NamedField { name: "f0", data: &data }, NamedField { name: "f1", data: &data }];
+    let cszm = compress_fields(&named, cfg).unwrap().bytes;
+    let shape = data.shape();
+    let cszs = compress_slabs(shape, 4, cfg, |z0, nz| {
+        let [_, ny, nx] = shape.dims3();
+        NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| data.get3(z0 + z, y, x))
+    })
+    .unwrap();
+    let cszr = compress_pw_rel(&data, 1e-3, 1e-6, cfg).unwrap().bytes;
+    vec![
+        ("CSZI", cszi, Box::new(move |b: &[u8]| CuszI::new(cfg).decompress(b).is_ok()) as _),
+        (
+            "CSZI-plain",
+            cszi_plain,
+            Box::new(move |b: &[u8]| CuszI::new(plain_cfg).decompress(b).is_ok()) as _,
+        ),
+        ("CSZM", cszm, Box::new(move |b: &[u8]| decompress_fields(b, cfg).is_ok()) as _),
+        ("CSZS", cszs, Box::new(move |b: &[u8]| decompress_slabs(b, cfg, |_, _| {}).is_ok()) as _),
+        ("CSZR", cszr, Box::new(move |b: &[u8]| decompress_pw_rel(b, cfg).is_ok()) as _),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any strict prefix of a valid archive must decompress to an
+    /// error: every format's framing is length-checked end to end.
+    #[test]
+    fn prop_truncated_archives_error(cut in any::<u32>()) {
+        for (label, bytes, decompress_ok) in archives() {
+            let at = cut as usize % bytes.len();
+            prop_assert!(
+                !decompress_ok(&bytes[..at]),
+                "{label}: truncation at {at}/{} decompressed Ok", bytes.len()
+            );
+        }
+    }
+
+    /// Bit flips anywhere in a valid archive must never panic; an
+    /// error or (for undetected payload damage) wrong data are both
+    /// acceptable outcomes.
+    #[test]
+    fn prop_bit_flips_never_panic(
+        flips in proptest::collection::vec((any::<u32>(), 0u8..8), 1..16),
+    ) {
+        for (_label, mut bytes, decompress_ok) in archives() {
+            for &(pos, bit) in &flips {
+                let i = pos as usize % bytes.len();
+                bytes[i] ^= 1 << bit;
+            }
+            let _ = decompress_ok(&bytes);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The multi-stream scheduler's core invariant: archives are
+//! byte-identical for any stream count, and identical to the monolith
+//! (one `CuszI::compress` per field) path — on every dataset analogue.
+//!
+//! gpu-sim kernels are deterministic for any worker count and every
+//! stage of one job stays on one stream, so overlap must change only
+//! *when* work runs, never *what* it produces.
+
+use cuszi_repro::core::{
+    compress_fields_streams, compress_slabs_streams, Config, CuszI, NamedField,
+};
+use cuszi_repro::datagen::{generate, DatasetKind, Scale};
+use cuszi_repro::quant::ErrorBound;
+use cuszi_repro::tensor::{NdArray, Shape};
+
+/// Crop a field to <= 32^3 so the full dataset sweep stays debug-fast;
+/// generators are deterministic, so the crop is stable.
+fn crop(data: &NdArray<f32>) -> NdArray<f32> {
+    let d = data.shape().dims3();
+    let ext = [d[0].min(32), d[1].min(32), d[2].min(32)];
+    NdArray::from_fn(Shape::d3(ext[0], ext[1], ext[2]), |z, y, x| data.get3(z, y, x))
+}
+
+/// Reassemble the CSZM container layout from per-field archives — the
+/// byte-level spec the scheduler must reproduce.
+fn monolith_container(fields: &[(String, NdArray<f32>)], cfg: Config) -> Vec<u8> {
+    let codec = CuszI::new(cfg);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"CSZM");
+    bytes.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    for (name, data) in fields {
+        let c = codec.compress(data).expect("monolith compress");
+        bytes.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.extend_from_slice(&(c.bytes.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&c.bytes);
+    }
+    bytes
+}
+
+#[test]
+fn batch_archives_identical_across_stream_counts_on_all_datasets() {
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 42);
+        let fields: Vec<(String, NdArray<f32>)> =
+            ds.fields.iter().map(|f| (f.name.to_string(), crop(&f.data))).collect();
+        let named: Vec<NamedField> =
+            fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+
+        let (one, r1) = compress_fields_streams(&named, cfg, 1).expect("streams=1");
+        let (four, r4) = compress_fields_streams(&named, cfg, 4).expect("streams=4");
+        assert_eq!(
+            one.bytes,
+            four.bytes,
+            "{}: container differs between --streams 1 and --streams 4",
+            kind.name()
+        );
+        assert_eq!(r1.streams, 1);
+        assert!(r4.streams <= 4);
+
+        let mono = monolith_container(&fields, cfg);
+        assert_eq!(
+            one.bytes,
+            mono,
+            "{}: scheduler container differs from the monolith path",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn slab_streams_identical_across_stream_counts_on_all_datasets() {
+    let cfg = Config::new(ErrorBound::Abs(1e-3));
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 7);
+        let field = crop(&ds.fields[0].data);
+        let shape = field.shape();
+        let [_, ny, nx] = shape.dims3();
+        let slab = |z0: usize, nz: usize| {
+            NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| field.get3(z0 + z, y, x))
+        };
+        let (one, _) = compress_slabs_streams(shape, 8, cfg, 1, slab).expect("streams=1");
+        let (four, _) = compress_slabs_streams(shape, 8, cfg, 4, slab).expect("streams=4");
+        assert_eq!(one, four, "{}: slab stream differs across stream counts", kind.name());
+    }
+}
