@@ -112,7 +112,7 @@ impl Codec for Cuszp {
 
     fn compress_bytes(&self, data: &NdArray<f32>) -> Result<(Vec<u8>, CodecArtifacts), CuszError> {
         let eb = resolve_eb(data, self.eb)?;
-        let r = prequantize(data.as_slice(), eb);
+        let r = prequantize(data.as_slice(), eb)?;
         let nblocks = r.len().div_ceil(BLOCK);
         let ntb = nblocks.div_ceil(BLOCKS_PER_TB).max(1);
 

@@ -120,7 +120,9 @@ pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
 
 /// Parse an argument vector (without `argv[0]`).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
-    let sub = args.first().ok_or_else(|| CliError(USAGE.into()))?;
+    let sub = args
+        .first()
+        .ok_or_else(|| CliError("missing subcommand (run with --help for usage)".into()))?;
     let mut input = None;
     let mut output = None;
     let mut dims = None;
@@ -191,7 +193,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 streams = Some(n);
             }
-            other => return Err(CliError(format!("unknown argument '{other}'\n\n{USAGE}"))),
+            other => {
+                return Err(CliError(format!(
+                    "unknown argument '{other}' (run with --help for usage)"
+                )))
+            }
         }
     }
     let input = input.ok_or_else(|| CliError("missing -i".into()))?;
@@ -212,7 +218,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             output: output.ok_or_else(|| CliError("missing -o".into()))?,
         }),
         "info" => Ok(Command::Info { input }),
-        other => Err(CliError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
+        other => Err(CliError(format!(
+            "unknown subcommand '{other}' (run with --help for usage)"
+        ))),
     }
 }
 

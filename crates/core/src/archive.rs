@@ -106,7 +106,7 @@ impl Header {
         if data[0..4] != MAGIC {
             return Err(CuszError::CorruptArchive("bad magic"));
         }
-        let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
+        let version = crate::wire::u16_le(data, 4);
         if version != VERSION {
             return Err(CuszError::VersionMismatch { found: version, expected: VERSION });
         }
@@ -117,7 +117,7 @@ impl Header {
         }
         let mut dims3 = [0usize; 3];
         for (i, d) in dims3.iter_mut().enumerate() {
-            let v = u64::from_le_bytes(data[8 + i * 8..16 + i * 8].try_into().unwrap());
+            let v = crate::wire::u64_le(data, 8 + i * 8);
             if v == 0 || v > MAX_ELEMENTS {
                 return Err(CuszError::CorruptArchive("dimension out of range"));
             }
@@ -138,12 +138,12 @@ impl Header {
         let _ = total;
         let shape = Shape::from_dims(&dims3[3 - rank..])
             .ok_or(CuszError::CorruptArchive("invalid shape"))?;
-        let eb_abs = f64::from_le_bytes(data[32..40].try_into().unwrap());
-        let alpha = f64::from_le_bytes(data[40..48].try_into().unwrap());
+        let eb_abs = crate::wire::f64_le(data, 32);
+        let alpha = crate::wire::f64_le(data, 40);
         if !eb_abs.is_finite() || eb_abs < 0.0 || !alpha.is_finite() || alpha < 1.0 {
             return Err(CuszError::CorruptArchive("bad eb/alpha"));
         }
-        let radius = u16::from_le_bytes(data[48..50].try_into().unwrap());
+        let radius = crate::wire::u16_le(data, 48);
         if radius == 0 && flags & FLAG_CONSTANT == 0 {
             return Err(CuszError::CorruptArchive("zero radius"));
         }
@@ -165,10 +165,10 @@ impl Header {
             }
             order.push(o);
         }
-        let const_value = f32::from_le_bytes(data[55..59].try_into().unwrap());
+        let const_value = crate::wire::f32_le(data, 55);
         let mut sections = [0u64; 5];
         for (i, s) in sections.iter_mut().enumerate() {
-            *s = u64::from_le_bytes(data[59 + i * 8..67 + i * 8].try_into().unwrap());
+            *s = crate::wire::u64_le(data, 59 + i * 8);
         }
         Ok(Header {
             version,
@@ -212,7 +212,7 @@ pub fn f32_section(data: &[u8]) -> Result<Vec<f32>, CuszError> {
     if !data.len().is_multiple_of(4) {
         return Err(CuszError::CorruptArchive("f32 section misaligned"));
     }
-    Ok(data.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+    Ok(data.chunks_exact(4).map(|c| crate::wire::f32_le(c, 0)).collect())
 }
 
 /// Decode a little-endian `u64` section.
@@ -220,7 +220,7 @@ pub fn u64_section(data: &[u8]) -> Result<Vec<u64>, CuszError> {
     if !data.len().is_multiple_of(8) {
         return Err(CuszError::CorruptArchive("u64 section misaligned"));
     }
-    Ok(data.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+    Ok(data.chunks_exact(8).map(|c| crate::wire::u64_le(c, 0)).collect())
 }
 
 #[cfg(test)]

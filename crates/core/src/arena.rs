@@ -45,6 +45,10 @@ impl ScratchArena {
     /// Take a cleared buffer, preferring a pooled one whose capacity
     /// already covers `cap` (reserving otherwise).
     pub fn take(&mut self, cap: usize) -> Vec<u8> {
+        // Count this draw for the fault injector's `alloc:N` spec —
+        // arena draws are the host-side half of the allocation surface
+        // (the device half is gpu-sim's buffer pool).
+        cuszi_gpu_sim::fault::on_alloc();
         if pool_disabled() {
             return Vec::with_capacity(cap);
         }

@@ -114,14 +114,14 @@ pub fn decompress_fields(
     if bytes.len() < 8 || &bytes[0..4] != MAGIC {
         return Err(CuszError::CorruptArchive("container magic"));
     }
-    let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let count = crate::wire::u32_le(bytes, 4) as usize;
     let mut at = 8usize;
     let mut entries: Vec<(String, &[u8])> = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         if at + 2 > bytes.len() {
             return Err(CuszError::CorruptArchive("container name length"));
         }
-        let nlen = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as usize;
+        let nlen = crate::wire::u16_le(bytes, at) as usize;
         at += 2;
         if at + nlen + 8 > bytes.len() {
             return Err(CuszError::CorruptArchive("container name"));
@@ -130,7 +130,7 @@ pub fn decompress_fields(
             .map_err(|_| CuszError::CorruptArchive("container name utf-8"))?
             .to_string();
         at += nlen;
-        let alen = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        let alen = crate::wire::u64_le(bytes, at) as usize;
         at += 8;
         if alen > bytes.len() || at + alen > bytes.len() {
             return Err(CuszError::CorruptArchive("container archive truncated"));

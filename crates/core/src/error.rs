@@ -1,5 +1,35 @@
 //! Typed errors of the public API.
 
+/// What went wrong inside a pipeline stage (the device-fault half of
+/// [`CuszError::StageError`]). Mirrors the sticky-error categories of
+/// the simulated device plus the one host-side failure mode: a stage
+/// whose input buffer was never produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageFaultKind {
+    /// A device/pool allocation was flagged by the fault injector (the
+    /// `cudaMalloc` failure analogue).
+    AllocFailed,
+    /// A kernel launch was dropped; its grid never executed.
+    LaunchFailed,
+    /// The stream executing this work was poisoned and drained its
+    /// queue without running it.
+    StreamPoisoned,
+    /// A stage's input buffer is missing — its producer stage never
+    /// ran or was skipped. Replaces the old `expect("X ran")` panics.
+    MissingBuffer,
+}
+
+impl std::fmt::Display for StageFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageFaultKind::AllocFailed => write!(f, "allocation failed"),
+            StageFaultKind::LaunchFailed => write!(f, "kernel launch failed"),
+            StageFaultKind::StreamPoisoned => write!(f, "stream poisoned"),
+            StageFaultKind::MissingBuffer => write!(f, "missing input buffer"),
+        }
+    }
+}
+
 /// Everything that can go wrong compressing or decompressing.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CuszError {
@@ -18,6 +48,11 @@ pub enum CuszError {
     LosslessStage(&'static str),
     /// The requested configuration is unsupported (e.g. radius 0).
     InvalidConfig(&'static str),
+    /// A pipeline stage failed on the device: the sticky fault drained
+    /// at the stage boundary (or at stream synchronize), tagged with
+    /// the stage label it surfaced in and the site that tripped it
+    /// (kernel name, `alloc#N`, or stream label).
+    StageError { stage: &'static str, kind: StageFaultKind, site: String },
 }
 
 impl std::fmt::Display for CuszError {
@@ -31,8 +66,41 @@ impl std::fmt::Display for CuszError {
             }
             CuszError::LosslessStage(m) => write!(f, "lossless stage failed: {m}"),
             CuszError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            CuszError::StageError { stage, kind, site } => {
+                write!(f, "stage '{stage}' failed: {kind} at {site}")
+            }
         }
     }
 }
 
 impl std::error::Error for CuszError {}
+
+impl From<cuszi_quant::QuantError> for CuszError {
+    fn from(e: cuszi_quant::QuantError) -> Self {
+        match e {
+            cuszi_quant::QuantError::InvalidErrorBound => CuszError::InvalidErrorBound,
+            cuszi_quant::QuantError::NonFiniteInput => CuszError::NonFiniteInput,
+        }
+    }
+}
+
+impl CuszError {
+    /// Map a tripped device fault into the stage it surfaced in.
+    pub fn from_fault(stage: &'static str, fault: cuszi_gpu_sim::Fault) -> Self {
+        let kind = match fault.kind {
+            cuszi_gpu_sim::FaultKind::Alloc => StageFaultKind::AllocFailed,
+            cuszi_gpu_sim::FaultKind::Launch => StageFaultKind::LaunchFailed,
+            cuszi_gpu_sim::FaultKind::Stream => StageFaultKind::StreamPoisoned,
+        };
+        CuszError::StageError { stage, kind, site: fault.site }
+    }
+
+    /// The typed error for a stage whose input was never produced.
+    pub fn missing_buffer(stage: &'static str, what: &str) -> Self {
+        CuszError::StageError {
+            stage,
+            kind: StageFaultKind::MissingBuffer,
+            site: what.to_string(),
+        }
+    }
+}

@@ -27,6 +27,15 @@
 //! let decompressed = codec.decompress(&compressed.bytes).unwrap();
 //! assert_eq!(decompressed.data.shape(), data.shape());
 //! ```
+//!
+//! # Error handling
+//!
+//! Everything reachable from hostile input — bad bounds, NaN fields,
+//! corrupt archives, injected device faults — is a typed [`CuszError`],
+//! never a panic. The lint gate below enforces it; the one sanctioned
+//! exception is [`wire`]'s length-checked little-endian readers.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod archive;
 pub mod arena;
@@ -41,10 +50,11 @@ pub mod sched;
 pub mod stage;
 pub mod stream;
 pub mod traits;
+pub(crate) mod wire;
 
 pub use arena::ScratchArena;
 pub use config::Config;
-pub use error::CuszError;
+pub use error::{CuszError, StageFaultKind};
 pub use pipeline::{Compressed, CuszI, Decompressed, SectionSizes};
 pub use quality::{compress_to_psnr, QualityResult};
 pub use batch::{

@@ -114,7 +114,7 @@ impl CuszI {
         let graph = StageGraph::compress(cfg);
         let mut job = CompressJob::new(data, cfg, eb_abs, rel_eb);
         stage::run_compress(&graph, &mut job)?;
-        Ok(job.into_compressed())
+        job.into_compressed()
     }
 
     /// Decompress an archive produced by [`CuszI::compress`].
@@ -137,7 +137,7 @@ impl CuszI {
         let graph = StageGraph::decompress(header.flags & FLAG_BITCOMP != 0);
         let mut job = DecompressJob::new(bytes, &header, &self.cfg);
         stage::run_decompress(&graph, &mut job)?;
-        let d = job.into_decompressed();
+        let d = job.into_decompressed()?;
         if cuszi_profile::enabled() {
             cuszi_profile::count("decompress.fields", 1);
             cuszi_profile::count("decompress.bytes_in", bytes.len() as u64);

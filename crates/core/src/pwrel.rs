@@ -89,13 +89,13 @@ pub fn decompress_pw_rel(bytes: &[u8], base: Config) -> Result<NdArray<f32>, Cus
     if bytes.len() < 36 || &bytes[0..4] != MAGIC {
         return Err(CuszError::CorruptArchive("pw-rel magic"));
     }
-    let eps = f64::from_le_bytes(bytes[4..12].try_into().unwrap());
-    let floor = f64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let eps = crate::wire::f64_le(bytes, 4);
+    let floor = crate::wire::f64_le(bytes, 12);
     if !(eps > 0.0 && floor > 0.0) {
         return Err(CuszError::CorruptArchive("pw-rel parameters"));
     }
-    let sign_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
-    let inner_len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+    let sign_len = crate::wire::u64_le(bytes, 20) as usize;
+    let inner_len = crate::wire::u64_le(bytes, 28) as usize;
     // Checked sum: crafted lengths near usize::MAX must not wrap into
     // a passing comparison.
     let total = 36usize.checked_add(sign_len).and_then(|t| t.checked_add(inner_len));

@@ -84,7 +84,10 @@ pub fn compress_to_psnr(
         }
         rel = next_rel;
     }
-    let (_, achieved_psnr, compressed) = best.expect("at least one iteration ran");
+    // The loop body runs at least once and only `break`s after filling
+    // `best`, but keep the no-panic contract total anyway.
+    let (_, achieved_psnr, compressed) =
+        best.ok_or(CuszError::InvalidConfig("PSNR search produced no candidate"))?;
     let rel_eb = compressed.eb_abs; // absolute; recover relative below
     let range = {
         let s = data.as_slice();

@@ -98,17 +98,33 @@ where
             let f = &f;
             streams[i % n].submit(move || {
                 let r = cuszi_gpu_sim::pool::with_threads(workers, || f(item, i));
-                *slot.lock().unwrap() = Some(r);
+                *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
             });
         }
         for s in streams {
-            s.synchronize();
+            // A poisoned stream reports here; its jobs' slots stay
+            // empty and are typed below — don't short-circuit, the
+            // healthy streams' results are still good.
+            let _ = s.synchronize();
         }
         streams.iter().map(|s| s.sim_time_ns()).collect()
     });
     let results = slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every submitted job ran"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // An empty slot means the stream drained this job
+                // without running it (poisoned) — a typed per-job
+                // error, never a panic.
+                .unwrap_or_else(|| {
+                    Err(CuszError::StageError {
+                        stage: "schedule",
+                        kind: crate::error::StageFaultKind::StreamPoisoned,
+                        site: "job slot never filled".to_string(),
+                    })
+                })
+        })
         .collect();
     (results, ScheduleReport { streams: n, per_stream_sim_ns })
 }

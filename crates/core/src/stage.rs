@@ -226,6 +226,26 @@ impl StageGraph {
     }
 }
 
+/// Unwrap a stage input, converting an absent buffer — a producer
+/// stage that never ran or was skipped — into a typed
+/// [`CuszError::StageError`] instead of the old `expect("X ran")`
+/// panic.
+fn missing<T>(v: Option<T>, stage: &'static str, what: &str) -> Result<T, CuszError> {
+    v.ok_or_else(|| CuszError::missing_buffer(stage, what))
+}
+
+/// Stage-boundary sticky-error check: the `cudaGetLastError` analogue.
+/// Any fault the injector tripped while this stage's kernels ran is
+/// drained here and attributed to the stage. (Under concurrent streams
+/// a sibling job may drain a fault first; the batch still errors —
+/// single-stream runs give exact attribution.)
+fn drain_sticky(kind: StageKind) -> Result<(), CuszError> {
+    match cuszi_gpu_sim::fault::take_sticky() {
+        Some(f) => Err(CuszError::from_fault(kind.label(), f)),
+        None => Ok(()),
+    }
+}
+
 /// Mutable per-field state the compress stages thread their buffers
 /// through. Intermediates are `Option`s so each stage's declared
 /// outputs are visibly materialised exactly once; assembly buffers are
@@ -275,7 +295,7 @@ impl<'a> CompressJob<'a> {
     /// Run one stage (callers go through [`run_compress`]).
     fn run(&mut self, kind: StageKind) -> Result<(), CuszError> {
         let _g = cuszi_profile::span(kind.label(), Category::Stage);
-        match kind {
+        let r = match kind {
             StageKind::Tune => self.tune(),
             StageKind::PredictQuant => self.predict_quant(),
             StageKind::Histogram => self.histogram(),
@@ -285,7 +305,9 @@ impl<'a> CompressJob<'a> {
             StageKind::Bitcomp => self.bitcomp(),
             StageKind::Finalize => self.finalize(),
             _ => Err(CuszError::InvalidConfig("decompress stage in compress graph")),
-        }
+        };
+        drain_sticky(kind)?;
+        r
     }
 
     /// § V-C: profiling + auto-tuning (the untuned ablation still
@@ -304,7 +326,7 @@ impl<'a> CompressJob<'a> {
 
     /// § V: G-Interp prediction + quantization.
     fn predict_quant(&mut self) -> Result<(), CuszError> {
-        let interp = self.interp.as_ref().expect("Tune ran");
+        let interp = missing(self.interp.as_ref(), "predict-quant", "interp config")?;
         let pred =
             ginterp::compress(self.data, self.eb_abs, self.cfg.radius, interp, &self.cfg.device);
         self.kernels.extend(pred.kernels.iter().copied());
@@ -315,7 +337,7 @@ impl<'a> CompressJob<'a> {
 
     /// § VI-A (first half): quant-code histogram.
     fn histogram(&mut self) -> Result<(), CuszError> {
-        let pred = self.pred.as_ref().expect("PredictQuant ran");
+        let pred = missing(self.pred.as_ref(), "histogram", "prediction")?;
         let alphabet = 2 * self.cfg.radius as usize;
         let (hist, hstats) = histogram_gpu(
             &pred.codes,
@@ -350,7 +372,7 @@ impl<'a> CompressJob<'a> {
     /// § VI-A: CPU codebook construction (serial host work — exactly
     /// what overlaps with other fields' kernels under the scheduler).
     fn codebook(&mut self) -> Result<(), CuszError> {
-        let hist = self.hist.as_ref().expect("Histogram ran");
+        let hist = missing(self.hist.as_ref(), "codebook", "histogram")?;
         self.book = Some(
             Codebook::from_histogram(hist)
                 .map_err(|_| CuszError::LosslessStage("codebook construction"))?,
@@ -360,8 +382,8 @@ impl<'a> CompressJob<'a> {
 
     /// § VI-A: coarse-grained Huffman encode.
     fn huffman_encode(&mut self) -> Result<(), CuszError> {
-        let pred = self.pred.as_ref().expect("PredictQuant ran");
-        let book = self.book.as_ref().expect("CodebookBuild ran");
+        let pred = missing(self.pred.as_ref(), "huffman-encode", "prediction")?;
+        let book = missing(self.book.as_ref(), "huffman-encode", "codebook")?;
         let (stream, estats) = encode_gpu(&pred.codes, book, &self.cfg.device);
         self.kernels.extend(estats);
         self.stream = Some(stream);
@@ -370,9 +392,9 @@ impl<'a> CompressJob<'a> {
 
     /// Gather the five payload sections from arena-backed buffers.
     fn assemble(&mut self) -> Result<(), CuszError> {
-        let pred = self.pred.as_ref().expect("PredictQuant ran");
-        let book = self.book.as_ref().expect("CodebookBuild ran");
-        let stream = self.stream.as_ref().expect("HuffmanEncode ran");
+        let pred = missing(self.pred.as_ref(), "assemble", "prediction")?;
+        let book = missing(self.book.as_ref(), "assemble", "codebook")?;
+        let stream = missing(self.stream.as_ref(), "assemble", "huffman stream")?;
         let mut anchors_bytes = crate::arena::take(pred.anchors.len() * 4);
         for v in &pred.anchors {
             anchors_bytes.extend_from_slice(&v.to_le_bytes());
@@ -420,7 +442,7 @@ impl<'a> CompressJob<'a> {
 
     /// § VI-B: Bitcomp-lossless pass over the whole payload.
     fn bitcomp(&mut self) -> Result<(), CuszError> {
-        let payload = self.payload.take().expect("Assemble ran");
+        let payload = missing(self.payload.take(), "bitcomp", "payload")?;
         self.flags |= FLAG_BITCOMP;
         let (packed, bstats) = cuszi_bitcomp::compress(&payload, &self.cfg.device);
         self.kernels.extend(bstats);
@@ -431,8 +453,8 @@ impl<'a> CompressJob<'a> {
 
     /// Prepend the self-describing header.
     fn finalize(&mut self) -> Result<(), CuszError> {
-        let interp = self.interp.as_ref().expect("Tune ran");
-        let payload = self.payload.take().expect("Assemble ran");
+        let interp = missing(self.interp.as_ref(), "finalize", "interp config")?;
+        let payload = missing(self.payload.take(), "finalize", "payload")?;
         let header = Header {
             version: VERSION,
             flags: self.flags,
@@ -468,14 +490,14 @@ impl<'a> CompressJob<'a> {
     }
 
     /// Consume the job into the caller-facing artifact set.
-    pub fn into_compressed(self) -> crate::pipeline::Compressed {
-        crate::pipeline::Compressed {
-            bytes: self.archive.expect("Finalize ran"),
+    pub fn into_compressed(self) -> Result<crate::pipeline::Compressed, CuszError> {
+        Ok(crate::pipeline::Compressed {
+            bytes: missing(self.archive, "finalize", "archive")?,
             kernels: self.kernels,
             sections: self.section_sizes,
             eb_abs: self.eb_abs,
-            interp: self.interp.expect("Tune ran"),
-        }
+            interp: missing(self.interp, "finalize", "interp config")?,
+        })
     }
 }
 
@@ -522,13 +544,15 @@ impl<'a> DecompressJob<'a> {
 
     fn run(&mut self, kind: StageKind) -> Result<(), CuszError> {
         let _g = cuszi_profile::span(kind.label(), Category::Stage);
-        match kind {
+        let r = match kind {
             StageKind::BitcompDecode => self.bitcomp_decode(),
             StageKind::SplitSections => self.split(),
             StageKind::HuffmanDecode => self.huffman_decode(),
             StageKind::Reconstruct => self.reconstruct(),
             _ => Err(CuszError::InvalidConfig("compress stage in decompress graph")),
-        }
+        };
+        drain_sticky(kind)?;
+        r
     }
 
     fn bitcomp_decode(&mut self) -> Result<(), CuszError> {
@@ -575,8 +599,8 @@ impl<'a> DecompressJob<'a> {
     }
 
     fn huffman_decode(&mut self) -> Result<(), CuszError> {
-        let book = self.book.as_ref().expect("SplitSections ran");
-        let stream = self.stream.as_ref().expect("SplitSections ran");
+        let book = missing(self.book.as_ref(), "huffman-decode", "codebook")?;
+        let stream = missing(self.stream.as_ref(), "huffman-decode", "huffman stream")?;
         let (codes, dstats) =
             decode_gpu(stream, book, &self.cfg.device).map_err(|e| CuszError::LosslessStage(e.0))?;
         self.kernels.push(dstats);
@@ -585,9 +609,9 @@ impl<'a> DecompressJob<'a> {
     }
 
     fn reconstruct(&mut self) -> Result<(), CuszError> {
-        let codes = self.codes.as_ref().expect("HuffmanDecode ran");
-        let anchors = self.anchors.as_ref().expect("SplitSections ran");
-        let outliers = self.outliers.as_ref().expect("SplitSections ran");
+        let codes = missing(self.codes.as_ref(), "g-interp-reconstruct", "quant codes")?;
+        let anchors = missing(self.anchors.as_ref(), "g-interp-reconstruct", "anchors")?;
+        let outliers = missing(self.outliers.as_ref(), "g-interp-reconstruct", "outliers")?;
         let interp = self.header.interp_config();
         let (data, gstats) = ginterp::decompress(
             codes,
@@ -605,11 +629,11 @@ impl<'a> DecompressJob<'a> {
     }
 
     /// Consume the job into the caller-facing result.
-    pub fn into_decompressed(self) -> crate::pipeline::Decompressed {
-        crate::pipeline::Decompressed {
-            data: self.data.expect("Reconstruct ran"),
+    pub fn into_decompressed(self) -> Result<crate::pipeline::Decompressed, CuszError> {
+        Ok(crate::pipeline::Decompressed {
+            data: missing(self.data, "g-interp-reconstruct", "reconstructed field")?,
             kernels: self.kernels,
-        }
+        })
     }
 }
 

@@ -108,7 +108,7 @@ pub fn compress_slabs_streams(
                     cuszi_profile::span(&format!("slab-z{z0}"), cuszi_profile::Category::Stream)
                 });
                 let r = cuszi_gpu_sim::pool::with_threads(workers, || codec.compress(&slab));
-                *slot.lock().unwrap() = Some(r.map(|c| {
+                *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r.map(|c| {
                     cuszi_profile::observe("stream.slab_archive_bytes", c.bytes.len() as u64);
                     c.bytes
                 }));
@@ -116,7 +116,9 @@ pub fn compress_slabs_streams(
             done.push(streams[s % n].record());
         }
         for st in streams {
-            st.synchronize();
+            // A poisoned stream reports here; its slabs' slots stay
+            // empty and surface as typed errors below.
+            let _ = st.synchronize();
         }
         streams.iter().map(|st| st.sim_time_ns()).collect()
     });
@@ -124,7 +126,16 @@ pub fn compress_slabs_streams(
         return Err(CuszError::InvalidConfig("produced slab has the wrong shape"));
     }
     for slot in slots {
-        let archive = slot.into_inner().unwrap().expect("every slab job ran")?;
+        let archive = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(|| {
+                Err(CuszError::StageError {
+                    stage: "schedule",
+                    kind: crate::error::StageFaultKind::StreamPoisoned,
+                    site: "slab slot never filled".to_string(),
+                })
+            })?;
         out.extend_from_slice(&(archive.len() as u64).to_le_bytes());
         out.extend_from_slice(&archive);
         // Recycle the consumed archive buffer for the next slab.
@@ -148,7 +159,7 @@ pub fn decompress_slabs(
     }
     let mut dims = [0usize; 3];
     for (i, d) in dims.iter_mut().enumerate() {
-        let v = u64::from_le_bytes(bytes[5 + i * 8..13 + i * 8].try_into().unwrap());
+        let v = crate::wire::u64_le(bytes, 5 + i * 8);
         if v == 0 || v > crate::archive::MAX_ELEMENTS {
             return Err(CuszError::CorruptArchive("slab stream dims"));
         }
@@ -160,8 +171,8 @@ pub fn decompress_slabs(
         .ok_or(CuszError::CorruptArchive("slab stream element count"))?;
     let shape =
         Shape::from_dims(&dims).ok_or(CuszError::CorruptArchive("slab stream shape"))?;
-    let slab_z = u32::from_le_bytes(bytes[29..33].try_into().unwrap()) as usize;
-    let nslabs = u32::from_le_bytes(bytes[33..37].try_into().unwrap()) as usize;
+    let slab_z = crate::wire::u32_le(bytes, 29) as usize;
+    let nslabs = crate::wire::u32_le(bytes, 33) as usize;
     if slab_z == 0 || nslabs != dims[0].div_ceil(slab_z) {
         return Err(CuszError::CorruptArchive("slab geometry"));
     }
@@ -172,7 +183,7 @@ pub fn decompress_slabs(
         if at + 8 > bytes.len() {
             return Err(CuszError::CorruptArchive("slab length truncated"));
         }
-        let len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        let len = crate::wire::u64_le(bytes, at) as usize;
         at += 8;
         if at + len > bytes.len() {
             return Err(CuszError::CorruptArchive("slab body truncated"));

@@ -1,0 +1,54 @@
+//! Fixed-width little-endian readers for archive parsing.
+//!
+//! Every caller has already bounds-checked the slice it passes (the
+//! parsers validate lengths before indexing), so the `try_into` here
+//! cannot fail — this module is the one place in the crate allowed to
+//! `unwrap`, keeping the crate-level `unwrap_used`/`expect_used` deny
+//! honest everywhere else.
+
+#![allow(clippy::unwrap_used)]
+
+/// Read a `u16` from `b[at..at + 2]`.
+pub(crate) fn u16_le(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(b[at..at + 2].try_into().unwrap())
+}
+
+/// Read a `u32` from `b[at..at + 4]`.
+pub(crate) fn u32_le(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+/// Read a `u64` from `b[at..at + 8]`.
+pub(crate) fn u64_le(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Read an `f32` from `b[at..at + 4]`.
+pub(crate) fn f32_le(b: &[u8], at: usize) -> f32 {
+    f32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+/// Read an `f64` from `b[at..at + 8]`.
+pub(crate) fn f64_le(b: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_decode_little_endian() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&0xBEEFu16.to_le_bytes());
+        b.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        b.extend_from_slice(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        b.extend_from_slice(&1.5f32.to_le_bytes());
+        b.extend_from_slice(&(-2.25f64).to_le_bytes());
+        assert_eq!(u16_le(&b, 0), 0xBEEF);
+        assert_eq!(u32_le(&b, 2), 0xDEAD_BEEF);
+        assert_eq!(u64_le(&b, 6), 0x0123_4567_89AB_CDEF);
+        assert_eq!(f32_le(&b, 14), 1.5);
+        assert_eq!(f64_le(&b, 18), -2.25);
+    }
+}

@@ -684,6 +684,13 @@ where
         device.max_threads_per_block,
         device.name
     );
+    // Fault injection (CUDA sticky-error analogue): an armed launch
+    // fault drops the grid entirely — output buffers keep their
+    // pre-launch contents — and the error surfaces at the caller's
+    // next sticky-error check, not here.
+    if crate::fault::launch_should_fail(name) {
+        return KernelStats::default();
+    }
     let total = grid.blocks.count();
     let gx = grid.blocks.x as u64;
     let gy = grid.blocks.y as u64;

@@ -1,0 +1,302 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real GPU failures — allocation failures, launch errors, a wedged
+//! stream — are rare in practice and impossible to provoke on demand,
+//! which is exactly why the error paths that handle them rot. This
+//! module makes them injectable: arm a [`FaultSpec`] (programmatically
+//! or via the `CUSZI_FAULT` environment variable) and the substrate
+//! will fail in the requested way at the requested site, every time.
+//!
+//! # The sticky-error model
+//!
+//! The injector mirrors CUDA's asynchronous ("sticky") error
+//! semantics: a failed launch or allocation does not unwind at the
+//! call site. Instead the kernel body is *dropped* (for launches) or
+//! the allocation is flagged (for allocations), a process-global
+//! sticky [`Fault`] is recorded, and execution continues until the
+//! next explicit error check — [`take_sticky`], called by the pipeline
+//! at every stage boundary — or, for poisoned streams, until
+//! [`crate::Stream::synchronize`]. This is what makes the injection
+//! *useful*: it exercises the same deferred-error plumbing a real
+//! `cudaGetLastError` / `cudaStreamSynchronize` pair would.
+//!
+//! # Determinism
+//!
+//! All three fault kinds are deterministic given a deterministic
+//! workload: kernel names and stream ids are stable, and the
+//! allocation counter counts pool/arena draws in a fixed per-thread
+//! order (with one stream / one worker the global order is fixed too).
+//! When no fault is armed the fast path is a single relaxed atomic
+//! load, and the substrate's behaviour is bit-for-bit identical to a
+//! build without this module — the scheduler-determinism oracle pins
+//! that.
+//!
+//! # Syntax (`CUSZI_FAULT`)
+//!
+//! ```text
+//! CUSZI_FAULT=alloc:7        # flag the 7th pooled/arena allocation
+//! CUSZI_FAULT=launch:g-interp  # drop every launch of kernel "g-interp"
+//! CUSZI_FAULT=stream:1       # poison stream id 1 in every scope
+//! ```
+//!
+//! State is process-global (not thread-local) because kernels execute
+//! on freshly scoped pool worker threads every launch; thread-locals
+//! would never reach them.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
+
+/// Which site to fail. Armed with [`arm`] or `CUSZI_FAULT`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Flag the `n`th (1-based) pooled-buffer / arena allocation after
+    /// arming. The buffer is still returned (no mid-kernel unwinding);
+    /// the fault surfaces at the next sticky-error check.
+    AllocNth(u64),
+    /// Drop every launch of the kernel with this name: the grid never
+    /// executes, output buffers keep their pre-launch contents, and
+    /// the fault surfaces at the next sticky-error check.
+    LaunchNamed(String),
+    /// Poison the stream with this id (per [`crate::with_streams`]
+    /// scope): its queue drains without running submitted closures,
+    /// events still fire (no deadlock), and
+    /// [`crate::Stream::synchronize`] reports the fault.
+    PoisonStream(u32),
+}
+
+impl FaultSpec {
+    /// Parse the `CUSZI_FAULT` syntax: `alloc:N`, `launch:<name>`,
+    /// `stream:<id>`. Returns `None` on anything else.
+    pub fn parse(s: &str) -> Option<FaultSpec> {
+        let (kind, arg) = s.split_once(':')?;
+        match kind.trim() {
+            "alloc" => arg.trim().parse().ok().filter(|&n| n > 0).map(FaultSpec::AllocNth),
+            "launch" => {
+                let name = arg.trim();
+                (!name.is_empty()).then(|| FaultSpec::LaunchNamed(name.to_string()))
+            }
+            "stream" => arg.trim().parse().ok().map(FaultSpec::PoisonStream),
+            _ => None,
+        }
+    }
+}
+
+/// The category of a tripped fault, for typed error mapping upstream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A pooled/arena allocation was flagged.
+    Alloc,
+    /// A kernel launch was dropped.
+    Launch,
+    /// A stream was poisoned and drained its queue without running.
+    Stream,
+}
+
+/// A tripped fault: what kind, and the site that tripped it (kernel
+/// name, `alloc#N`, or stream label).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    pub kind: FaultKind,
+    pub site: String,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FaultKind::Alloc => write!(f, "allocation fault at {}", self.site),
+            FaultKind::Launch => write!(f, "launch fault: kernel '{}' dropped", self.site),
+            FaultKind::Stream => write!(f, "stream fault: {} poisoned", self.site),
+        }
+    }
+}
+
+/// Fast-path flag: a single relaxed load decides "nothing armed".
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// The armed spec; consulted only when `ARMED` is set.
+static SPEC: Mutex<Option<FaultSpec>> = Mutex::new(None);
+/// The sticky fault, pending until [`take_sticky`] drains it.
+static STICKY: Mutex<Option<Fault>> = Mutex::new(None);
+/// Allocations seen since arming (for [`FaultSpec::AllocNth`]).
+static ALLOC_SEEN: AtomicU64 = AtomicU64::new(0);
+/// One-shot `CUSZI_FAULT` parse, folded into the first armed() check.
+static ENV_INIT: Once = Once::new();
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panic while holding these tiny critical sections cannot leave
+    // them logically corrupt; recover the guard rather than propagate.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("CUSZI_FAULT") {
+            if let Some(spec) = FaultSpec::parse(&v) {
+                arm_spec(spec);
+            }
+        }
+    });
+}
+
+fn arm_spec(spec: FaultSpec) {
+    *lock(&SPEC) = Some(spec);
+    *lock(&STICKY) = None;
+    ALLOC_SEEN.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Arm a fault. Resets the allocation counter and clears any pending
+/// sticky fault, so each armed experiment starts clean.
+pub fn arm(spec: FaultSpec) {
+    env_init();
+    arm_spec(spec);
+}
+
+/// Disarm: no further faults trip, and any undelivered sticky fault is
+/// cleared. The substrate reverts to its bit-identical unarmed path.
+pub fn disarm() {
+    env_init();
+    ARMED.store(false, Ordering::Release);
+    *lock(&SPEC) = None;
+    *lock(&STICKY) = None;
+}
+
+/// Whether a fault is currently armed (env var counts).
+pub fn armed() -> bool {
+    env_init();
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Drain the pending sticky fault, if any. The pipeline calls this at
+/// every stage boundary (the `cudaGetLastError` analogue); returns
+/// `None` when disarmed.
+pub fn take_sticky() -> Option<Fault> {
+    if !armed() {
+        return None;
+    }
+    lock(&STICKY).take()
+}
+
+/// Record a fault; first writer wins (matching CUDA, which preserves
+/// the first sticky error until it is consumed).
+fn set_sticky(f: Fault) {
+    let mut s = lock(&STICKY);
+    if s.is_none() {
+        *s = Some(f);
+    }
+}
+
+/// Notify the injector of one pooled/arena allocation. Called by the
+/// substrate's buffer pool and by core's assembly arena; a no-op (one
+/// relaxed load) when nothing is armed.
+pub fn on_alloc() {
+    if !armed() {
+        return;
+    }
+    let n = match &*lock(&SPEC) {
+        Some(FaultSpec::AllocNth(n)) => *n,
+        _ => return,
+    };
+    if ALLOC_SEEN.fetch_add(1, Ordering::Relaxed) + 1 == n {
+        set_sticky(Fault { kind: FaultKind::Alloc, site: format!("alloc#{n}") });
+    }
+}
+
+/// Whether the named launch must be dropped; records the sticky fault
+/// when it is. Called by [`crate::exec::launch_named`].
+///
+/// Mirrors CUDA's sticky semantics fully: once *any* fault is pending
+/// (a dropped launch, a flagged allocation), every subsequent launch
+/// is also dropped until the error is consumed — a kernel must never
+/// run against buffers a failed predecessor left unwritten (that is
+/// how a real context behaves, and it is what keeps downstream
+/// device code panic-free between the fault and the next check).
+pub(crate) fn launch_should_fail(name: &str) -> bool {
+    if !armed() {
+        return false;
+    }
+    if lock(&STICKY).is_some() {
+        return true;
+    }
+    let hit = matches!(&*lock(&SPEC), Some(FaultSpec::LaunchNamed(n)) if n == name);
+    if hit {
+        set_sticky(Fault { kind: FaultKind::Launch, site: name.to_string() });
+    }
+    hit
+}
+
+/// Whether the stream with this id is poisoned. Checked once at stream
+/// creation by [`crate::with_streams`].
+pub(crate) fn stream_poisoned(id: u32) -> bool {
+    armed() && matches!(&*lock(&SPEC), Some(FaultSpec::PoisonStream(k)) if *k == id)
+}
+
+/// Crate-internal test lock: fault state is process-global, so tests
+/// that arm it serialize here (the same discipline the workspace-level
+/// fault matrix uses within its own binary).
+#[cfg(test)]
+pub(crate) static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) use super::TEST_GUARD as GUARD;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(FaultSpec::parse("alloc:7"), Some(FaultSpec::AllocNth(7)));
+        assert_eq!(
+            FaultSpec::parse("launch:g-interp"),
+            Some(FaultSpec::LaunchNamed("g-interp".into()))
+        );
+        assert_eq!(FaultSpec::parse("stream:2"), Some(FaultSpec::PoisonStream(2)));
+        for bad in ["", "alloc", "alloc:0", "alloc:x", "launch:", "boom:1", "7"] {
+            assert_eq!(FaultSpec::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn arm_trip_take_disarm_cycle() {
+        let _g = lock(&GUARD);
+        arm(FaultSpec::AllocNth(2));
+        assert!(armed());
+        assert_eq!(take_sticky(), None, "nothing tripped yet");
+        on_alloc();
+        assert_eq!(take_sticky(), None, "first allocation is fine");
+        on_alloc();
+        let f = take_sticky().expect("second allocation trips");
+        assert_eq!(f.kind, FaultKind::Alloc);
+        assert_eq!(take_sticky(), None, "sticky drains once");
+        disarm();
+        assert!(!armed());
+        on_alloc();
+        assert_eq!(take_sticky(), None, "disarmed injector is inert");
+    }
+
+    #[test]
+    fn first_fault_wins_and_pending_sticky_drops_all_launches() {
+        let _g = lock(&GUARD);
+        arm(FaultSpec::LaunchNamed("k".into()));
+        assert!(!launch_should_fail("other"), "no fault pending, non-matching launch runs");
+        assert!(launch_should_fail("k"));
+        assert!(
+            launch_should_fail("other"),
+            "while the fault is pending every launch is dropped (CUDA sticky semantics)"
+        );
+        let f = take_sticky().expect("fault recorded");
+        assert_eq!((f.kind, f.site.as_str()), (FaultKind::Launch, "k"));
+        assert!(!launch_should_fail("other"), "draining the fault unblocks launches");
+        assert!(launch_should_fail("k"), "every matching launch is dropped");
+        disarm();
+    }
+
+    #[test]
+    fn stream_poison_matches_id_only() {
+        let _g = lock(&GUARD);
+        arm(FaultSpec::PoisonStream(1));
+        assert!(!stream_poisoned(0));
+        assert!(stream_poisoned(1));
+        disarm();
+        assert!(!stream_poisoned(1));
+    }
+}

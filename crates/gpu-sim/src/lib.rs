@@ -34,6 +34,7 @@
 
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod hook;
 pub mod pool;
 pub mod shared;
@@ -43,6 +44,7 @@ pub mod timing;
 
 pub use device::{DeviceSpec, A100, A40};
 pub use exec::{launch, launch_named, BlockCtx, BlockSlots, Dim3, GlobalRead, GlobalWrite, Grid};
+pub use fault::{Fault, FaultKind, FaultSpec};
 pub use hook::{LaunchObserver, LaunchRecord};
 pub use shared::{ScratchVec, SharedTile};
 pub use stats::{AtomicKernelStats, KernelStats};

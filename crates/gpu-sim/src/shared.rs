@@ -31,6 +31,7 @@ pub(crate) fn pool_disabled() -> bool {
 
 /// Take a pooled `Vec<T>` (empty, arbitrary capacity) or a fresh one.
 fn pool_take<T: 'static>() -> Vec<T> {
+    crate::fault::on_alloc();
     if pool_disabled() {
         return Vec::new();
     }

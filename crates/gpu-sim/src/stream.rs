@@ -66,6 +66,10 @@ struct StreamShared {
     label: String,
     /// Simulated nanoseconds of kernel time issued on this stream.
     clock_ns: AtomicU64,
+    /// Poisoned by the fault injector at creation: the worker drains
+    /// its queue without running commands (events still fire), and
+    /// [`Stream::synchronize`] reports the fault.
+    poisoned: bool,
 }
 
 impl StreamShared {
@@ -200,9 +204,18 @@ impl<'env> Stream<'env> {
     }
 
     /// Block the host until every command submitted so far has run
-    /// (CUDA `cudaStreamSynchronize`).
-    pub fn synchronize(&self) {
+    /// (CUDA `cudaStreamSynchronize`). A poisoned stream drains its
+    /// queue (so the wait completes) but reports the fault here, the
+    /// same place a wedged `cudaStream_t` surfaces its sticky error.
+    pub fn synchronize(&self) -> Result<(), crate::fault::Fault> {
         self.record().synchronize();
+        if self.shared.poisoned {
+            return Err(crate::fault::Fault {
+                kind: crate::fault::FaultKind::Stream,
+                site: self.shared.label.clone(),
+            });
+        }
+        Ok(())
     }
 
     /// Simulated nanoseconds of kernel time issued on this stream so
@@ -233,7 +246,10 @@ fn worker(shared: Arc<StreamShared>, rx: mpsc::Receiver<Cmd<'_>>) {
     for cmd in rx {
         match cmd {
             Cmd::Run(f) => {
-                if panicked.is_none() {
+                // A poisoned stream drains: submitted closures are
+                // dropped unrun, but Record/Wait still execute so
+                // sibling streams and the host never deadlock.
+                if panicked.is_none() && !shared.poisoned {
                     if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
                         panicked = Some(p);
                     }
@@ -272,6 +288,7 @@ pub fn with_streams<'env, R>(n: usize, f: impl FnOnce(&[Stream<'env>]) -> R) -> 
                     id: i as u32,
                     label: format!("stream-{i}"),
                     clock_ns: AtomicU64::new(0),
+                    poisoned: crate::fault::stream_poisoned(i as u32),
                 });
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -298,19 +315,21 @@ mod tests {
 
     #[test]
     fn commands_run_in_submission_order() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         let log = Mutex::new(Vec::new());
         with_streams(1, |s| {
             let log = &log;
             for i in 0..20 {
                 s[0].submit(move || log.lock().unwrap().push(i));
             }
-            s[0].synchronize();
+            s[0].synchronize().expect("sync");
         });
         assert_eq!(log.into_inner().unwrap(), (0..20).collect::<Vec<_>>());
     }
 
     #[test]
     fn streams_overlap_and_events_order_across_streams() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         let stage = AtomicUsize::new(0);
         with_streams(2, |s| {
             s[0].submit(|| {
@@ -323,13 +342,14 @@ mod tests {
                 assert_eq!(stage.load(Ordering::SeqCst), 1);
                 stage.store(2, Ordering::SeqCst);
             });
-            s[1].synchronize();
+            s[1].synchronize().expect("sync");
         });
         assert_eq!(stage.load(Ordering::SeqCst), 2);
     }
 
     #[test]
     fn event_query_and_host_synchronize() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         with_streams(1, |s| {
             let (tx, rx) = mpsc::channel::<()>();
             s[0].submit(move || {
@@ -345,6 +365,7 @@ mod tests {
 
     #[test]
     fn launches_advance_the_current_stream_clock() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         let data = vec![1.0f32; 1 << 16];
         let expect = {
             // Reference: same launch inline, timed by the same model.
@@ -367,8 +388,8 @@ mod tests {
                     ctx.read_span(&view, b * 128, &mut buf);
                 });
             });
-            s[0].synchronize();
-            s[1].synchronize();
+            s[0].synchronize().expect("sync");
+            s[1].synchronize().expect("sync");
             assert_eq!(s[0].sim_time_ns(), expect);
             assert_eq!(s[1].sim_time_ns(), 0, "idle stream spends no sim time");
             assert_eq!(sim_elapsed_ns(s), expect, "overlap = max over streams");
@@ -378,6 +399,7 @@ mod tests {
 
     #[test]
     fn wait_event_propagates_sim_time() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         with_streams(2, |s| {
             let data = vec![0.0f32; 1 << 14];
             s[0].submit(move || {
@@ -390,7 +412,7 @@ mod tests {
             });
             let ev = s[0].record();
             s[1].wait_event(&ev);
-            s[1].synchronize();
+            s[1].synchronize().expect("sync");
             assert!(s[0].sim_time_ns() > 0);
             assert_eq!(
                 s[1].sim_time_ns(),
@@ -402,22 +424,50 @@ mod tests {
 
     #[test]
     fn with_threads_override_reaches_stream_workers() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         crate::pool::with_threads(3, || {
             with_streams(1, |s| {
                 s[0].submit(|| assert_eq!(crate::pool::current_threads(), 3));
-                s[0].synchronize();
+                s[0].synchronize().expect("sync");
             });
         });
     }
 
     #[test]
+    fn poisoned_stream_drains_and_reports_at_synchronize() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        crate::fault::arm(crate::fault::FaultSpec::PoisonStream(1));
+        let ran = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        with_streams(2, |s| {
+            s[0].submit(|| {
+                ran[0].fetch_add(1, Ordering::SeqCst);
+            });
+            s[1].submit(|| {
+                ran[1].fetch_add(1, Ordering::SeqCst);
+            });
+            // Events on the poisoned stream still fire: cross-stream
+            // waits and host syncs must not deadlock.
+            let ev = s[1].record();
+            s[0].wait_event(&ev);
+            assert!(s[0].synchronize().is_ok(), "sibling stream is unaffected");
+            let err = s[1].synchronize().expect_err("poisoned stream reports");
+            assert_eq!(err.kind, crate::fault::FaultKind::Stream);
+            assert_eq!(err.site, "stream-1");
+        });
+        assert_eq!(ran[0].load(Ordering::SeqCst), 1, "healthy stream ran its work");
+        assert_eq!(ran[1].load(Ordering::SeqCst), 0, "poisoned stream drained unrun");
+        crate::fault::disarm();
+    }
+
+    #[test]
     fn panic_in_command_propagates_but_events_still_fire() {
+        let _g = crate::fault::TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         let r = std::panic::catch_unwind(|| {
             with_streams(1, |s| {
                 s[0].submit(|| panic!("boom"));
                 // The queue must stay live: this event has to fire or
                 // synchronize() would deadlock.
-                s[0].synchronize();
+                s[0].synchronize().expect("sync");
             });
         });
         assert!(r.is_err(), "the deferred panic re-raises at scope exit");

@@ -68,7 +68,11 @@ fn seed_anchors(grid: &mut VecGrid, shape: Shape, stride: usize, anchors: &[f32]
 fn quantizers(stride: usize, eb: f64, alpha: f64, radius: u16) -> Vec<(u32, Quantizer)> {
     level_ladder(stride)
         .into_iter()
-        .map(|(l, _)| (l, Quantizer::new(level_error_bound(eb, l, alpha), radius)))
+        // A level bound is derived from a bound the caller already
+        // validated (positive, finite), so construction cannot fail.
+        .map(|(l, _)| {
+            (l, Quantizer::new(level_error_bound(eb, l, alpha), radius).expect("level bound derived from a validated eb"))
+        })
         .collect()
 }
 

@@ -241,7 +241,11 @@ pub fn gather_anchors_with(
 fn quantizers_for_levels(anchor_stride: usize, eb: f64, alpha: f64, radius: u16) -> Vec<(u32, Quantizer)> {
     level_ladder(anchor_stride)
         .into_iter()
-        .map(|(level, _)| (level, Quantizer::new(level_error_bound(eb, level, alpha), radius)))
+        // A level bound is derived from a bound the caller already
+        // validated (positive, finite), so construction cannot fail.
+        .map(|(level, _)| {
+            (level, Quantizer::new(level_error_bound(eb, level, alpha), radius).expect("level bound derived from a validated eb"))
+        })
         .collect()
 }
 

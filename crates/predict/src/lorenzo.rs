@@ -69,7 +69,7 @@ pub fn compress(
 ) -> PredictOutput {
     let shape = data.shape();
     let rank = shape.rank();
-    let r = prequantize(data.as_slice(), eb);
+    let r = prequantize(data.as_slice(), eb).expect("eb and input validated by the caller");
     let mut codes = vec![0u16; shape.len()];
     // Per-block outlier slots, written disjointly and compacted in
     // block order after the launch — no lock on the hot path.

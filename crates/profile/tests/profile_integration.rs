@@ -141,7 +141,7 @@ fn stream_launches_get_one_labeled_lane_per_stream() {
             });
         }
         for s in streams {
-            s.synchronize();
+            s.synchronize().expect("no fault armed");
         }
     });
     profile::enable(false);

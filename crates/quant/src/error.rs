@@ -1,0 +1,26 @@
+//! Typed errors for quantization inputs.
+
+/// Invalid input to a quantization entry point. Mapped into the
+/// workspace-level `CuszError` at the core API boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantError {
+    /// The error bound is non-positive or non-finite.
+    InvalidErrorBound,
+    /// The input contains NaN or infinities — error-bounded
+    /// quantization of non-finite values is undefined in the SZ
+    /// framework.
+    NonFiniteInput,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::InvalidErrorBound => {
+                write!(f, "error bound must be positive and finite")
+            }
+            QuantError::NonFiniteInput => write!(f, "input contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}

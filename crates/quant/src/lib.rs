@@ -12,13 +12,22 @@
 //! for *outliers* — elements whose error exceeds the representable band —
 //! which are stream-compacted into an [`Outliers`] side channel and
 //! reproduced losslessly on decompression.
+//!
+//! Invalid inputs (non-positive bounds, NaN/Inf fields) are typed
+//! [`QuantError`]s, never panics: this crate sits below the public
+//! compression API, so everything reachable from hostile input must
+//! stay `Result`-shaped. The lint gate below enforces it.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bound;
+pub mod error;
 pub mod outlier;
 pub mod prequant;
 pub mod quantizer;
 
 pub use bound::ErrorBound;
+pub use error::QuantError;
 pub use outlier::Outliers;
 pub use prequant::{prequantize, prequant_reconstruct};
 pub use quantizer::{Quantized, Quantizer, OUTLIER_CODE};

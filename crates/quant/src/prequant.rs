@@ -13,15 +13,24 @@
 /// overflows `i32` are clamped (matching the CUDA originals, which cast
 /// through 32-bit integers); such extreme ratios only occur with
 /// pathological bounds and are caught by the range checks upstream.
-pub fn prequantize(data: &[f32], eb: f64) -> Vec<i32> {
-    assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
+///
+/// Rejects non-positive/non-finite bounds and non-finite values with a
+/// typed error *before* any kernel consumes the lattice — a NaN would
+/// otherwise silently round to 0 and decompress to garbage.
+pub fn prequantize(data: &[f32], eb: f64) -> Result<Vec<i32>, crate::QuantError> {
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(crate::QuantError::InvalidErrorBound);
+    }
     let inv = 1.0 / (2.0 * eb);
-    data.iter()
-        .map(|&v| {
-            let r = (v as f64 * inv).round();
-            r.clamp(i32::MIN as f64, i32::MAX as f64) as i32
-        })
-        .collect()
+    let mut out = Vec::with_capacity(data.len());
+    for &v in data {
+        if !v.is_finite() {
+            return Err(crate::QuantError::NonFiniteInput);
+        }
+        let r = (v as f64 * inv).round();
+        out.push(r.clamp(i32::MIN as f64, i32::MAX as f64) as i32);
+    }
+    Ok(out)
 }
 
 /// Invert [`prequantize`].
@@ -36,10 +45,32 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    fn invalid_bounds_are_typed_errors() {
+        for eb in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                prequantize(&[1.0, 2.0], eb),
+                Err(crate::QuantError::InvalidErrorBound),
+                "eb={eb}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_typed_errors() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert_eq!(
+                prequantize(&[0.0, bad, 1.0], 0.1),
+                Err(crate::QuantError::NonFiniteInput),
+                "v={bad}"
+            );
+        }
+    }
+
+    #[test]
     fn roundtrip_is_error_bounded() {
         let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.7).sin() * 10.0).collect();
         let eb = 1e-3;
-        let codes = prequantize(&data, eb);
+        let codes = prequantize(&data, eb).expect("valid input");
         let recon = prequant_reconstruct(&codes, eb);
         for (o, r) in data.iter().zip(&recon) {
             assert!((o - r).abs() as f64 <= eb * (1.0 + 1e-9));
@@ -48,13 +79,13 @@ mod tests {
 
     #[test]
     fn lattice_rounding_is_symmetric() {
-        let codes = prequantize(&[0.09, -0.09, 0.11, -0.11], 0.05);
+        let codes = prequantize(&[0.09, -0.09, 0.11, -0.11], 0.05).expect("valid input");
         assert_eq!(codes, vec![1, -1, 1, -1]);
     }
 
     #[test]
     fn extreme_ratio_clamps_instead_of_wrapping() {
-        let codes = prequantize(&[1e30, -1e30], 1e-10);
+        let codes = prequantize(&[1e30, -1e30], 1e-10).expect("valid input");
         assert_eq!(codes, vec![i32::MAX, i32::MIN]);
     }
 
@@ -66,7 +97,7 @@ mod tests {
             // that the clamp applies (covered by
             // `extreme_ratio_clamps_instead_of_wrapping`).
             prop_assume!((v.abs() as f64) / (2.0 * eb) < i32::MAX as f64);
-            let recon = prequant_reconstruct(&prequantize(&[v], eb), eb);
+            let recon = prequant_reconstruct(&prequantize(&[v], eb).expect("valid input"), eb);
             // The final cast to f32 can add up to one ulp of |v| on top
             // of the quantization error.
             let tol = eb * (1.0 + 1e-6) + (v.abs() as f64) * f64::from(f32::EPSILON);

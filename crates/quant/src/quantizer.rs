@@ -18,7 +18,7 @@ pub struct Quantized {
 ///
 /// ```
 /// use cuszi_quant::Quantizer;
-/// let q = Quantizer::new(0.05, 512);
+/// let q = Quantizer::new(0.05, 512).unwrap();
 /// let r = q.quantize(1.03, 1.0);          // prediction was 1.0
 /// assert!((1.03 - r.recon).abs() <= 0.05); // error-bounded
 /// assert_eq!(q.reconstruct(1.0, r.code), r.recon); // replayable
@@ -40,13 +40,25 @@ impl Quantizer {
     /// `radius` is the paper's `R` (codebook holds `2*radius` symbols).
     /// cuSZ's default — and ours — is `R = 512`.
     ///
-    /// # Panics
-    /// On a non-positive/non-finite bound or a zero radius: both are
-    /// caller bugs, screened at the public-API layer with typed errors.
-    pub fn new(eb: f64, radius: u16) -> Self {
-        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
-        assert!(radius >= 1, "radius must be at least 1");
-        Quantizer { eb, twice_eb: 2.0 * eb, inv_twice_eb: 1.0 / (2.0 * eb), radius: radius as i32 }
+    /// A non-positive/non-finite bound or a zero radius is a typed
+    /// error, not a panic — both are reachable from hostile inputs via
+    /// the public API, so the whole chain stays `Result`-shaped.
+    pub fn new(eb: f64, radius: u16) -> Result<Self, crate::QuantError> {
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(crate::QuantError::InvalidErrorBound);
+        }
+        if radius < 1 {
+            // A zero radius leaves no representable codes at all; fold
+            // it into the bound error (the two travel together in every
+            // caller's validation).
+            return Err(crate::QuantError::InvalidErrorBound);
+        }
+        Ok(Quantizer {
+            eb,
+            twice_eb: 2.0 * eb,
+            inv_twice_eb: 1.0 / (2.0 * eb),
+            radius: radius as i32,
+        })
     }
 
     /// The absolute error bound.
@@ -102,7 +114,7 @@ mod tests {
 
     #[test]
     fn zero_error_maps_to_radius() {
-        let q = Quantizer::new(0.1, 512);
+        let q = Quantizer::new(0.1, 512).expect("valid parameters");
         let r = q.quantize(1.0, 1.0);
         assert_eq!(r.code, 512);
         assert_eq!(r.recon, 1.0);
@@ -110,7 +122,7 @@ mod tests {
 
     #[test]
     fn small_errors_round_to_nearest_code() {
-        let q = Quantizer::new(0.1, 512);
+        let q = Quantizer::new(0.1, 512).expect("valid parameters");
         // err = 0.25 => q = round(0.25/0.2) = 1
         let r = q.quantize(1.25, 1.0);
         assert_eq!(r.code, 513);
@@ -122,14 +134,14 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_quantization() {
-        let q = Quantizer::new(0.01, 512);
+        let q = Quantizer::new(0.01, 512).expect("valid parameters");
         let r = q.quantize(3.456, 3.4);
         assert_eq!(q.reconstruct(3.4, r.code), r.recon);
     }
 
     #[test]
     fn error_is_bounded_for_in_range_codes() {
-        let q = Quantizer::new(0.05, 512);
+        let q = Quantizer::new(0.05, 512).expect("valid parameters");
         for i in 0..1000 {
             let v = (i as f32) * 0.013 - 5.0;
             let p = v + ((i % 17) as f32 - 8.0) * 0.01;
@@ -140,7 +152,7 @@ mod tests {
 
     #[test]
     fn large_errors_become_outliers() {
-        let q = Quantizer::new(0.001, 512);
+        let q = Quantizer::new(0.001, 512).expect("valid parameters");
         let r = q.quantize(100.0, 0.0);
         assert_eq!(r.code, OUTLIER_CODE);
         assert_eq!(r.recon, 100.0); // exact
@@ -148,7 +160,7 @@ mod tests {
 
     #[test]
     fn nan_prediction_becomes_outlier_not_panic() {
-        let q = Quantizer::new(0.1, 512);
+        let q = Quantizer::new(0.1, 512).expect("valid parameters");
         let r = q.quantize(1.0, f32::NAN);
         assert_eq!(r.code, OUTLIER_CODE);
         assert_eq!(r.recon, 1.0);
@@ -156,19 +168,21 @@ mod tests {
 
     #[test]
     fn alphabet_size_is_two_radius() {
-        assert_eq!(Quantizer::new(1.0, 512).alphabet_size(), 1024);
-        assert_eq!(Quantizer::new(1.0, 1).alphabet_size(), 2);
+        assert_eq!(Quantizer::new(1.0, 512).expect("valid").alphabet_size(), 1024);
+        assert_eq!(Quantizer::new(1.0, 1).expect("valid").alphabet_size(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "error bound must be positive")]
-    fn zero_bound_rejected() {
-        let _ = Quantizer::new(0.0, 512);
+    fn invalid_parameters_rejected_with_typed_errors() {
+        for eb in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(Quantizer::new(eb, 512).unwrap_err(), crate::QuantError::InvalidErrorBound);
+        }
+        assert_eq!(Quantizer::new(0.1, 0).unwrap_err(), crate::QuantError::InvalidErrorBound);
     }
 
     #[test]
     fn boundary_code_just_inside_radius() {
-        let q = Quantizer::new(0.5, 4); // codes 1..8, q in -3..=3
+        let q = Quantizer::new(0.5, 4).expect("valid parameters"); // codes 1..8, q in -3..=3
         let r = q.quantize(3.0, 0.0); // err=3.0, q=3 -> in range
         assert_eq!(r.code, 7);
         let r = q.quantize(4.0, 0.0); // q=4 >= radius -> outlier
@@ -182,7 +196,7 @@ mod tests {
             p in -1e6f32..1e6f32,
             eb in 1e-6f64..1e3f64,
         ) {
-            let q = Quantizer::new(eb, 512);
+            let q = Quantizer::new(eb, 512).expect("valid parameters");
             let r = q.quantize(v, p);
             if r.code == OUTLIER_CODE {
                 prop_assert_eq!(r.recon, v);
@@ -194,7 +208,7 @@ mod tests {
 
         #[test]
         fn prop_codes_stay_in_band(v in -100f32..100f32, p in -100f32..100f32) {
-            let q = Quantizer::new(0.01, 256);
+            let q = Quantizer::new(0.01, 256).expect("valid parameters");
             let r = q.quantize(v, p);
             prop_assert!((r.code as usize) < q.alphabet_size());
         }

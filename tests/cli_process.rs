@@ -86,3 +86,66 @@ fn binary_roundtrip_and_error_paths() {
         let _ = std::fs::remove_file(f);
     }
 }
+
+/// A stderr line from a failed invocation: exactly one line, typed
+/// (`error: ...`), and never a panic backtrace.
+fn assert_one_line_error(out: &std::process::Output) {
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error: "), "stderr: {err:?}");
+    assert_eq!(err.trim_end().lines().count(), 1, "stderr: {err:?}");
+    assert!(!err.contains("panicked"), "stderr: {err:?}");
+    assert!(!err.contains("RUST_BACKTRACE"), "stderr: {err:?}");
+}
+
+#[test]
+fn corrupt_archives_exit_nonzero_with_one_line_errors() {
+    let Some(bin) = binary() else {
+        eprintln!("cuszi binary not built; skipping process-level test");
+        return;
+    };
+    let fin = workdir("bad.cszi");
+    let fout = workdir("bad-out.f32");
+
+    // Garbage bytes, a truncated header, and an empty file: every one
+    // must be a typed one-line error, never a panic.
+    for (name, bytes) in [
+        ("garbage", b"not an archive at all".to_vec()),
+        ("truncated", vec![b'C', b'S', b'Z', b'I', 1]),
+        ("empty", Vec::new()),
+    ] {
+        std::fs::write(&fin, &bytes).unwrap_or_else(|e| panic!("{name}: write: {e}"));
+        let out = Command::new(&bin)
+            .args(["decompress", "-i"])
+            .arg(&fin)
+            .arg("-o")
+            .arg(&fout)
+            .output()
+            .unwrap();
+        assert_one_line_error(&out);
+        let out = Command::new(&bin).args(["info", "-i"]).arg(&fin).output().unwrap();
+        assert_one_line_error(&out);
+    }
+
+    for f in [fin, fout] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn bad_flags_exit_nonzero_with_one_line_errors() {
+    let Some(bin) = binary() else {
+        eprintln!("cuszi binary not built; skipping process-level test");
+        return;
+    };
+    for args in [
+        vec!["compress", "--frobnicate"],
+        vec!["frobnicate", "-i", "x"],
+        vec!["compress", "-i", "/nonexistent", "-o", "/tmp/x", "--dims", "bogus"],
+        vec!["compress", "-i", "/nonexistent", "-o", "/tmp/x", "--dims", "4x4", "--rel-eb", "nope"],
+        vec!["compress", "-i", "/nonexistent", "-o", "/tmp/x", "--dims", "4x4", "--rel-eb", "1e-3", "--streams", "0"],
+    ] {
+        let out = Command::new(&bin).args(&args).output().unwrap();
+        assert_one_line_error(&out);
+    }
+}

@@ -6,6 +6,7 @@
 //! archives, so the deep payload parsers (sections, codebook, Huffman
 //! stream, slab table) all get exercised past the header checks.
 
+use cuszi_repro::core::archive::{Header, HEADER_LEN};
 use cuszi_repro::core::{
     compress_fields, compress_pw_rel, compress_slabs, decompress_fields, decompress_pw_rel,
     decompress_slabs, Config, CuszI, NamedField,
@@ -82,5 +83,49 @@ proptest! {
             }
             let _ = decompress_ok(&bytes);
         }
+    }
+
+    /// Cutting bytes out of the Huffman section (with the header's
+    /// section table updated to match, so framing still adds up) must
+    /// be a typed error: the stream parser and the decoded-length
+    /// check both sit past the framing layer.
+    #[test]
+    fn prop_truncated_huffman_section_errors(cut in 1u64..4096) {
+        let data = field();
+        let cfg = Config::new(ErrorBound::Rel(1e-3)).without_bitcomp();
+        let c = CuszI::new(cfg).compress(&data).unwrap().bytes;
+        let mut h = Header::from_bytes(&c).unwrap();
+        let cut = cut.min(h.sections[2] - 1);
+        let start = HEADER_LEN + (h.sections[0] + h.sections[1]) as usize;
+        let end = start + h.sections[2] as usize;
+        h.sections[2] -= cut;
+        let mut bad = h.to_bytes();
+        bad.extend_from_slice(&c[HEADER_LEN..end - cut as usize]);
+        bad.extend_from_slice(&c[end..]);
+        prop_assert!(
+            CuszI::new(cfg).decompress(&bad).is_err(),
+            "cut {cut} bytes from the huffman section, decompressed Ok"
+        );
+    }
+
+    /// Shifting bytes between the anchor and Huffman sections keeps
+    /// the payload total consistent but makes the anchor count
+    /// disagree with the header's shape — the geometry cross-check
+    /// must reject it (a typed error, not a bad reconstruction).
+    #[test]
+    fn prop_inconsistent_anchor_geometry_errors(shift in 1u64..64) {
+        let data = field();
+        let cfg = Config::new(ErrorBound::Rel(1e-3)).without_bitcomp();
+        let c = CuszI::new(cfg).compress(&data).unwrap().bytes;
+        let mut h = Header::from_bytes(&c).unwrap();
+        let shift = shift.min(h.sections[0] / 4 - 1) * 4;
+        h.sections[0] -= shift;
+        h.sections[2] += shift;
+        let mut bad = h.to_bytes();
+        bad.extend_from_slice(&c[HEADER_LEN..]);
+        prop_assert!(
+            CuszI::new(cfg).decompress(&bad).is_err(),
+            "anchor section shrunk by {shift} bytes, decompressed Ok"
+        );
     }
 }

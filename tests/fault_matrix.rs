@@ -1,0 +1,244 @@
+//! The fault matrix: every injectable fault kind, at every
+//! kernel-bearing stage, on every dataset analogue, at stream counts
+//! 1 and 4 — each must surface as a typed `Err(CuszError::...)`,
+//! never a panic. With nothing armed, archives must be byte-identical
+//! to the unarmed reference (the injector's fast path is inert).
+//!
+//! Fault state is process-global (mirroring CUDA's per-context sticky
+//! errors), so every test here serializes on one lock and disarms on
+//! exit — including panic exits — via the `Armed` RAII guard.
+
+use std::sync::Mutex;
+
+use cuszi_repro::core::{
+    compress_fields_streams, sched, Config, CuszError, CuszI, NamedField, StageFaultKind,
+};
+use cuszi_repro::datagen::{generate, DatasetKind, Scale};
+use cuszi_repro::gpu_sim::fault::{self, FaultSpec};
+use cuszi_repro::quant::ErrorBound;
+use cuszi_repro::tensor::{NdArray, Shape};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm a fault for one scope; disarm on drop (even when an assertion
+/// in the scope panics, so one failure can't poison later tests).
+struct Armed;
+
+impl Armed {
+    fn new(spec: FaultSpec) -> Armed {
+        fault::arm(spec);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+/// Crop to <= 24^3 so the full matrix stays debug-fast; generators are
+/// deterministic, so crops are stable across runs.
+fn crop(data: &NdArray<f32>) -> NdArray<f32> {
+    let d = data.shape().dims3();
+    let ext = [d[0].min(24), d[1].min(24), d[2].min(24)];
+    NdArray::from_fn(Shape::d3(ext[0], ext[1], ext[2]), |z, y, x| data.get3(z, y, x))
+}
+
+/// Up to two cropped fields per dataset analogue.
+fn fields_of(kind: DatasetKind) -> Vec<(String, NdArray<f32>)> {
+    let ds = generate(kind, Scale::Small, 42);
+    ds.fields.iter().take(2).map(|f| (f.name.to_string(), crop(&f.data))).collect()
+}
+
+/// Kernel-bearing compress stages and the kernels they launch.
+const COMPRESS_STAGES: &[(&str, &[&str])] = &[
+    ("predict-quant", &["anchor-gather", "g-interp"]),
+    ("histogram", &["histogram"]),
+    ("huffman-encode", &["huffman-len", "huffman-emit"]),
+    ("bitcomp", &["bitcomp-encode", "bitcomp-emit"]),
+];
+
+/// Kernel-bearing decompress stages and the kernels they launch.
+const DECOMPRESS_STAGES: &[(&str, &[&str])] = &[
+    ("bitcomp-decode", &["bitcomp-decode"]),
+    ("huffman-decode", &["huffman-decode"]),
+    ("g-interp-reconstruct", &["g-interp-decode"]),
+];
+
+#[test]
+fn launch_faults_error_at_owning_stage_on_all_datasets() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    for kind in DatasetKind::ALL {
+        let fields = fields_of(kind);
+        let named: Vec<NamedField> =
+            fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+        for streams in [1usize, 4] {
+            for &(stage, kernels) in COMPRESS_STAGES {
+                for &kernel in kernels {
+                    let _armed = Armed::new(FaultSpec::LaunchNamed(kernel.into()));
+                    let err = compress_fields_streams(&named, cfg, streams)
+                        .expect_err(&format!(
+                            "{}: launch:{kernel} at streams={streams} compressed Ok",
+                            kind.name()
+                        ));
+                    match &err {
+                        CuszError::StageError { stage: got, kind: fk, site } => {
+                            assert_eq!(*fk, StageFaultKind::LaunchFailed, "{err}");
+                            assert_eq!(site, kernel, "{err}");
+                            if streams == 1 {
+                                // One stream serializes the jobs, so the
+                                // sticky fault drains in the stage that
+                                // owns the dropped kernel.
+                                assert_eq!(*got, stage, "{}: {err}", kind.name());
+                            }
+                        }
+                        other => panic!("{}: launch:{kernel} gave {other:?}", kind.name()),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decompress_launch_faults_error_at_owning_stage_on_all_datasets() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    let codec = CuszI::new(cfg);
+    for kind in DatasetKind::ALL {
+        let (name, data) = &fields_of(kind)[0];
+        let archive = codec.compress(data).expect("unarmed compress").bytes;
+        for &(stage, kernels) in DECOMPRESS_STAGES {
+            for &kernel in kernels {
+                let _armed = Armed::new(FaultSpec::LaunchNamed(kernel.into()));
+                let err = codec.decompress(&archive).expect_err(&format!(
+                    "{}/{name}: launch:{kernel} decompressed Ok",
+                    kind.name()
+                ));
+                assert_eq!(
+                    err,
+                    CuszError::StageError {
+                        stage,
+                        kind: StageFaultKind::LaunchFailed,
+                        site: kernel.to_string(),
+                    },
+                    "{}/{name}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alloc_faults_error_without_panicking() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    let codec = CuszI::new(cfg);
+    let (_, data) = &fields_of(DatasetKind::ALL[0])[0];
+    let archive = codec.compress(data).expect("unarmed compress").bytes;
+
+    // Small N always trips (every kernel draws scratch buffers; the
+    // assembly arena draws too). Each N may surface at a different
+    // stage — the sweep asserts the kind, not the site.
+    for n in [1u64, 2, 3, 5, 8, 13, 21, 34] {
+        let _armed = Armed::new(FaultSpec::AllocNth(n));
+        match codec.compress(data) {
+            Err(CuszError::StageError { kind: StageFaultKind::AllocFailed, .. }) => {}
+            other => panic!("alloc:{n} compress gave {other:?}"),
+        }
+        let _armed = Armed::new(FaultSpec::AllocNth(n));
+        match codec.decompress(&archive) {
+            Err(CuszError::StageError { kind: StageFaultKind::AllocFailed, .. }) => {}
+            other => panic!("alloc:{n} decompress gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn poisoned_stream_fails_only_its_own_jobs() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    let codec = CuszI::new(cfg);
+    let fields = fields_of(DatasetKind::ALL[1]);
+    let (_, data) = &fields[0];
+    let reference = codec.compress(data).expect("unarmed compress").bytes;
+
+    // Eight copies of the same field over four streams: jobs 1 and 5
+    // land on the poisoned stream and must fail typed; the other six
+    // must come back byte-identical to the unarmed archive.
+    let items: Vec<&NdArray<f32>> = (0..8).map(|_| data).collect();
+    let _armed = Armed::new(FaultSpec::PoisonStream(1));
+    let (results, report) = sched::run_jobs(&items, 4, |d, _| codec.compress(d));
+    assert_eq!(report.streams, 4);
+    for (i, r) in results.iter().enumerate() {
+        if i % 4 == 1 {
+            assert_eq!(
+                r.as_ref().err(),
+                Some(&CuszError::StageError {
+                    stage: "schedule",
+                    kind: StageFaultKind::StreamPoisoned,
+                    site: "job slot never filled".to_string(),
+                }),
+                "job {i} ran on the poisoned stream"
+            );
+        } else {
+            let c = r.as_ref().unwrap_or_else(|e| panic!("sibling job {i} failed: {e}"));
+            assert_eq!(c.bytes, reference, "job {i}: sibling archive changed");
+        }
+    }
+}
+
+#[test]
+fn poisoning_the_only_stream_fails_every_job_typed() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    let fields = fields_of(DatasetKind::ALL[2]);
+    let named: Vec<NamedField> =
+        fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+    let _armed = Armed::new(FaultSpec::PoisonStream(0));
+    let err = compress_fields_streams(&named, cfg, 1).expect_err("poisoned batch compressed Ok");
+    assert!(
+        matches!(
+            err,
+            CuszError::StageError { kind: StageFaultKind::StreamPoisoned, .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn disarmed_archives_are_byte_identical_on_all_datasets() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    for kind in DatasetKind::ALL {
+        let fields = fields_of(kind);
+        let named: Vec<NamedField> =
+            fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+        let (reference, _) =
+            compress_fields_streams(&named, cfg, 1).expect("unarmed compress");
+
+        // Run a faulted compression in between, then recompress: the
+        // injector must leave no residue once disarmed.
+        {
+            let _armed = Armed::new(FaultSpec::LaunchNamed("g-interp".into()));
+            let _ = compress_fields_streams(&named, cfg, 1);
+        }
+        for streams in [1usize, 4] {
+            let (again, _) =
+                compress_fields_streams(&named, cfg, streams).expect("disarmed compress");
+            assert_eq!(
+                again.bytes,
+                reference.bytes,
+                "{}: disarmed archive differs at streams={streams}",
+                kind.name()
+            );
+        }
+    }
+}
