@@ -22,6 +22,19 @@ fn main() {
 
     section("predictors (Miranda-small, eb 1e-3)");
     b.run("ginterp_compress", bytes, || ginterp::compress(field, eb, 512, &cfg, &A100));
+    // The ginterp block body, SIMD lanes vs forced-scalar sweep —
+    // archives are bit-identical, only the host time differs.
+    {
+        let was = cuszi_predict::scalar_sweep();
+        cuszi_predict::set_scalar_sweep(false);
+        b.run("ginterp_body_simd", bytes, || ginterp::compress(field, eb, 512, &cfg, &A100));
+        cuszi_predict::set_scalar_sweep(true);
+        b.run("ginterp_body_scalar", bytes, || ginterp::compress(field, eb, 512, &cfg, &A100));
+        cuszi_predict::set_scalar_sweep(was);
+    }
+    b.run("ginterp_compress_fused", bytes, || {
+        ginterp::compress_fused(field, eb, 512, &cfg, 32, &A100)
+    });
     b.run("lorenzo_compress", bytes, || lorenzo::compress(field, eb, 512, &A100));
     let gi = ginterp::compress(field, eb, 512, &cfg, &A100);
     b.run("ginterp_decompress", bytes, || {

@@ -43,6 +43,12 @@ pub enum Command {
         /// `Some("")` uses `<output>.trace.json`. `CUSZI_PROFILE=1`
         /// turns this on ambiently even when `None`.
         profile: Option<String>,
+        /// Fuse the predict-quant and histogram stages into one kernel
+        /// (byte-identical archives, one less code-plane DRAM pass).
+        fuse: bool,
+        /// Run the profile-driven kernel autotuner and print its
+        /// calibration matrix / decision.
+        autotune: bool,
     },
     Decompress {
         input: String,
@@ -95,7 +101,7 @@ USAGE:
   cuszi compress   -i <in.f32> -o <out.cszi> --dims ZxYxX
                    (--rel-eb E | --abs-eb E | --psnr DB | --pw-rel E [--floor F])
                    [--no-bitcomp] [--verify] [--slab Z [--streams N]]
-                   [--profile[=TRACE.json]]
+                   [--profile[=TRACE.json]] [--fuse] [--autotune]
   cuszi decompress -i <in.cszi> -o <out.f32>
   cuszi info       -i <in.cszi>
 
@@ -109,7 +115,17 @@ environment does the same without the flag.
 
 --streams overlaps slab compression across N gpu-sim streams (default:
 auto from CUSZI_STREAMS or core count). Archives are byte-identical
-for any stream count.";
+for any stream count.
+
+--fuse folds the quant-code histogram into the interpolation kernel so
+the code plane is written once and never re-read from DRAM; archives
+are byte-identical with or without it.
+
+--autotune replaces the static tuner with a profile-driven calibration
+pass: a centre crop is compressed across a stride x order candidate
+matrix and the gpu-sim kernel counters pick the interp order plus
+geometry/stream advice (printed with the decision). Decisions are
+cached per dataset family.";
 
 /// Parse `ZxYxX` dims.
 pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
@@ -132,6 +148,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut slab = None;
     let mut streams = None;
     let mut profile = None;
+    let mut fuse = false;
+    let mut autotune = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -172,6 +190,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--no-bitcomp" => bitcomp = false,
             "--verify" => verify = true,
+            "--fuse" => fuse = true,
+            "--autotune" => autotune = true,
             "--profile" => profile = Some(String::new()),
             p if p.starts_with("--profile=") => {
                 let path = &p["--profile=".len()..];
@@ -212,6 +232,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             slab,
             streams,
             profile,
+            fuse,
+            autotune,
         }),
         "decompress" => Ok(Command::Decompress {
             input,
@@ -261,6 +283,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             slab,
             streams,
             profile,
+            fuse,
+            autotune,
         } => {
             // Profiling wraps the whole compress run (either path);
             // `CUSZI_PROFILE=1` in the environment is equivalent to
@@ -274,12 +298,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 cuszi_profile::install();
                 cuszi_profile::enable(true);
             }
+            let opts = CompressOpts { bitcomp, verify, fuse, autotune };
             let mut result = if let Some(slab_z) = slab {
-                compress_streamed(&input, &output, shape, mode, bitcomp, slab_z, streams)
+                compress_streamed(&input, &output, shape, mode, slab_z, streams, opts)
             } else if streams.is_some() {
                 Err(CliError("--streams requires --slab".into()))
             } else {
-                compress_whole(&input, &output, shape, mode, bitcomp, verify)
+                compress_whole(&input, &output, shape, mode, opts)
             };
             if profiling {
                 cuszi_profile::enable(false);
@@ -325,15 +350,40 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Execution toggles shared by the whole-field and slab paths.
+#[derive(Clone, Copy)]
+struct CompressOpts {
+    bitcomp: bool,
+    verify: bool,
+    fuse: bool,
+    autotune: bool,
+}
+
+impl CompressOpts {
+    /// Apply the toggles to a base configuration.
+    fn apply(&self, mut cfg: Config) -> Config {
+        if !self.bitcomp {
+            cfg = cfg.without_bitcomp();
+        }
+        if self.fuse {
+            cfg = cfg.with_fusion();
+        }
+        if self.autotune {
+            cfg = cfg.with_kernel_autotune();
+        }
+        cfg
+    }
+}
+
 /// Whole-field (non-slab) compression, shared by [`run`].
 fn compress_whole(
     input: &str,
     output: &str,
     shape: Shape,
     mode: BoundMode,
-    bitcomp: bool,
-    verify: bool,
+    opts: CompressOpts,
 ) -> Result<String, CliError> {
+    let verify = opts.verify;
     let mut out = String::new();
     let data = read_f32_field(Path::new(input), shape)?;
     let base = match mode {
@@ -341,7 +391,19 @@ fn compress_whole(
         BoundMode::Abs(e) => Config::new(ErrorBound::Abs(e)),
         BoundMode::Psnr(_) | BoundMode::PwRel(..) => Config::new(ErrorBound::Rel(1e-3)),
     };
-    let base = if bitcomp { base } else { base.without_bitcomp() };
+    let base = opts.apply(base);
+    if opts.autotune {
+        // Print the calibration decision up front; the compress path
+        // below hits the per-family cache, so the work is not repeated.
+        if let Some(range) = cuszi_tensor::stats::ValueRange::of(data.as_slice()) {
+            let eb_abs = base.error_bound.absolute(range.range() as f64);
+            let rel_eb = base.error_bound.relative(range.range() as f64);
+            if eb_abs.is_finite() && eb_abs > 0.0 {
+                let d = cuszi_core::autotune(&data, rel_eb, eb_abs, base.radius, &base.device);
+                writeln!(out, "{}", d.render().trim_end()).ok();
+            }
+        }
+    }
     let (bytes, eb_abs) = match mode {
         BoundMode::Psnr(db) => {
             let r = compress_to_psnr(&data, db, 1.0, base)?;
@@ -443,9 +505,9 @@ fn compress_streamed(
     output: &str,
     shape: Shape,
     mode: BoundMode,
-    bitcomp: bool,
     slab_z: usize,
     streams: Option<usize>,
+    opts: CompressOpts,
 ) -> Result<String, CliError> {
     let eb = match mode {
         BoundMode::Rel(e) => ErrorBound::Rel(e),
@@ -479,11 +541,7 @@ fn compress_streamed(
     let (bytes, report) = compress_slabs_streams(
         shape,
         slab_z,
-        if bitcomp {
-            Config::new(eb)
-        } else {
-            Config::new(eb).without_bitcomp()
-        },
+        opts.apply(Config::new(eb)),
         n_streams,
         |z0, nz| {
             let plane = ny * nx;
@@ -585,6 +643,8 @@ mod tests {
                 slab: None,
                 streams: None,
                 profile: None,
+                fuse: false,
+                autotune: false,
             }
         );
     }
@@ -639,6 +699,8 @@ mod tests {
             slab: None,
             streams: None,
             profile: None,
+            fuse: false,
+            autotune: false,
         })
         .unwrap();
         assert!(msg.contains("verified"), "{msg}");
@@ -678,6 +740,8 @@ mod tests {
             slab: None,
             streams: None,
             profile: None,
+            fuse: false,
+            autotune: false,
         })
         .unwrap();
         assert!(msg.contains("achieved"), "{msg}");
@@ -722,6 +786,8 @@ mod tests {
             slab: None,
             streams: None,
             profile: Some(ftrace.to_string_lossy().into()),
+            fuse: false,
+            autotune: false,
         })
         .unwrap();
         // The report names the pipeline kernels and gives verdicts.
@@ -811,6 +877,8 @@ mod pwrel_cli_tests {
             slab: None,
             streams: None,
             profile: None,
+            fuse: false,
+            autotune: false,
         })
         .unwrap();
         // Decompress auto-detects the CSZR magic.
@@ -862,6 +930,8 @@ mod slab_cli_tests {
             slab: Some(8),
             streams: Some(2),
             profile: None,
+            fuse: false,
+            autotune: false,
         })
         .unwrap();
         assert!(msg.contains("z-slabs of 8"), "{msg}");
@@ -894,6 +964,8 @@ mod slab_cli_tests {
             slab: Some(4),
             streams: None,
             profile: None,
+            fuse: false,
+            autotune: false,
         })
         .unwrap_err();
         assert!(err.0.contains("--slab supports"), "{err}");

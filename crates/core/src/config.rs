@@ -21,6 +21,18 @@ pub struct Config {
     /// Top-k register-cached histogram bins (§ VI-A); 0 disables the
     /// cache, 1 is the graceful-degradation fallback.
     pub histogram_topk: usize,
+    /// Fuse the predict-quant and histogram stages into one kernel
+    /// (`g-interp-hist`): the quant-code plane is written once and
+    /// never re-read from DRAM. Archives are byte-identical either
+    /// way; off by default so the default kernel roster is unchanged.
+    pub fuse: bool,
+    /// Replace the static § V-C tuner with the profile-driven
+    /// autotuner: a short calibration pass over a centre crop reads
+    /// the gpu-sim kernel counters (achieved GB/s, DRAM excess,
+    /// occupancy waves) to pick the interp order and advise on
+    /// geometry/stream count. Off by default (archives can differ from
+    /// the static tuner's when the calibrated order differs).
+    pub kernel_autotune: bool,
     /// The GPU the kernels are modelled on.
     pub device: DeviceSpec,
 }
@@ -34,8 +46,25 @@ impl Config {
             auto_tune: true,
             bitcomp: true,
             histogram_topk: 32,
+            fuse: false,
+            kernel_autotune: false,
             device: A100,
         }
+    }
+
+    /// Enable the fused predict-quant + histogram stage.
+    pub fn with_fusion(mut self) -> Self {
+        self.fuse = true;
+        self
+    }
+
+    /// Enable the profile-driven kernel autotuner (supersedes
+    /// [`auto_tune`] when set).
+    ///
+    /// [`auto_tune`]: Config::auto_tune
+    pub fn with_kernel_autotune(mut self) -> Self {
+        self.kernel_autotune = true;
+        self
     }
 
     /// Disable the Bitcomp pass (the "cuSZ-i" series of Fig. 7/9, as
@@ -81,6 +110,8 @@ mod tests {
         assert!(c.auto_tune);
         assert!(c.bitcomp);
         assert_eq!(c.histogram_topk, 32);
+        assert!(!c.fuse, "fusion is opt-in: default kernel roster unchanged");
+        assert!(!c.kernel_autotune, "kernel autotuner is opt-in");
         assert_eq!(c.device.name, "A100-40GB");
     }
 
@@ -90,9 +121,12 @@ mod tests {
             .without_bitcomp()
             .without_tuning()
             .with_radius(256)
-            .with_histogram_topk(1);
+            .with_histogram_topk(1)
+            .with_fusion()
+            .with_kernel_autotune();
         assert!(!c.bitcomp && !c.auto_tune);
         assert_eq!(c.radius, 256);
         assert_eq!(c.histogram_topk, 1);
+        assert!(c.fuse && c.kernel_autotune);
     }
 }

@@ -54,6 +54,9 @@ pub(crate) mod wire;
 
 pub use arena::ScratchArena;
 pub use config::Config;
+// Surface the profile-driven autotuner so front ends (CLI, bench) can
+// print the calibration matrix without a direct predict dependency.
+pub use cuszi_predict::tuning::{autotune, AutotuneDecision};
 pub use error::{CuszError, StageFaultKind};
 pub use pipeline::{Compressed, CuszI, Decompressed, SectionSizes};
 pub use quality::{compress_to_psnr, QualityResult};

@@ -21,6 +21,9 @@
 //!
 //! Stage roster (compress): `tune → predict-quant → histogram →
 //! codebook → huffman-encode → assemble → [bitcomp] → finalize`.
+//! With [`Config::fuse`] the `predict-quant`/`histogram` pair is
+//! replaced by a single `predict-quant-histogram` node whose kernel
+//! tallies its own quant-codes (the archive is byte-identical).
 //! `assemble` gathers the five payload sections from arena-backed
 //! buffers; `bitcomp` (present iff [`Config::bitcomp`]) packs the
 //! payload; `finalize` prepends the header. Decompress mirrors it:
@@ -80,6 +83,12 @@ pub enum StageKind {
     // Compress side.
     Tune,
     PredictQuant,
+    /// Fused predict-quant + histogram (present iff [`Config::fuse`]):
+    /// the interpolation kernel tallies its own quant-codes, so the
+    /// code plane is never re-read from DRAM for the histogram.
+    ///
+    /// [`Config::fuse`]: crate::Config
+    PredictQuantHistogram,
     Histogram,
     CodebookBuild,
     HuffmanEncode,
@@ -99,6 +108,7 @@ impl StageKind {
         match self {
             StageKind::Tune => "tune",
             StageKind::PredictQuant => "predict-quant",
+            StageKind::PredictQuantHistogram => "predict-quant-histogram",
             StageKind::Histogram => "histogram",
             StageKind::CodebookBuild => "codebook",
             StageKind::HuffmanEncode => "huffman-encode",
@@ -117,6 +127,7 @@ impl StageKind {
         match self {
             StageKind::Tune => &[Buf::Field],
             StageKind::PredictQuant => &[Buf::Field, Buf::Interp],
+            StageKind::PredictQuantHistogram => &[Buf::Field, Buf::Interp],
             StageKind::Histogram => &[Buf::Prediction],
             StageKind::CodebookBuild => &[Buf::Hist],
             StageKind::HuffmanEncode => &[Buf::Prediction, Buf::Book],
@@ -135,6 +146,7 @@ impl StageKind {
         match self {
             StageKind::Tune => &[Buf::Interp],
             StageKind::PredictQuant => &[Buf::Prediction],
+            StageKind::PredictQuantHistogram => &[Buf::Prediction, Buf::Hist],
             StageKind::Histogram => &[Buf::Hist],
             StageKind::CodebookBuild => &[Buf::Book],
             StageKind::HuffmanEncode => &[Buf::HuffStream],
@@ -161,14 +173,21 @@ impl StageGraph {
     /// the roster is static, so validation failures are programming
     /// errors, and `graph_wiring_is_valid` pins them in tests.
     pub fn compress(cfg: &Config) -> Self {
-        let mut order = vec![
-            StageKind::Tune,
-            StageKind::PredictQuant,
-            StageKind::Histogram,
+        let mut order = vec![StageKind::Tune];
+        if cfg.fuse {
+            // Fusion collapses the predict-quant and histogram nodes
+            // into one kernel-bearing stage; the downstream wiring is
+            // unchanged because the fused node produces both buffers.
+            order.push(StageKind::PredictQuantHistogram);
+        } else {
+            order.push(StageKind::PredictQuant);
+            order.push(StageKind::Histogram);
+        }
+        order.extend([
             StageKind::CodebookBuild,
             StageKind::HuffmanEncode,
             StageKind::Assemble,
-        ];
+        ]);
         if cfg.bitcomp {
             order.push(StageKind::Bitcomp);
         }
@@ -223,6 +242,28 @@ impl StageGraph {
             }
         }
         Ok(())
+    }
+}
+
+/// Shannon entropy of the quant-code distribution, in milli-bits per
+/// symbol — the floor the Huffman stage is chasing. Only computed when
+/// profiling (it walks the histogram). Shared by the separate and
+/// fused histogram stages.
+fn observe_entropy(hist: &[u32]) {
+    if !cuszi_profile::enabled() {
+        return;
+    }
+    let total: u64 = hist.iter().map(|&c| c as u64).sum();
+    if total > 0 {
+        let h: f64 = hist
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        cuszi_profile::observe("compress.codebook_entropy_mbits", (h * 1000.0) as u64);
     }
 }
 
@@ -298,6 +339,7 @@ impl<'a> CompressJob<'a> {
         let r = match kind {
             StageKind::Tune => self.tune(),
             StageKind::PredictQuant => self.predict_quant(),
+            StageKind::PredictQuantHistogram => self.predict_quant_histogram(),
             StageKind::Histogram => self.histogram(),
             StageKind::CodebookBuild => self.codebook(),
             StageKind::HuffmanEncode => self.huffman_encode(),
@@ -313,7 +355,20 @@ impl<'a> CompressJob<'a> {
     /// § V-C: profiling + auto-tuning (the untuned ablation still
     /// applies Eq. 1's alpha from the relative bound).
     fn tune(&mut self) -> Result<(), CuszError> {
-        self.interp = Some(if self.cfg.auto_tune {
+        self.interp = Some(if self.cfg.kernel_autotune {
+            // Profile-driven autotuner: calibrates on a centre crop and
+            // reads the gpu-sim kernel counters to pick the interp
+            // order (the geometry/stream advice is surfaced by the CLI;
+            // the archive header pins the default geometry).
+            cuszi_predict::tuning::autotune(
+                self.data,
+                self.rel_eb,
+                self.eb_abs,
+                self.cfg.radius,
+                &self.cfg.device,
+            )
+            .config
+        } else if self.cfg.auto_tune {
             profile_and_tune(self.data, self.rel_eb).0
         } else {
             InterpConfig {
@@ -335,6 +390,28 @@ impl<'a> CompressJob<'a> {
         Ok(())
     }
 
+    /// §§ V + VI-A fused: the interpolation kernel tallies its own
+    /// quant-codes into privatized histogram bins, so the code plane is
+    /// written once and never re-read from DRAM. Byte-identical to the
+    /// separate `predict_quant` + `histogram` pair.
+    fn predict_quant_histogram(&mut self) -> Result<(), CuszError> {
+        let interp = missing(self.interp.as_ref(), "predict-quant-histogram", "interp config")?;
+        let (pred, hist) = ginterp::compress_fused(
+            self.data,
+            self.eb_abs,
+            self.cfg.radius,
+            interp,
+            self.cfg.histogram_topk,
+            &self.cfg.device,
+        );
+        self.kernels.extend(pred.kernels.iter().copied());
+        self.outlier_count = pred.outliers.indices().len();
+        self.pred = Some(pred);
+        observe_entropy(&hist);
+        self.hist = Some(hist);
+        Ok(())
+    }
+
     /// § VI-A (first half): quant-code histogram.
     fn histogram(&mut self) -> Result<(), CuszError> {
         let pred = missing(self.pred.as_ref(), "histogram", "prediction")?;
@@ -347,24 +424,7 @@ impl<'a> CompressJob<'a> {
             &self.cfg.device,
         );
         self.kernels.push(hstats);
-        if cuszi_profile::enabled() {
-            // Shannon entropy of the quant-code distribution, in
-            // milli-bits per symbol — the floor the Huffman stage is
-            // chasing. Only computed when profiling (it walks the
-            // histogram).
-            let total: u64 = hist.iter().map(|&c| c as u64).sum();
-            if total > 0 {
-                let h: f64 = hist
-                    .iter()
-                    .filter(|&&c| c > 0)
-                    .map(|&c| {
-                        let p = c as f64 / total as f64;
-                        -p * p.log2()
-                    })
-                    .sum();
-                cuszi_profile::observe("compress.codebook_entropy_mbits", (h * 1000.0) as u64);
-            }
-        }
+        observe_entropy(&hist);
         self.hist = Some(hist);
         Ok(())
     }
@@ -655,6 +715,8 @@ mod tests {
         for cfg in [
             Config::new(ErrorBound::Rel(1e-3)),
             Config::new(ErrorBound::Rel(1e-3)).without_bitcomp(),
+            Config::new(ErrorBound::Rel(1e-3)).with_fusion(),
+            Config::new(ErrorBound::Rel(1e-3)).with_fusion().without_bitcomp(),
         ] {
             let g = StageGraph::compress(&cfg);
             g.validate(&[Buf::Field]).expect("compress graph wires up");
@@ -664,6 +726,21 @@ mod tests {
                 g.stages().contains(&StageKind::Bitcomp),
                 cfg.bitcomp,
                 "bitcomp node present iff enabled"
+            );
+            assert_eq!(
+                g.stages().contains(&StageKind::PredictQuantHistogram),
+                cfg.fuse,
+                "fused node present iff enabled"
+            );
+            assert_eq!(
+                g.stages().contains(&StageKind::PredictQuant),
+                !cfg.fuse,
+                "separate predict-quant absent under fusion"
+            );
+            assert_eq!(
+                g.stages().contains(&StageKind::Histogram),
+                !cfg.fuse,
+                "separate histogram absent under fusion"
             );
         }
         for bitcomp in [false, true] {
@@ -700,6 +777,7 @@ mod tests {
         let all = [
             StageKind::Tune,
             StageKind::PredictQuant,
+            StageKind::PredictQuantHistogram,
             StageKind::Histogram,
             StageKind::CodebookBuild,
             StageKind::HuffmanEncode,

@@ -1,0 +1,178 @@
+//! Explicit 8-wide lane types for the interpolation sweep hot loop.
+//!
+//! The sweep predicts whole rows of points whose spline circumstance
+//! (variant, line position, stride, line length) is identical, so eight
+//! of them can be evaluated as one batch: `U32x8` carries the lane
+//! indices into the row-major tile, `F32x8` carries the tap values and
+//! the predictions. All arithmetic is elementwise `f32`, so each lane
+//! computes exactly the scalar expression tree — batched output is
+//! bit-identical to the scalar path (the oracle test pins this).
+//!
+//! Std-only by design: the structs are plain `[T; 8]` wrappers whose
+//! elementwise loops the compiler auto-vectorizes; no intrinsics, no
+//! external SIMD crates. The `scalar-sweep` cargo feature (or
+//! [`set_scalar_sweep`] at runtime) forces the scalar fallback path for
+//! A/B benchmarking and differential testing.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Lane count of the batched sweep path.
+pub const LANES: usize = 8;
+
+/// Eight `f32` lanes with elementwise arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct F32x8(pub [f32; LANES]);
+
+impl F32x8 {
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: f32) -> Self {
+        F32x8([v; LANES])
+    }
+
+    /// The lane values.
+    #[inline]
+    pub fn to_array(self) -> [f32; LANES] {
+        self.0
+    }
+}
+
+macro_rules! elementwise {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F32x8 {
+            type Output = F32x8;
+            #[inline]
+            fn $method(self, rhs: F32x8) -> F32x8 {
+                let mut out = [0.0f32; LANES];
+                for i in 0..LANES {
+                    out[i] = self.0[i] $op rhs.0[i];
+                }
+                F32x8(out)
+            }
+        }
+    };
+}
+
+elementwise!(Add, add, +);
+elementwise!(Sub, sub, -);
+elementwise!(Mul, mul, *);
+elementwise!(Div, div, /);
+
+impl Neg for F32x8 {
+    type Output = F32x8;
+    #[inline]
+    fn neg(self) -> F32x8 {
+        let mut out = [0.0f32; LANES];
+        for (o, &v) in out.iter_mut().zip(self.0.iter()) {
+            *o = -v;
+        }
+        F32x8(out)
+    }
+}
+
+/// Eight `u32` index lanes (row-major tile offsets fit `u32`: the
+/// substrate caps grids at `2^32` elements).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct U32x8(pub [u32; LANES]);
+
+impl U32x8 {
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: u32) -> Self {
+        U32x8([v; LANES])
+    }
+
+    /// The arithmetic sequence `base + j * step` for lane `j` — the
+    /// index vector of one batched row gather.
+    #[inline]
+    pub fn offsets(base: u32, step: u32) -> Self {
+        let mut out = [0u32; LANES];
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = base + (j as u32) * step;
+        }
+        U32x8(out)
+    }
+
+    /// The lane values.
+    #[inline]
+    pub fn to_array(self) -> [u32; LANES] {
+        self.0
+    }
+}
+
+impl Add for U32x8 {
+    type Output = U32x8;
+    #[inline]
+    fn add(self, rhs: U32x8) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = a + b;
+        }
+        U32x8(out)
+    }
+}
+
+/// Whether the sweep runs its scalar path instead of the 8-lane batch.
+/// Defaults to the `scalar-sweep` cargo feature; flip at runtime for
+/// A/B benchmarks. Both paths produce bit-identical grids.
+static SCALAR_SWEEP: AtomicBool = AtomicBool::new(cfg!(feature = "scalar-sweep"));
+
+/// Force (or release) the scalar sweep fallback at runtime.
+pub fn set_scalar_sweep(on: bool) {
+    SCALAR_SWEEP.store(on, Ordering::Relaxed);
+}
+
+/// True when the sweep should take the scalar path.
+pub fn scalar_sweep() -> bool {
+    SCALAR_SWEEP.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32x8_arithmetic_is_elementwise() {
+        let a = F32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F32x8::splat(2.0);
+        assert_eq!((a + b).0[3], 6.0);
+        assert_eq!((a - b).0[0], -1.0);
+        assert_eq!((a * b).0[7], 16.0);
+        assert_eq!((a / b).0[1], 1.0);
+        assert_eq!((-a).0[2], -3.0);
+    }
+
+    #[test]
+    fn f32x8_lanes_match_scalar_bit_for_bit() {
+        // The exact not-a-knot expression, lane-wise vs scalar.
+        let vals = [0.1f32, -2.5, 3.75, 1e-8, 9.99, -0.0, 123.456, 7.0];
+        let a = F32x8(vals);
+        let b = F32x8(vals.map(|v| v * 1.5));
+        let c = F32x8(vals.map(|v| v - 0.25));
+        let d = F32x8(vals.map(|v| v + 2.0));
+        let nine = F32x8::splat(9.0);
+        let batched = (-a + nine * b + nine * c - d) / F32x8::splat(16.0);
+        for (i, &v) in vals.iter().enumerate() {
+            let scalar = (-v + 9.0 * (v * 1.5) + 9.0 * (v - 0.25) - (v + 2.0)) / 16.0;
+            assert_eq!(batched.0[i].to_bits(), scalar.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn u32x8_offsets_form_an_arithmetic_sequence() {
+        let idx = U32x8::offsets(100, 7);
+        assert_eq!(idx.0, [100, 107, 114, 121, 128, 135, 142, 149]);
+        assert_eq!((idx + U32x8::splat(1)).0[0], 101);
+    }
+
+    #[test]
+    fn scalar_sweep_toggle_round_trips() {
+        let before = scalar_sweep();
+        set_scalar_sweep(true);
+        assert!(scalar_sweep());
+        set_scalar_sweep(false);
+        assert!(!scalar_sweep());
+        set_scalar_sweep(before);
+    }
+}

@@ -20,10 +20,13 @@
 
 pub mod cpu_interp;
 pub mod ginterp;
+pub mod lanes;
 pub mod lorenzo;
 pub mod splines;
 pub mod sweep;
 pub mod tuning;
+
+pub use lanes::{scalar_sweep, set_scalar_sweep};
 
 use cuszi_gpu_sim::KernelStats;
 use cuszi_quant::Outliers;

@@ -1,7 +1,12 @@
 //! The 1-d interpolation splines of § V-B.1.
 //!
 //! All arithmetic is `f32`, matching the CUDA kernels, so compression and
-//! decompression replay bit-identical predictions.
+//! decompression replay bit-identical predictions. Each spline also has
+//! an 8-lane [`F32x8`] form evaluating the identical expression tree
+//! elementwise, so the batched sweep stays bit-identical to the scalar
+//! one.
+
+use crate::lanes::{F32x8, LANES};
 
 /// The two cubic variants of § V-B.1. Each wins on different datasets;
 /// the auto-tuner (§ V-C) picks one per dimension.
@@ -49,6 +54,41 @@ pub fn linear(b: f32, c: f32) -> f32 {
     0.5 * b + 0.5 * c
 }
 
+/// Eight-lane [`cubic`]: the same expression tree, elementwise.
+#[inline]
+pub fn cubic_x8(variant: CubicVariant, a: F32x8, b: F32x8, c: F32x8, d: F32x8) -> F32x8 {
+    match variant {
+        CubicVariant::NotAKnot => {
+            let w = F32x8::splat(9.0);
+            (-a + w * b + w * c - d) / F32x8::splat(16.0)
+        }
+        CubicVariant::Natural => {
+            let wo = F32x8::splat(-3.0);
+            let wi = F32x8::splat(23.0);
+            (wo * a + wi * b + wi * c - F32x8::splat(3.0) * d) / F32x8::splat(40.0)
+        }
+    }
+}
+
+/// Eight-lane [`quad_left`].
+#[inline]
+pub fn quad_left_x8(a: F32x8, b: F32x8, c: F32x8) -> F32x8 {
+    (-a + F32x8::splat(6.0) * b + F32x8::splat(3.0) * c) / F32x8::splat(8.0)
+}
+
+/// Eight-lane [`quad_right`].
+#[inline]
+pub fn quad_right_x8(b: F32x8, c: F32x8, d: F32x8) -> F32x8 {
+    (F32x8::splat(3.0) * b + F32x8::splat(6.0) * c - d) / F32x8::splat(8.0)
+}
+
+/// Eight-lane [`linear`].
+#[inline]
+pub fn linear_x8(b: F32x8, c: F32x8) -> F32x8 {
+    let h = F32x8::splat(0.5);
+    h * b + h * c
+}
+
 /// Number of f32 operations charged per spline evaluation (for the
 /// roofline FLOP counters). Cubic: 4 mul + 3 add + 1 div.
 pub const CUBIC_FLOPS: u64 = 8;
@@ -90,6 +130,41 @@ pub fn predict_line(
         (true, false) => (quad_left(get(c - 3 * stride), b, cc), QUAD_FLOPS),
         (false, true) => (quad_right(b, cc, get(c + 3 * stride)), QUAD_FLOPS),
         (false, false) => (linear(b, cc), LINEAR_FLOPS),
+    }
+}
+
+/// Eight-lane [`predict_line`]: predict one line position on eight
+/// parallel lines that share the circumstance `(variant, c, stride,
+/// len)`. `gather(i)` reads the known values at line position `i`
+/// across all eight lines. Returns the predictions and the total FLOPs
+/// (per-point FLOPs x 8), matching eight scalar calls exactly.
+#[inline]
+pub fn predict_line_x8(
+    variant: CubicVariant,
+    c: usize,
+    stride: usize,
+    len: usize,
+    gather: impl Fn(usize) -> F32x8,
+) -> (F32x8, u64) {
+    debug_assert!(c >= stride && c < len);
+    debug_assert_eq!((c / stride) % 2, 1, "predicted point must be an odd multiple of stride");
+    let has_r1 = c + stride < len;
+    if !has_r1 {
+        return (gather(c - stride), 0);
+    }
+    let has_l3 = c >= 3 * stride;
+    let has_r3 = c + 3 * stride < len;
+    let b = gather(c - stride);
+    let cc = gather(c + stride);
+    let n = LANES as u64;
+    match (has_l3, has_r3) {
+        (true, true) => (
+            cubic_x8(variant, gather(c - 3 * stride), b, cc, gather(c + 3 * stride)),
+            n * CUBIC_FLOPS,
+        ),
+        (true, false) => (quad_left_x8(gather(c - 3 * stride), b, cc), n * QUAD_FLOPS),
+        (false, true) => (quad_right_x8(b, cc, gather(c + 3 * stride)), n * QUAD_FLOPS),
+        (false, false) => (linear_x8(b, cc), n * LINEAR_FLOPS),
     }
 }
 
@@ -192,6 +267,29 @@ mod tests {
         let (p, fl) = predict_line(CubicVariant::NotAKnot, 1, 1, 2, |i| v[i]);
         assert_eq!(fl, 0);
         assert_eq!(p, 7.0);
+    }
+
+    #[test]
+    fn predict_line_x8_matches_eight_scalar_calls_bitwise() {
+        // Eight parallel lines sharing each circumstance; every
+        // dispatch arm (cubic, quads, linear, copy) must match the
+        // scalar path bit-for-bit and charge 8x the FLOPs.
+        let lines: Vec<Vec<f32>> =
+            (0..LANES).map(|l| (0..9).map(|i| ((i + l) as f32 * 0.37).sin()).collect()).collect();
+        for (c, stride, len) in [(5usize, 1usize, 9usize), (1, 1, 9), (7, 1, 9), (1, 1, 3), (1, 1, 2)]
+        {
+            for v in [CubicVariant::NotAKnot, CubicVariant::Natural] {
+                let (p8, fl8) =
+                    predict_line_x8(v, c, stride, len, |i| F32x8(std::array::from_fn(|l| lines[l][i])));
+                let mut fl_sum = 0;
+                for (l, line) in lines.iter().enumerate() {
+                    let (p, fl) = predict_line(v, c, stride, len, |i| line[i]);
+                    fl_sum += fl;
+                    assert_eq!(p.to_bits(), p8.0[l].to_bits(), "lane {l} at c={c}");
+                }
+                assert_eq!(fl8, fl_sum, "flops at c={c}");
+            }
+        }
     }
 
     #[test]

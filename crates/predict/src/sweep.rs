@@ -10,7 +10,8 @@
 //! decompression tiles and the whole-grid CPU compressor/decompressor —
 //! so its enumeration order is the determinism contract between them.
 
-use crate::splines::predict_line;
+use crate::lanes::{self, F32x8, U32x8, LANES};
+use crate::splines::{cubic_x8, predict_line, predict_line_x8, CUBIC_FLOPS};
 use crate::tuning::InterpConfig;
 
 /// Minimal mutable view of a 3-d (rank-padded) grid of values being
@@ -37,6 +38,20 @@ pub trait GridView {
     fn set(&mut self, p: [usize; 3], v: f32) {
         let e = self.extent();
         self.set_lin((p[0] * e[1] + p[1]) * e[2] + p[2], v);
+    }
+
+    /// Read eight values at the lane indices — one batched row gather
+    /// of the SIMD sweep. Implementations may override this to fold
+    /// their access bookkeeping into one update; the default performs
+    /// eight tracked `get_lin` reads, so traffic counters are identical
+    /// either way.
+    #[inline]
+    fn gather8(&self, idx: U32x8) -> F32x8 {
+        let mut out = [0.0f32; LANES];
+        for (o, &i) in out.iter_mut().zip(idx.0.iter()) {
+            *o = self.get_lin(i as usize);
+        }
+        F32x8(out)
     }
 }
 
@@ -84,6 +99,11 @@ impl GridView for VecGrid {
     fn set_lin(&mut self, i: usize, v: f32) {
         self.data[i] = v;
     }
+
+    #[inline]
+    fn gather8(&self, idx: U32x8) -> F32x8 {
+        F32x8(std::array::from_fn(|j| self.data[idx.0[j] as usize]))
+    }
 }
 
 /// The active (padded) axes for a logical rank: rank 1 uses only `x`
@@ -120,6 +140,37 @@ pub fn phase_count(rank: usize, anchor_stride: usize) -> u64 {
     (level_ladder(anchor_stride).len() * active_axes(rank).len()) as u64
 }
 
+/// The per-point consumer of the sweep.
+///
+/// The sweep hands over *runs* of predicted points: `apply` receives
+/// the first point `p` of a run of `preds.len()` x-consecutive points
+/// spaced `sx` apart, with `preds` holding their spline predictions,
+/// and must overwrite each lane with the value to store (the
+/// error-bounded reconstruction during compression, the decoded value
+/// during decompression). Runs are length 1 on the scalar path and
+/// [`LANES`] on the batched path; a processor that treats lanes
+/// independently and identically is bit-identical across both.
+///
+/// There is exactly ONE `apply` call site in the sweep's hot loop —
+/// keeping it single is load-bearing for the optimizer to inline fat
+/// processors (a second call site measurably deoptimizes the loop).
+pub trait SweepProcessor {
+    /// Process one run of predicted points (see trait docs).
+    fn apply(&mut self, p: [usize; 3], sx: usize, level: u32, preds: &mut [f32]);
+}
+
+/// Adapter: a plain per-point closure as a [`SweepProcessor`].
+pub struct PointFn<F>(pub F);
+
+impl<F: FnMut([usize; 3], u32, f32) -> f32> SweepProcessor for PointFn<F> {
+    #[inline]
+    fn apply(&mut self, p: [usize; 3], sx: usize, level: u32, preds: &mut [f32]) {
+        for (j, v) in preds.iter_mut().enumerate() {
+            *v = (self.0)([p[0], p[1], p[2] + j * sx], level, *v);
+        }
+    }
+}
+
 /// Run the full interpolation sweep over a grid.
 ///
 /// For every predicted point, `process(point, level, prediction)` is
@@ -132,7 +183,20 @@ pub fn interpolate_grid<G: GridView>(
     rank: usize,
     anchor_stride: usize,
     cfg: &InterpConfig,
-    mut process: impl FnMut([usize; 3], u32, f32) -> f32,
+    process: impl FnMut([usize; 3], u32, f32) -> f32,
+) -> u64 {
+    interpolate_grid_with(grid, rank, anchor_stride, cfg, &mut PointFn(process))
+}
+
+/// [`interpolate_grid`] with a batch-aware [`SweepProcessor`] — the
+/// hot-path entry used by the G-Interp kernels, whose processors
+/// vectorize the quantization over whole lane runs.
+pub fn interpolate_grid_with<G: GridView>(
+    grid: &mut G,
+    rank: usize,
+    anchor_stride: usize,
+    cfg: &InterpConfig,
+    process: &mut impl SweepProcessor,
 ) -> u64 {
     let extent = grid.extent();
     let axes = active_axes(rank);
@@ -144,7 +208,7 @@ pub fn interpolate_grid<G: GridView>(
     let mut flops = 0u64;
     for (level, stride) in level_ladder(anchor_stride) {
         for (pos, &dim) in cfg.order.iter().enumerate() {
-            flops += sweep_dim(grid, extent, &cfg.order, pos, dim, stride, cfg, level, &mut process);
+            flops += sweep_dim(grid, extent, &cfg.order, pos, dim, stride, cfg, level, process);
         }
     }
     flops
@@ -161,7 +225,7 @@ fn sweep_dim<G: GridView>(
     stride: usize,
     cfg: &InterpConfig,
     level: u32,
-    process: &mut impl FnMut([usize; 3], u32, f32) -> f32,
+    process: &mut impl SweepProcessor,
 ) -> u64 {
     // Step along each padded axis: the predicted dim walks odd multiples
     // of `stride`; dims already processed at this level sit on the
@@ -190,6 +254,17 @@ fn sweep_dim<G: GridView>(
     // base index instead of a full 3-d index computation.
     let ls = [extent[1] * extent[2], extent[2], 1][dim];
     let line_len = extent[dim];
+    // 8-lane batching along the x row is sound in both shapes: within a
+    // `(level, dim)` pass every write lands on an odd multiple of
+    // `stride` along `dim` while every tap reads an even multiple, so
+    // no lane's taps can alias another lane's write and a batch is
+    // bit-identical to the scalar interleaving. When x is not the
+    // predicted dim the eight points lie on eight parallel lines
+    // sharing one circumstance; when x *is* the predicted dim, eight
+    // consecutive interior points all take the full-cubic circumstance
+    // and batch with four stride-`2s` gathers.
+    let use_lanes = !lanes::scalar_sweep();
+    let sx = step[2];
     let mut flops = 0u64;
     let mut z = start[0];
     while z < extent[0] {
@@ -198,15 +273,66 @@ fn sweep_dim<G: GridView>(
         while y < extent[1] {
             let zyb = (zb + y) * extent[2];
             let mut x = start[2];
+            // One batch per iteration: eight lanes when the row has a
+            // full batch left, one scalar point otherwise. Keeping a
+            // single `process` call site is load-bearing — a second
+            // call site stops the optimizer from inlining the (large)
+            // quantization closure into this hot loop.
             while x < extent[2] {
-                let p = [z, y, x];
-                let line_base = zyb + x - p[dim] * ls;
-                let (pred, fl) =
-                    predict_line(variant, p[dim], stride, line_len, |i| grid.get_lin(line_base + i * ls));
-                flops += fl;
-                let v = process(p, level, pred);
-                grid.set_lin(zyb + x, v);
-                x = x.saturating_add(step[2]);
+                let mut preds = [0.0f32; LANES];
+                let n;
+                if use_lanes
+                    && dim != 2
+                    && x.saturating_add((LANES - 1) * sx) < extent[2]
+                {
+                    // Parallel-lines batch: the circumstance coordinate
+                    // is constant along the row.
+                    let c = [z, y, x][dim];
+                    let base = zyb + x - c * ls;
+                    let (pred8, fl) = predict_line_x8(variant, c, stride, line_len, |i| {
+                        grid.gather8(U32x8::offsets((base + i * ls) as u32, sx as u32))
+                    });
+                    preds = pred8.0;
+                    flops += fl;
+                    n = LANES;
+                } else if use_lanes
+                    && dim == 2
+                    && x >= 3 * stride
+                    && x.saturating_add((LANES - 1) * sx + 3 * stride) < extent[2]
+                {
+                    // Along-line batch: eight consecutive predicted
+                    // points, all interior, so every lane takes the
+                    // full-cubic arm of the circumstance dispatch —
+                    // exactly what eight scalar `predict_line` calls
+                    // would do here.
+                    let tap = |o: usize| {
+                        grid.gather8(U32x8::offsets((zyb + o) as u32, sx as u32))
+                    };
+                    let pred8 = cubic_x8(
+                        variant,
+                        tap(x - 3 * stride),
+                        tap(x - stride),
+                        tap(x + stride),
+                        tap(x + 3 * stride),
+                    );
+                    preds = pred8.0;
+                    flops += LANES as u64 * CUBIC_FLOPS;
+                    n = LANES;
+                } else {
+                    let p = [z, y, x];
+                    let line_base = zyb + x - p[dim] * ls;
+                    let (pred, fl) = predict_line(variant, p[dim], stride, line_len, |i| {
+                        grid.get_lin(line_base + i * ls)
+                    });
+                    preds[0] = pred;
+                    flops += fl;
+                    n = 1;
+                }
+                process.apply([z, y, x], sx, level, &mut preds[..n]);
+                for (j, &v) in preds[..n].iter().enumerate() {
+                    grid.set_lin(zyb + x + j * sx, v);
+                }
+                x = x.saturating_add(n * sx);
             }
             y = y.saturating_add(step[1]);
         }
@@ -350,6 +476,50 @@ mod tests {
             pred
         });
         assert_eq!(levels, vec![3, 2, 2, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn lane_batched_sweep_is_bit_identical_to_scalar() {
+        // Differential: the same rough field swept with lanes on vs
+        // forced scalar must reproduce identical bits, visit order, and
+        // FLOP totals — on shapes that exercise full batches, scalar
+        // tails, and truncated edges.
+        for extent in [[17, 17, 17], [9, 33, 40], [1, 24, 19], [5, 9, 6]] {
+            let f = |p: [usize; 3]| {
+                ((p[0] as f32 * 0.7).sin() + (p[1] as f32 * 0.3).cos()) * (p[2] as f32 * 0.13).sin()
+            };
+            let rank = if extent[0] > 1 { 3 } else { 2 };
+            let cfg = InterpConfig {
+                alpha: 1.0,
+                variants: [CubicVariant::NotAKnot, CubicVariant::Natural, CubicVariant::NotAKnot],
+                order: if rank == 3 { vec![1, 0, 2] } else { vec![1, 2] },
+            };
+            let run = |scalar: bool| {
+                let before = lanes::scalar_sweep();
+                lanes::set_scalar_sweep(scalar);
+                let mut grid = VecGrid::new(extent);
+                for z in (0..extent[0]).step_by(8) {
+                    for y in (0..extent[1]).step_by(8) {
+                        for x in (0..extent[2]).step_by(8) {
+                            grid.set([z, y, x], f([z, y, x]));
+                        }
+                    }
+                }
+                let mut visits = Vec::new();
+                let fl = interpolate_grid(&mut grid, rank, 8, &cfg, |p, l, pred| {
+                    visits.push((p, l));
+                    pred
+                });
+                lanes::set_scalar_sweep(before);
+                (grid.into_vec(), visits, fl)
+            };
+            let (g_scalar, v_scalar, f_scalar) = run(true);
+            let (g_simd, v_simd, f_simd) = run(false);
+            assert_eq!(v_scalar, v_simd, "visit order differs on {extent:?}");
+            assert_eq!(f_scalar, f_simd, "flops differ on {extent:?}");
+            let bits = |g: &[f32]| g.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&g_scalar), bits(&g_simd), "grids differ on {extent:?}");
+        }
     }
 
     #[test]

@@ -4,6 +4,26 @@
 /// `|q| >= R` are "too big for efficient encoding" and compacted aside).
 pub const OUTLIER_CODE: u16 = 0;
 
+/// `f64::round` (round-half-away-from-zero), expressed through
+/// `round_ties_even` so it lowers to a vectorizable rounding
+/// instruction instead of libm's scalar branch sequence. The two
+/// roundings differ only at exact ties (fraction == 0.5), where
+/// half-away is `x + copysign(0.5, x)` — exact, because a tie means
+/// the 0.5 fraction is representable at `x`'s exponent. Bit-identity
+/// with `f64::round` over the full domain (NaN, infinities, huge
+/// values included) is pinned by a proptest below.
+#[inline]
+fn round_half_away(x: f64) -> f64 {
+    let r = x.round_ties_even();
+    // Both arms computed, selected through a bitmask (never a branch),
+    // so the function stays a straight-line dependency chain and SLP
+    // can vectorize callers batching eight lanes. A NaN input fails
+    // the tie compare and selects `r` (= NaN), like `f64::round`.
+    let adj = x + 0.5f64.copysign(x);
+    let tie_mask = 0u64.wrapping_sub(((x - r).abs() == 0.5) as u64);
+    f64::from_bits((adj.to_bits() & tie_mask) | (r.to_bits() & !tie_mask))
+}
+
 /// Result of quantizing one element.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Quantized {
@@ -80,7 +100,7 @@ impl Quantizer {
     #[inline]
     pub fn quantize(&self, value: f32, pred: f32) -> Quantized {
         let err = value as f64 - pred as f64;
-        let q = (err * self.inv_twice_eb).round();
+        let q = round_half_away(err * self.inv_twice_eb);
         // Out-of-band (or numerically degenerate) errors become outliers,
         // stored exactly. The negated comparison is deliberate: it must
         // catch NaN (from a NaN prediction), which `>=` would not.
@@ -96,6 +116,58 @@ impl Quantizer {
             return Quantized { code: OUTLIER_CODE, recon: value };
         }
         Quantized { code: (qi + self.radius) as u16, recon }
+    }
+
+    /// Batched [`Quantizer::quantize`]: eight independent lanes of the
+    /// identical expression tree, written branchlessly (select instead
+    /// of early return) and struct-of-arrays (one fixed-count loop per
+    /// operation) so every step auto-vectorizes. Results are
+    /// bit-identical to eight scalar calls — the outlier cases,
+    /// including NaN values and NaN predictions, take the same arm
+    /// lane-wise (pinned by a differential proptest).
+    #[inline(always)]
+    pub fn quantize8(&self, values: &[f32; 8], preds: &[f32; 8]) -> ([u16; 8], [f32; 8]) {
+        // Mantissa-extraction constant: adding 2^52 to an integral f64
+        // in [0, 2^52) leaves that integer verbatim in the low mantissa
+        // bits, so the biased code never round-trips through an
+        // int-float conversion (those lower to scalar fixup sequences).
+        const MAGIC: f64 = 4503599627370496.0; // 2^52
+        // (`#[inline(always)]` on the function: at the default
+        // `#[inline]` hint LLVM leaves this as an out-of-line call, and
+        // the arrays then travel through the stack on every batch.)
+        let rad = self.radius as f64;
+        let mut q = [0.0f64; 8];
+        for j in 0..8 {
+            q[j] = round_half_away((values[j] as f64 - preds[j] as f64) * self.inv_twice_eb);
+        }
+        // Out-of-band lanes keep computing on a clamped code — their
+        // results are masked out below, and in-band lanes are untouched
+        // by the clamp. The clamped `q` is always integral, so using it
+        // directly in the f64 reconstruction is exactly the scalar
+        // path's `qi as f64`.
+        let mut qf = [0.0f64; 8];
+        for j in 0..8 {
+            qf[j] = q[j].clamp(-rad, rad);
+        }
+        let mut rec = [0.0f32; 8];
+        for j in 0..8 {
+            rec[j] = (preds[j] as f64 + qf[j] * self.twice_eb) as f32;
+        }
+        let mut biased = [0u16; 8];
+        for j in 0..8 {
+            biased[j] = ((qf[j] + rad) + MAGIC).to_bits() as u16;
+        }
+        // `<` is false for NaN, matching the scalar path's negated
+        // compare (a NaN lane's garbage `biased` bits are masked out);
+        // `&`, not `&&`, keeps the lane body branch-free.
+        let mut codes = [0u16; 8];
+        let mut recons = [0.0f32; 8];
+        for j in 0..8 {
+            let ok = (q[j].abs() < rad) & (((values[j] as f64) - (rec[j] as f64)).abs() <= self.eb);
+            codes[j] = if ok { biased[j] } else { OUTLIER_CODE };
+            recons[j] = if ok { rec[j] } else { values[j] };
+        }
+        (codes, recons)
     }
 
     /// Replay the reconstruction from a non-outlier code (decompression).
@@ -211,6 +283,61 @@ mod tests {
             let q = Quantizer::new(0.01, 256).expect("valid parameters");
             let r = q.quantize(v, p);
             prop_assert!((r.code as usize) < q.alphabet_size());
+        }
+
+        #[test]
+        fn prop_round_half_away_matches_f64_round(x in -1e18f64..1e18f64) {
+            prop_assert_eq!(round_half_away(x).to_bits(), x.round().to_bits());
+            // Snap to the nearest exact tie as well — uniform draws
+            // never land on one by chance.
+            let tie = x.trunc() + 0.5f64.copysign(x);
+            prop_assert_eq!(round_half_away(tie).to_bits(), tie.round().to_bits());
+        }
+
+        #[test]
+        fn prop_quantize8_matches_eight_scalar_calls_bitwise(
+            vals_v in collection::vec(-1e6f32..1e6f32, 8),
+            deltas in collection::vec(-10f32..10f32, 8),
+            eb in 1e-6f64..1e3f64,
+        ) {
+            let q = Quantizer::new(eb, 512).expect("valid parameters");
+            let vals: [f32; 8] = std::array::from_fn(|j| vals_v[j]);
+            let preds: [f32; 8] = std::array::from_fn(|j| vals[j] + deltas[j]);
+            let (codes, recons) = q.quantize8(&vals, &preds);
+            for j in 0..8 {
+                let r = q.quantize(vals[j], preds[j]);
+                prop_assert_eq!(codes[j], r.code, "lane {}", j);
+                prop_assert_eq!(recons[j].to_bits(), r.recon.to_bits(), "lane {}", j);
+            }
+        }
+    }
+
+    #[test]
+    fn round_half_away_matches_f64_round_on_edges() {
+        // Exact ties (both signs), tie at the precision limit where the
+        // fraction spacing is exactly 0.5, zeros, non-finites.
+        let cases = [
+            0.5, -0.5, 1.5, -1.5, 2.5, -2.5, 0.49999999999999994, -0.49999999999999994,
+            2f64.powi(51) + 0.5, -(2f64.powi(51) + 0.5), 2f64.powi(52), -(2f64.powi(52)),
+            0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, f64::MAX, f64::MIN,
+        ];
+        for x in cases {
+            assert_eq!(round_half_away(x).to_bits(), x.round().to_bits(), "x={x:e}");
+        }
+    }
+
+    #[test]
+    fn quantize8_matches_scalar_on_edge_lanes() {
+        // One batch mixing every arm: exact hit, rounded code, both
+        // outlier kinds (out-of-band, NaN value, NaN prediction).
+        let q = Quantizer::new(0.001, 512).expect("valid parameters");
+        let vals = [1.0f32, 1.25, 100.0, f32::NAN, 1.0, -3.5, 0.0, 1e30];
+        let preds = [1.0f32, 1.0, 0.0, 1.0, f32::NAN, -3.5002, 1e-5, 1e30];
+        let (codes, recons) = q.quantize8(&vals, &preds);
+        for j in 0..8 {
+            let r = q.quantize(vals[j], preds[j]);
+            assert_eq!(codes[j], r.code, "lane {j}");
+            assert_eq!(recons[j].to_bits(), r.recon.to_bits(), "lane {j}");
         }
     }
 }

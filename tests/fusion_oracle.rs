@@ -1,0 +1,111 @@
+//! The hot-path optimisations must be *pure* performance work: the
+//! archive bytes are the oracle. {scalar, SIMD} sweep bodies x
+//! {fused, unfused} histogram x {1, 4} streams must all produce the
+//! same container on every dataset analogue, and that container must
+//! decode back within the bound.
+//!
+//! The SIMD toggle is process-global, so this file serialises on a
+//! mutex (mirroring `tests/fault_matrix.rs`) and restores the default
+//! on every exit path via an RAII guard.
+
+use std::sync::Mutex;
+
+use cuszi_repro::core::{compress_fields_streams, Config, CuszI, NamedField};
+use cuszi_repro::datagen::{generate, DatasetKind, Scale};
+use cuszi_repro::metrics::check_error_bound;
+use cuszi_repro::predict::{scalar_sweep, set_scalar_sweep};
+use cuszi_repro::quant::ErrorBound;
+use cuszi_repro::tensor::{NdArray, Shape};
+
+/// Serialises tests that flip the process-global sweep toggle.
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// Restores the sweep mode on drop, panics included.
+struct SweepMode(bool);
+
+impl SweepMode {
+    fn set(scalar: bool) -> Self {
+        let prev = scalar_sweep();
+        set_scalar_sweep(scalar);
+        SweepMode(prev)
+    }
+}
+
+impl Drop for SweepMode {
+    fn drop(&mut self) {
+        set_scalar_sweep(self.0);
+    }
+}
+
+/// Crop to <= 32^3 so the 6-dataset x 8-variant sweep stays debug-fast.
+fn crop(data: &NdArray<f32>) -> NdArray<f32> {
+    let d = data.shape().dims3();
+    let ext = [d[0].min(32), d[1].min(32), d[2].min(32)];
+    NdArray::from_fn(Shape::d3(ext[0], ext[1], ext[2]), |z, y, x| data.get3(z, y, x))
+}
+
+#[test]
+fn archives_identical_across_simd_fusion_and_streams_on_all_datasets() {
+    let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 42);
+        let fields: Vec<(String, NdArray<f32>)> =
+            ds.fields.iter().map(|f| (f.name.to_string(), crop(&f.data))).collect();
+        let named: Vec<NamedField> =
+            fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+
+        // Reference: scalar sweep, unfused stages, one stream.
+        let reference = {
+            let _m = SweepMode::set(true);
+            let cfg = Config::new(ErrorBound::Rel(1e-3));
+            compress_fields_streams(&named, cfg, 1).expect("reference compress").0.bytes
+        };
+
+        for scalar in [true, false] {
+            for fuse in [false, true] {
+                for streams in [1usize, 4] {
+                    let _m = SweepMode::set(scalar);
+                    let mut cfg = Config::new(ErrorBound::Rel(1e-3));
+                    if fuse {
+                        cfg = cfg.with_fusion();
+                    }
+                    let (got, _) =
+                        compress_fields_streams(&named, cfg, streams).expect("variant compress");
+                    assert_eq!(
+                        got.bytes,
+                        reference,
+                        "{}: archive differs (scalar={scalar}, fuse={fuse}, streams={streams})",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_simd_archive_decodes_within_bound() {
+    let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let _m = SweepMode::set(false);
+    let ds = generate(DatasetKind::Miranda, Scale::Small, 42);
+    let data = crop(&ds.fields[0].data);
+    let cfg = Config::new(ErrorBound::Rel(1e-3)).with_fusion();
+    let codec = CuszI::new(cfg);
+    let c = codec.compress(&data).expect("compress");
+    let d = codec.decompress(&c.bytes).expect("decompress");
+    assert_eq!(check_error_bound(data.as_slice(), d.data.as_slice(), c.eb_abs), None);
+}
+
+#[test]
+fn autotuned_compression_is_stable_and_decodable() {
+    let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let ds = generate(DatasetKind::Nyx, Scale::Small, 42);
+    let data = crop(&ds.fields[0].data);
+    let cfg = Config::new(ErrorBound::Rel(1e-3)).with_kernel_autotune().with_fusion();
+    let codec = CuszI::new(cfg);
+    let a = codec.compress(&data).expect("autotuned compress");
+    let b = codec.compress(&data).expect("cached autotuned compress");
+    assert_eq!(a.bytes, b.bytes, "autotuner must be deterministic across runs");
+    let d = codec.decompress(&a.bytes).expect("decompress");
+    assert_eq!(check_error_bound(data.as_slice(), d.data.as_slice(), a.eb_abs), None);
+}
