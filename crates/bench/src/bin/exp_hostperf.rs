@@ -8,7 +8,14 @@
 //! successive commits can be diffed.
 //!
 //! Usage: `exp_hostperf [--paper] [--seed N] [--out PATH] [--profile]
-//! [--streams N]`
+//! [--streams N] [--compare BASELINE.json]`
+//!
+//! `--compare` runs the noise-aware regression sentinel against a
+//! previous report after writing the new one: every dataset x codec
+//! throughput is gated on a 3-sigma band from both runs' recorded
+//! jitter, CR and modelled DRAM bytes on a tight fixed tolerance, and
+//! the process exits nonzero when a significant regression is found.
+//! Reports taken under different bench configs are refused.
 //! Env: `CUSZI_BENCH_QUICK=1` / `CUSZI_BENCH_SAMPLES=N` (see
 //! `cuszi_bench::timing`); `CUSZI_PROFILE=1` is equivalent to
 //! `--profile`. Profiling dumps a `profile_<n>.json` companion (kernel
@@ -184,6 +191,31 @@ fn overlap_json(b: &Bench, ds: &cuszi_datagen::Dataset, n: usize) -> String {
     )
 }
 
+/// One-line command output, for provenance stamping; "unknown" when
+/// the tool is unavailable (e.g. no git in the container).
+fn tool_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Provenance block: which code and toolchain produced this report.
+/// The sentinel prints it in comparison headers; the config itself
+/// (scale/seed/eb/streams) lives in the top-level fields it gates on.
+fn provenance_json() -> String {
+    format!(
+        "{{\"git_rev\":\"{}\",\"rustc\":\"{}\"}}",
+        json_escape(&tool_line("git", &["rev-parse", "--short", "HEAD"])),
+        json_escape(&tool_line("rustc", &["-V"])),
+    )
+}
+
 /// Companion profile dump path for a report path: `BENCH_1.json` ->
 /// `profile_1.json`; anything else gets a `.profile.json` suffix.
 fn profile_path_for(out_path: &str) -> String {
@@ -207,6 +239,7 @@ fn main() {
     let mut out_path = String::from("BENCH_1.json");
     let mut profile = false;
     let mut streams = 4usize;
+    let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {
@@ -215,6 +248,8 @@ fn main() {
             }
         } else if a == "--profile" {
             profile = true;
+        } else if a == "--compare" {
+            baseline = Some(args.next().expect("--compare needs a baseline BENCH_<n>.json"));
         } else if a == "--streams" {
             streams = args
                 .next()
@@ -283,12 +318,17 @@ fn main() {
             };
             codec_json.push(format!(
                 "{{\"name\":\"{}\",\"compress_mbps\":{:.2},\"decompress_mbps\":{:.2},\
-                 \"compress_ms\":{:.4},\"decompress_ms\":{:.4}{}}}",
+                 \"compress_ms\":{:.4},\"decompress_ms\":{:.4},\
+                 \"compress_stddev_ms\":{:.4},\"decompress_stddev_ms\":{:.4},\
+                 \"cr\":{:.3}{}}}",
                 json_escape(entry.label),
                 c.mbps().unwrap_or(0.0),
                 d.mbps().unwrap_or(0.0),
                 c.min_s * 1e3,
                 d.min_s * 1e3,
+                c.stddev_s * 1e3,
+                d.stddev_s * 1e3,
+                nbytes as f64 / archive.len().max(1) as f64,
                 stages
             ));
         }
@@ -305,12 +345,43 @@ fn main() {
 
     let json = format!(
         "{{\"experiment\":\"hostperf\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
-         \"samples\":{},\"rel_eb\":{REL_EB},\"streams\":{streams},\"datasets\":[{}]}}\n",
+         \"samples\":{},\"rel_eb\":{REL_EB},\"streams\":{streams},\
+         \"provenance\":{},\"datasets\":[{}]}}\n",
         b.samples,
+        provenance_json(),
         ds_json.join(",")
     );
     std::fs::write(&out_path, &json).expect("write report");
     println!("\nwrote {out_path}");
+
+    if let Some(base_path) = &baseline {
+        let base_src = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("read baseline {base_path}: {e}"));
+        let old = cuszi_bench::parse_bench(&base_src).expect("parse baseline");
+        let new = cuszi_bench::parse_bench(&json).expect("parse fresh report");
+        match cuszi_bench::compare(&old, &new) {
+            Ok(rep) => {
+                let rev = |d: &cuszi_bench::compare::BenchDoc| {
+                    d.git_rev.clone().unwrap_or_else(|| "?".into())
+                };
+                println!(
+                    "\n{}",
+                    rep.render_markdown(
+                        &format!("{base_path} ({})", rev(&old)),
+                        &format!("{out_path} ({})", rev(&new)),
+                    )
+                );
+                if rep.has_regression() {
+                    eprintln!("bench sentinel: significant regression vs {base_path}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench sentinel: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     if profiling {
         cuszi_profile::enable(false);

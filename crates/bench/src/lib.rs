@@ -5,12 +5,14 @@
 //! codec roster, the evaluation loop, and the plain-text table printers
 //! they share.
 
+pub mod compare;
 pub mod csv;
 pub mod report;
 pub mod roster;
 pub mod run;
 pub mod timing;
 
+pub use compare::{compare, parse_bench, CompareReport};
 pub use csv::Csv;
 pub use report::Table;
 pub use roster::{codec_roster, CodecEntry};

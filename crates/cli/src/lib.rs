@@ -49,10 +49,20 @@ pub enum Command {
         /// Run the profile-driven kernel autotuner and print its
         /// calibration matrix / decision.
         autotune: bool,
+        /// Stream the fidelity audit and print the per-interp-level
+        /// drill-down (includes a sampled decode-verify pass).
+        audit: bool,
+        /// Write the run's metrics as Prometheus text exposition:
+        /// `Some(path)`, or `Some("")` for `<output>.prom`. Implies
+        /// profiling (the metrics registry only fills when enabled).
+        prom: Option<String>,
     },
     Decompress {
         input: String,
         output: String,
+        /// Profile the run, mirroring compress: `Some(path)` writes a
+        /// Chrome trace there, `Some("")` uses `<output>.trace.json`.
+        profile: Option<String>,
     },
     Info {
         input: String,
@@ -102,7 +112,8 @@ USAGE:
                    (--rel-eb E | --abs-eb E | --psnr DB | --pw-rel E [--floor F])
                    [--no-bitcomp] [--verify] [--slab Z [--streams N]]
                    [--profile[=TRACE.json]] [--fuse] [--autotune]
-  cuszi decompress -i <in.cszi> -o <out.f32>
+                   [--audit] [--prom[=METRICS.prom]]
+  cuszi decompress -i <in.cszi> -o <out.f32> [--profile[=TRACE.json]]
   cuszi info       -i <in.cszi>
 
 Dims are slowest-to-fastest (z x y x x), e.g. --dims 256x384x384;
@@ -125,7 +136,15 @@ are byte-identical with or without it.
 pass: a centre crop is compressed across a stride x order candidate
 matrix and the gpu-sim kernel counters pick the interp order plus
 geometry/stream advice (printed with the decision). Decisions are
-cached per dataset family.";
+cached per dataset family.
+
+--audit streams the fidelity audit: per-interp-level element/outlier
+counts, quant-code entropy, anchor share, hot-block outlier counts,
+and a sampled decode-verify of max abs error against the bound,
+printed as a per-level table.
+
+--prom writes the run's metrics registry (compress.*, audit.*) as
+Prometheus text exposition (default <out>.prom); implies profiling.";
 
 /// Parse `ZxYxX` dims.
 pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
@@ -150,6 +169,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut profile = None;
     let mut fuse = false;
     let mut autotune = false;
+    let mut audit = false;
+    let mut prom = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -192,6 +213,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--verify" => verify = true,
             "--fuse" => fuse = true,
             "--autotune" => autotune = true,
+            "--audit" => audit = true,
+            "--prom" => prom = Some(String::new()),
+            p if p.starts_with("--prom=") => {
+                let path = &p["--prom=".len()..];
+                if path.is_empty() {
+                    return Err(CliError("--prom= needs a path".into()));
+                }
+                prom = Some(path.to_string());
+            }
             "--profile" => profile = Some(String::new()),
             p if p.starts_with("--profile=") => {
                 let path = &p["--profile=".len()..];
@@ -234,10 +264,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             profile,
             fuse,
             autotune,
+            audit,
+            prom,
         }),
         "decompress" => Ok(Command::Decompress {
             input,
             output: output.ok_or_else(|| CliError("missing -o".into()))?,
+            profile,
         }),
         "info" => Ok(Command::Info { input }),
         other => Err(CliError(format!(
@@ -271,7 +304,6 @@ pub fn write_f32_field(path: &Path, data: &NdArray<f32>) -> Result<(), CliError>
 
 /// Execute a command; returns the text to print.
 pub fn run(cmd: Command) -> Result<String, CliError> {
-    let mut out = String::new();
     match cmd {
         Command::Compress {
             input,
@@ -285,20 +317,27 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             profile,
             fuse,
             autotune,
+            audit,
+            prom,
         } => {
             // Profiling wraps the whole compress run (either path);
             // `CUSZI_PROFILE=1` in the environment is equivalent to
-            // passing --profile.
-            let profiling = profile.is_some() || cuszi_profile::init_from_env();
+            // passing --profile. --prom implies profiling because the
+            // metrics registry only fills while the profiler is on.
+            let profiling =
+                profile.is_some() || prom.is_some() || cuszi_profile::init_from_env();
             let trace_path = match &profile {
                 Some(p) if !p.is_empty() => p.clone(),
                 _ => format!("{output}.trace.json"),
             };
+            let prom_path = prom.as_ref().map(|p| {
+                if p.is_empty() { format!("{output}.prom") } else { p.clone() }
+            });
             if profiling {
                 cuszi_profile::install();
                 cuszi_profile::enable(true);
             }
-            let opts = CompressOpts { bitcomp, verify, fuse, autotune };
+            let opts = CompressOpts { bitcomp, verify, fuse, autotune, audit };
             let mut result = if let Some(slab_z) = slab {
                 compress_streamed(&input, &output, shape, mode, slab_z, streams, opts)
             } else if streams.is_some() {
@@ -319,35 +358,46 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         "\ntrace written to {trace_path} — load it at ui.perfetto.dev"
                     )
                     .ok();
+                    if let Some(pp) = &prom_path {
+                        fs::write(pp, rep.metrics.render_prometheus())?;
+                        writeln!(text, "metrics exposition written to {pp}").ok();
+                    }
                 }
             }
-            return result;
+            result
         }
-        Command::Decompress { input, output } => {
-            let bytes = fs::read(&input)?;
-            let base = Config::new(ErrorBound::Rel(1e-3));
-            if bytes.starts_with(b"CSZS") {
-                return decompress_streamed(&bytes, &input, &output, base);
-            }
-            let d = if bytes.starts_with(b"CSZR") {
-                cuszi_core::Decompressed { data: decompress_pw_rel(&bytes, base)?, kernels: Vec::new() }
-            } else {
-                CuszI::new(base).decompress(&bytes)?
+        Command::Decompress { input, output, profile } => {
+            // Mirror the compress profiling wrap so decode-side kernel
+            // behaviour is observable with the same artifacts.
+            let profiling = profile.is_some() || cuszi_profile::init_from_env();
+            let trace_path = match &profile {
+                Some(p) if !p.is_empty() => p.clone(),
+                _ => format!("{output}.trace.json"),
             };
-            writeln!(
-                out,
-                "{input} -> {output} ({}, {:.1} MB)",
-                d.data.shape(),
-                (d.data.len() * 4) as f64 / 1e6
-            )
-            .ok();
-            write_f32_field(Path::new(&output), &d.data)?;
+            if profiling {
+                cuszi_profile::install();
+                cuszi_profile::enable(true);
+            }
+            let mut result = decompress_one(&input, &output);
+            if profiling {
+                cuszi_profile::enable(false);
+                if let (Ok(text), Some(p)) = (&mut result, cuszi_profile::profiler()) {
+                    let rep = p.report();
+                    fs::write(&trace_path, rep.chrome_trace())?;
+                    writeln!(text, "\n{}", rep.kernel_report().trim_end()).ok();
+                    writeln!(text, "\nspan summary (wall time)\n{}", rep.flame_summary().trim_end())
+                        .ok();
+                    writeln!(
+                        text,
+                        "\ntrace written to {trace_path} — load it at ui.perfetto.dev"
+                    )
+                    .ok();
+                }
+            }
+            result
         }
-        Command::Info { input } => {
-            return info_text(&input);
-        }
+        Command::Info { input } => info_text(&input),
     }
-    Ok(out)
 }
 
 /// Execution toggles shared by the whole-field and slab paths.
@@ -357,6 +407,7 @@ struct CompressOpts {
     verify: bool,
     fuse: bool,
     autotune: bool,
+    audit: bool,
 }
 
 impl CompressOpts {
@@ -371,8 +422,35 @@ impl CompressOpts {
         if self.autotune {
             cfg = cfg.with_kernel_autotune();
         }
+        if self.audit {
+            cfg = cfg.with_audit();
+        }
         cfg
     }
+}
+
+/// Single-archive decompression with magic dispatch, shared by [`run`].
+fn decompress_one(input: &str, output: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    let bytes = fs::read(input)?;
+    let base = Config::new(ErrorBound::Rel(1e-3));
+    if bytes.starts_with(b"CSZS") {
+        return decompress_streamed(&bytes, input, output, base);
+    }
+    let d = if bytes.starts_with(b"CSZR") {
+        cuszi_core::Decompressed { data: decompress_pw_rel(&bytes, base)?, kernels: Vec::new() }
+    } else {
+        CuszI::new(base).decompress(&bytes)?
+    };
+    writeln!(
+        out,
+        "{input} -> {output} ({}, {:.1} MB)",
+        d.data.shape(),
+        (d.data.len() * 4) as f64 / 1e6
+    )
+    .ok();
+    write_f32_field(Path::new(output), &d.data)?;
+    Ok(out)
 }
 
 /// Whole-field (non-slab) compression, shared by [`run`].
@@ -404,21 +482,26 @@ fn compress_whole(
             }
         }
     }
-    let (bytes, eb_abs) = match mode {
+    if opts.audit && matches!(mode, BoundMode::PwRel(..)) {
+        return Err(CliError(
+            "--audit supports --rel-eb/--abs-eb/--psnr (pw-rel transforms the field)".into(),
+        ));
+    }
+    let (bytes, eb_abs, audit_rep) = match mode {
         BoundMode::Psnr(db) => {
             let r = compress_to_psnr(&data, db, 1.0, base)?;
             writeln!(out, "psnr target {db:.1} dB -> achieved {:.1} dB", r.achieved_psnr)
                 .ok();
-            (r.compressed.bytes, r.compressed.eb_abs)
+            (r.compressed.bytes, r.compressed.eb_abs, r.compressed.audit)
         }
         BoundMode::PwRel(eps, floor) => {
             let r = compress_pw_rel(&data, eps, floor, base)?;
             writeln!(out, "point-wise relative eps {eps:.1e}, floor {floor:.1e}").ok();
-            (r.bytes, r.log_eb)
+            (r.bytes, r.log_eb, None)
         }
         _ => {
             let c = CuszI::new(base).compress(&data)?;
-            (c.bytes, c.eb_abs)
+            (c.bytes, c.eb_abs, c.audit)
         }
     };
     writeln!(
@@ -449,6 +532,27 @@ fn compress_whole(
         }
         writeln!(out, "verified: PSNR {:.1} dB, max err {:.3e}", m.psnr, m.max_abs_err)
             .ok();
+    }
+    if opts.audit {
+        let mut rep = audit_rep
+            .ok_or_else(|| CliError("audit report missing from compressed output".into()))?;
+        // Sampled decode-verify: close the loop against the actual
+        // reconstruction, attributing max error per interp level.
+        let d = CuszI::new(base).decompress(&bytes)?;
+        cuszi_core::audit::verify_decode(
+            &mut rep,
+            &data,
+            &d.data,
+            cuszi_core::audit::default_sample_stride(data.len()),
+        );
+        writeln!(out, "\n{}", rep.render_table().trim_end()).ok();
+        if !rep.bound_ok() {
+            return Err(CliError(format!(
+                "AUDIT FAILED: sampled max error {:.3e} exceeds bound {:.3e}",
+                rep.max_abs_err(),
+                rep.eb_abs
+            )));
+        }
     }
     fs::write(output, &bytes)?;
     Ok(out)
@@ -514,6 +618,11 @@ fn compress_streamed(
         BoundMode::Abs(e) => ErrorBound::Abs(e),
         _ => return Err(CliError("--slab supports --rel-eb/--abs-eb only".into())),
     };
+    if opts.audit {
+        return Err(CliError(
+            "--audit needs the whole field resident; drop --slab to run it".into(),
+        ));
+    }
     if shape.rank() != 3 {
         return Err(CliError("--slab requires 3-d dims".into()));
     }
@@ -645,6 +754,8 @@ mod tests {
                 profile: None,
                 fuse: false,
                 autotune: false,
+                audit: false,
+                prom: None,
             }
         );
     }
@@ -701,6 +812,8 @@ mod tests {
             profile: None,
             fuse: false,
             autotune: false,
+            audit: false,
+            prom: None,
         })
         .unwrap();
         assert!(msg.contains("verified"), "{msg}");
@@ -708,6 +821,7 @@ mod tests {
         run(Command::Decompress {
             input: farc.to_string_lossy().into(),
             output: fout.to_string_lossy().into(),
+            profile: None,
         })
         .unwrap();
         let recon = read_f32_field(&fout, shape).unwrap();
@@ -742,6 +856,8 @@ mod tests {
             profile: None,
             fuse: false,
             autotune: false,
+            audit: false,
+            prom: None,
         })
         .unwrap();
         assert!(msg.contains("achieved"), "{msg}");
@@ -788,6 +904,8 @@ mod tests {
             profile: Some(ftrace.to_string_lossy().into()),
             fuse: false,
             autotune: false,
+            audit: false,
+            prom: None,
         })
         .unwrap();
         // The report names the pipeline kernels and gives verdicts.
@@ -806,6 +924,179 @@ mod tests {
             }
         }
         for f in [fin, farc, ftrace] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn parse_audit_and_prom_flag_forms() {
+        let base = ["compress", "-i", "a.f32", "-o", "a.cszi", "--dims", "8", "--abs-eb", "1e-3"];
+        let cmd =
+            parse_args(&strings(&[&base[..], &["--audit", "--prom=m.prom"]].concat())).unwrap();
+        match cmd {
+            Command::Compress { audit, prom, .. } => {
+                assert!(audit);
+                assert_eq!(prom, Some("m.prom".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        let bare = parse_args(&strings(&[&base[..], &["--prom"]].concat())).unwrap();
+        match bare {
+            Command::Compress { prom, .. } => assert_eq!(prom, Some(String::new())),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&strings(&[&base[..], &["--prom="]].concat())).is_err());
+        // decompress accepts --profile.
+        let d = parse_args(&strings(&["decompress", "-i", "a.cszi", "-o", "a.f32", "--profile"]))
+            .unwrap();
+        assert_eq!(
+            d,
+            Command::Decompress {
+                input: "a.cszi".into(),
+                output: "a.f32".into(),
+                profile: Some(String::new()),
+            }
+        );
+    }
+
+    #[test]
+    fn audited_compress_prints_drilldown_and_passes_bound() {
+        let shape = Shape::d3(24, 24, 24);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            ((x + 2 * y) as f32 * 0.15).sin() + (z as f32) * 0.04
+        });
+        let fin = tmp("audit-in.f32");
+        let farc = tmp("audit.cszi");
+        write_f32_field(&fin, &data).unwrap();
+        let msg = run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::Rel(1e-3),
+            bitcomp: true,
+            verify: false,
+            slab: None,
+            streams: None,
+            profile: None,
+            fuse: false,
+            autotune: false,
+            audit: true,
+            prom: None,
+        })
+        .unwrap();
+        assert!(msg.contains("fidelity audit"), "{msg}");
+        assert!(msg.contains("anchor"), "{msg}");
+        assert!(msg.contains("L1 s1"), "{msg}");
+        // Every rendered level row verified against the bound.
+        assert!(!msg.contains("EXCEEDS"), "{msg}");
+        for f in [fin, farc] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn audit_rejects_slab_and_pwrel_modes() {
+        let shape = Shape::d3(8, 8, 8);
+        let fin = tmp("audit-rej.f32");
+        write_f32_field(&fin, &NdArray::zeros(shape)).unwrap();
+        let mk = |mode, slab| Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: "/dev/null".into(),
+            shape,
+            mode,
+            bitcomp: true,
+            verify: false,
+            slab,
+            streams: None,
+            profile: None,
+            fuse: false,
+            autotune: false,
+            audit: true,
+            prom: None,
+        };
+        let err = run(mk(BoundMode::Abs(1e-3), Some(4))).unwrap_err();
+        assert!(err.0.contains("--audit"), "{err}");
+        let err = run(mk(BoundMode::PwRel(1e-2, 1e-6), None)).unwrap_err();
+        assert!(err.0.contains("--audit"), "{err}");
+        let _ = fs::remove_file(fin);
+    }
+
+    #[test]
+    fn prom_flag_writes_metrics_exposition() {
+        let shape = Shape::d3(16, 16, 16);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            ((x + y) as f32 * 0.1).cos() + z as f32 * 0.02
+        });
+        let fin = tmp("prom-in.f32");
+        let farc = tmp("prom.cszi");
+        let fprom = tmp("prom.prom");
+        let ftrace = tmp("prom.trace.json");
+        write_f32_field(&fin, &data).unwrap();
+        let msg = run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::Rel(1e-3),
+            bitcomp: true,
+            verify: false,
+            slab: None,
+            streams: None,
+            profile: Some(ftrace.to_string_lossy().into()),
+            fuse: false,
+            autotune: false,
+            audit: true,
+            prom: Some(fprom.to_string_lossy().into()),
+        })
+        .unwrap();
+        assert!(msg.contains("metrics exposition written"), "{msg}");
+        let text = fs::read_to_string(&fprom).unwrap();
+        // Pipeline counters and audit mirrors land in the exposition.
+        assert!(text.contains("# TYPE cuszi_"), "{text}");
+        assert!(text.contains("cuszi_audit_elements"), "{text}");
+        for f in [fin, farc, fprom, ftrace] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn profiled_decompress_writes_trace() {
+        let shape = Shape::d3(16, 16, 16);
+        let data = NdArray::from_fn(shape, |z, y, x| {
+            ((x + y) as f32 * 0.1).sin() + z as f32 * 0.02
+        });
+        let fin = tmp("dprof-in.f32");
+        let farc = tmp("dprof.cszi");
+        let fout = tmp("dprof-out.f32");
+        let ftrace = tmp("dprof.trace.json");
+        write_f32_field(&fin, &data).unwrap();
+        run(Command::Compress {
+            input: fin.to_string_lossy().into(),
+            output: farc.to_string_lossy().into(),
+            shape,
+            mode: BoundMode::Rel(1e-3),
+            bitcomp: true,
+            verify: false,
+            slab: None,
+            streams: None,
+            profile: None,
+            fuse: false,
+            autotune: false,
+            audit: false,
+            prom: None,
+        })
+        .unwrap();
+        let msg = run(Command::Decompress {
+            input: farc.to_string_lossy().into(),
+            output: fout.to_string_lossy().into(),
+            profile: Some(ftrace.to_string_lossy().into()),
+        })
+        .unwrap();
+        assert!(msg.contains("kernel profile"), "{msg}");
+        assert!(msg.contains("trace written"), "{msg}");
+        let trace = fs::read_to_string(&ftrace).unwrap();
+        let v = cuszi_profile::minjson::parse(&trace).unwrap();
+        assert!(!v.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+        for f in [fin, farc, fout, ftrace] {
             let _ = fs::remove_file(f);
         }
     }
@@ -879,12 +1170,15 @@ mod pwrel_cli_tests {
             profile: None,
             fuse: false,
             autotune: false,
+            audit: false,
+            prom: None,
         })
         .unwrap();
         // Decompress auto-detects the CSZR magic.
         run(Command::Decompress {
             input: farc.to_string_lossy().into(),
             output: fout.to_string_lossy().into(),
+            profile: None,
         })
         .unwrap();
         let recon = read_f32_field(&fout, shape).unwrap();
@@ -932,12 +1226,15 @@ mod slab_cli_tests {
             profile: None,
             fuse: false,
             autotune: false,
+            audit: false,
+            prom: None,
         })
         .unwrap();
         assert!(msg.contains("z-slabs of 8"), "{msg}");
         run(Command::Decompress {
             input: farc.to_string_lossy().into(),
             output: fout.to_string_lossy().into(),
+            profile: None,
         })
         .unwrap();
         let recon = read_f32_field(&fout, shape).unwrap();
@@ -966,6 +1263,8 @@ mod slab_cli_tests {
             profile: None,
             fuse: false,
             autotune: false,
+            audit: false,
+            prom: None,
         })
         .unwrap_err();
         assert!(err.0.contains("--slab supports"), "{err}");

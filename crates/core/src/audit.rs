@@ -1,0 +1,420 @@
+//! Fidelity audit: streaming per-block / per-interp-level quality
+//! counters for a compression run.
+//!
+//! The G-Interp predictor treats elements very differently depending on
+//! where they sit on the multi-level lattice: anchor points are stored
+//! losslessly, coarse levels are predicted from distant anchors (high
+//! error pressure, few elements), fine levels from close neighbours
+//! (low error pressure, most elements). A single whole-field outlier
+//! rate hides which level is responsible for a ratio or quality
+//! regression — the audit splits every counter by level:
+//!
+//! - element and outlier counts (outlier rate per level),
+//! - quant-code Shannon entropy per level (the Huffman floor, and the
+//!   first thing that moves when a level's predictions degrade),
+//! - anchor share (lossless bytes the ratio must amortize),
+//! - per-basic-block outlier counts (a histogram; one hot 8^3 block in
+//!   an otherwise smooth field points at a localized artifact),
+//! - a decode-verify pass: the decoded field's max abs error vs the
+//!   claimed bound, per level ([`verify_decode`], driven by the CLI's
+//!   `--audit` which has both fields in hand).
+//!
+//! Enabled per run with [`crate::Config::with_audit`]; the counters are
+//! also mirrored into the metrics registry (`audit.*`) when profiling
+//! is on, so `--profile --audit` exports them with everything else.
+
+use cuszi_predict::ginterp;
+use cuszi_predict::sweep::level_ladder;
+use cuszi_quant::OUTLIER_CODE;
+use cuszi_tensor::{NdArray, Shape};
+
+/// Counters for one rung of the interpolation ladder (or the anchor
+/// lattice, `level == 0`).
+#[derive(Clone, Debug, Default)]
+pub struct LevelAudit {
+    /// Ladder level (stride `2^(level-1)`); 0 is the anchor lattice.
+    pub level: u32,
+    /// Elements predicted at this level.
+    pub elements: u64,
+    /// Elements quantization rejected (stored exactly out-of-band).
+    pub outliers: u64,
+    /// Shannon entropy of this level's quant codes, bits/symbol.
+    pub entropy_bits: f64,
+    /// Decode-verified elements (0 until [`verify_decode`] runs).
+    pub verified: u64,
+    /// Max abs reconstruction error over the verified elements.
+    pub max_abs_err: f64,
+}
+
+impl LevelAudit {
+    /// Outlier fraction of this level's elements.
+    pub fn outlier_rate(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.outliers as f64 / self.elements as f64
+        }
+    }
+}
+
+/// The per-run audit: whole-field tallies plus the per-level split.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// The absolute bound the run claimed.
+    pub eb_abs: f64,
+    /// Total elements of the field.
+    pub total: u64,
+    /// Per-level counters: the anchor lattice at index 0, then ladder
+    /// levels in level order — level 1 (stride 1, the finest, most
+    /// elements) up to the coarsest (stride `anchor_stride / 2`).
+    pub levels: Vec<LevelAudit>,
+    /// Whole-field quant-code entropy, bits/symbol.
+    pub entropy_bits: f64,
+    /// Basic blocks (anchor-stride cubes) inspected.
+    pub blocks: u64,
+    /// Outliers in the hottest basic block.
+    pub block_outlier_max: u64,
+}
+
+impl AuditReport {
+    /// Anchor share: fraction of elements stored losslessly.
+    pub fn anchor_share(&self) -> f64 {
+        let anchors = self.levels.first().map(|l| l.elements).unwrap_or(0);
+        if self.total == 0 {
+            0.0
+        } else {
+            anchors as f64 / self.total as f64
+        }
+    }
+
+    /// Whole-field outlier rate.
+    pub fn outlier_rate(&self) -> f64 {
+        let outliers: u64 = self.levels.iter().map(|l| l.outliers).sum();
+        if self.total == 0 {
+            0.0
+        } else {
+            outliers as f64 / self.total as f64
+        }
+    }
+
+    /// Decode-verified elements across all levels.
+    pub fn verified(&self) -> u64 {
+        self.levels.iter().map(|l| l.verified).sum()
+    }
+
+    /// Max abs error over every verified element.
+    pub fn max_abs_err(&self) -> f64 {
+        self.levels.iter().fold(0.0, |m, l| m.max(l.max_abs_err))
+    }
+
+    /// Whether every verified element honours the claimed bound (with
+    /// one float ULP of slack for the f32 round of the reconstruction).
+    pub fn bound_ok(&self) -> bool {
+        self.max_abs_err() <= self.eb_abs * (1.0 + 1e-6)
+    }
+
+    /// The per-level drill-down table the CLI prints under `--audit`.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fidelity audit: {} elements, eb_abs {:.3e}, entropy {:.3} bits/sym, \
+             anchor share {:.2}%, outlier rate {:.4}%\n",
+            self.total,
+            self.eb_abs,
+            self.entropy_bits,
+            self.anchor_share() * 100.0,
+            self.outlier_rate() * 100.0,
+        ));
+        out.push_str(&format!(
+            "hot block: {} outliers (of {} blocks)\n",
+            self.block_outlier_max, self.blocks
+        ));
+        out.push_str(
+            "level      elements     outliers    rate%   entropy  verified   max-err      vs eb\n",
+        );
+        for l in &self.levels {
+            let name = if l.level == 0 {
+                "anchor".to_string()
+            } else {
+                format!("L{} s{}", l.level, 1usize << (l.level - 1))
+            };
+            let vs = if l.verified == 0 {
+                "-".to_string()
+            } else if l.max_abs_err <= self.eb_abs * (1.0 + 1e-6) {
+                "ok".to_string()
+            } else {
+                format!("EXCEEDS x{:.2}", l.max_abs_err / self.eb_abs)
+            };
+            out.push_str(&format!(
+                "{name:<9} {:>10} {:>12} {:>8.4} {:>9.3} {:>9} {:>10.3e} {:>10}\n",
+                l.elements,
+                l.outliers,
+                l.outlier_rate() * 100.0,
+                l.entropy_bits,
+                l.verified,
+                l.max_abs_err,
+                vs,
+            ));
+        }
+        out
+    }
+}
+
+/// Which ladder level predicts the grid point `p`. `None` for
+/// anchor-lattice points (stored losslessly, never predicted). A point
+/// belongs to level `l` (stride `s = 2^(l-1)`) when every active
+/// coordinate is a multiple of `s` and at least one is an odd multiple
+/// — equivalently, the minimum twos-valuation of its nonzero
+/// coordinates is `l - 1` (zero coordinates are anchor-aligned on every
+/// axis, hence "infinite" valuation).
+pub fn level_of(p: [usize; 3], anchor_stride: usize) -> Option<u32> {
+    let anchor_tz = anchor_stride.trailing_zeros();
+    let mut min_tz = u32::MAX;
+    for &c in &p {
+        if c != 0 {
+            min_tz = min_tz.min(c.trailing_zeros());
+        }
+    }
+    if min_tz >= anchor_tz {
+        None
+    } else {
+        Some(min_tz + 1)
+    }
+}
+
+fn entropy_bits(hist: &[u64]) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    hist.iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Stream the quant-code plane into per-level and per-block counters.
+///
+/// `codes` is the predictor's per-element biased code plane (row-major
+/// over `shape`); anchors carry the zero-error code and are tallied
+/// separately via the lattice geometry, not their code value.
+pub fn audit_codes(codes: &[u16], shape: Shape, radius: u16, eb_abs: f64) -> AuditReport {
+    let stride = ginterp::anchor_stride_for_rank(shape.rank());
+    let ladder = level_ladder(stride);
+    let n_levels = ladder.len();
+    let alphabet = 2 * radius as usize;
+    let d = shape.dims3();
+
+    // Index 0 = anchors, index l = ladder level l (levels are 1-based
+    // and contiguous: ladder(s) = [log2(s), .., 1]).
+    let mut elements = vec![0u64; n_levels + 1];
+    let mut outliers = vec![0u64; n_levels + 1];
+    let mut hists = vec![vec![0u64; alphabet]; n_levels + 1];
+    let mut whole = vec![0u64; alphabet];
+
+    // Per-basic-block outlier tally (anchor-stride cubes, the kernel's
+    // working unit).
+    let blocks_of = |len: usize| len.div_ceil(stride);
+    let nb = [blocks_of(d[0]), blocks_of(d[1]), blocks_of(d[2])];
+    let mut block_outliers = vec![0u32; nb[0] * nb[1] * nb[2]];
+
+    let mut i = 0usize;
+    for z in 0..d[0] {
+        for y in 0..d[1] {
+            for x in 0..d[2] {
+                let code = codes[i];
+                i += 1;
+                let slot = match level_of([z, y, x], stride) {
+                    None => 0,
+                    Some(l) => l as usize,
+                };
+                elements[slot] += 1;
+                if let Some(h) = whole.get_mut(code as usize) {
+                    *h += 1;
+                }
+                if let Some(h) = hists[slot].get_mut(code as usize) {
+                    *h += 1;
+                }
+                if code == OUTLIER_CODE && slot != 0 {
+                    outliers[slot] += 1;
+                    let b = (z / stride * nb[1] + y / stride) * nb[2] + x / stride;
+                    block_outliers[b] += 1;
+                }
+            }
+        }
+    }
+
+    // Mirror into the metrics registry (no-ops when profiling is off).
+    cuszi_profile::count("audit.elements", shape.len() as u64);
+    cuszi_profile::count("audit.outliers", outliers.iter().sum());
+    cuszi_profile::count("audit.anchors", elements[0]);
+    for (slot, (&e, &o)) in elements.iter().zip(&outliers).enumerate().skip(1) {
+        cuszi_profile::count(&format!("audit.level{slot}.elements"), e);
+        cuszi_profile::count(&format!("audit.level{slot}.outliers"), o);
+    }
+    for &b in &block_outliers {
+        cuszi_profile::observe("audit.block_outliers", b as u64);
+    }
+
+    let mut levels = Vec::with_capacity(n_levels + 1);
+    for slot in 0..=n_levels {
+        levels.push(LevelAudit {
+            level: slot as u32,
+            elements: elements[slot],
+            outliers: outliers[slot],
+            entropy_bits: if slot == 0 { 0.0 } else { entropy_bits(&hists[slot]) },
+            verified: 0,
+            max_abs_err: 0.0,
+        });
+    }
+    AuditReport {
+        eb_abs,
+        total: shape.len() as u64,
+        levels,
+        entropy_bits: entropy_bits(&whole),
+        blocks: block_outliers.len() as u64,
+        block_outlier_max: block_outliers.iter().copied().max().unwrap_or(0) as u64,
+    }
+}
+
+/// Sampled decode-verify: walk `original` vs `decoded` every
+/// `sample_stride` elements (1 = exhaustive) and fold each element's
+/// abs error into its level's counters. The per-level `max_abs_err`
+/// against `eb_abs` is the audit's ground-truth fidelity check —
+/// everything else in the report is compress-side bookkeeping.
+pub fn verify_decode(
+    report: &mut AuditReport,
+    original: &NdArray<f32>,
+    decoded: &NdArray<f32>,
+    sample_stride: usize,
+) {
+    let shape = original.shape();
+    let stride = ginterp::anchor_stride_for_rank(shape.rank());
+    let step = sample_stride.max(1);
+    let d = shape.dims3();
+    let a = original.as_slice();
+    let b = decoded.as_slice();
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    while i < n {
+        let z = i / (d[1] * d[2]);
+        let y = (i / d[2]) % d[1];
+        let x = i % d[2];
+        let slot = match level_of([z, y, x], stride) {
+            None => 0,
+            Some(l) => l as usize,
+        };
+        let err = (a[i] as f64 - b[i] as f64).abs();
+        if let Some(l) = report.levels.get_mut(slot) {
+            l.verified += 1;
+            l.max_abs_err = l.max_abs_err.max(err);
+        }
+        i += step;
+    }
+    cuszi_profile::count("audit.verified", report.verified());
+    cuszi_profile::observe(
+        "audit.max_err_vs_eb_ppm",
+        (report.max_abs_err() / report.eb_abs.max(f64::MIN_POSITIVE) * 1e6) as u64,
+    );
+}
+
+/// The default decode-verify sampling stride for a field of `n`
+/// elements: exhaustive up to 2^22 elements, then thinned to keep the
+/// verify pass around four million samples.
+pub fn default_sample_stride(n: usize) -> usize {
+    n.div_ceil(1 << 22).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_tensor::Shape;
+
+    #[test]
+    fn level_classification_matches_the_ladder() {
+        // 3-d, stride 8: ladder is [(3,4),(2,2),(1,1)].
+        assert_eq!(level_of([0, 0, 0], 8), None);
+        assert_eq!(level_of([8, 16, 0], 8), None);
+        assert_eq!(level_of([4, 0, 0], 8), Some(3));
+        assert_eq!(level_of([4, 8, 12], 8), Some(3));
+        assert_eq!(level_of([2, 4, 8], 8), Some(2));
+        assert_eq!(level_of([1, 0, 0], 8), Some(1));
+        assert_eq!(level_of([7, 8, 8], 8), Some(1));
+        // 1-d, stride 512: nine levels.
+        assert_eq!(level_of([0, 0, 512], 512), None);
+        assert_eq!(level_of([0, 0, 256], 512), Some(9));
+        assert_eq!(level_of([0, 0, 3], 512), Some(1));
+    }
+
+    #[test]
+    fn level_counts_partition_the_field() {
+        let shape = Shape::d3(24, 24, 24);
+        let codes = vec![512u16; shape.len()];
+        let r = audit_codes(&codes, shape, 512, 1e-3);
+        assert_eq!(r.levels.iter().map(|l| l.elements).sum::<u64>(), shape.len() as u64);
+        // Anchor lattice of a 24^3 field at stride 8: ceil(24/8)^3 = 27
+        // on-lattice points... but the lattice includes clamped edge
+        // anchors only at multiples of 8 inside the extent: 0,8,16 ->
+        // 3 per axis.
+        assert_eq!(r.levels[0].elements, 27);
+        // Level 1 (stride 1, the finest) holds points with at least one
+        // odd coordinate: 7/8 of the field.
+        let finest = &r.levels[1];
+        assert!(finest.elements > shape.len() as u64 / 2);
+        assert_eq!(r.outlier_rate(), 0.0);
+        // A uniform code plane has zero entropy.
+        assert!(r.entropy_bits.abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_attribute_to_their_level_and_block() {
+        let shape = Shape::d3(16, 16, 16);
+        let mut codes = vec![512u16; shape.len()];
+        // One outlier at (1,0,0) -> level 1; one at (4,0,0) -> level 3.
+        codes[16 * 16] = OUTLIER_CODE;
+        codes[4 * 16 * 16] = OUTLIER_CODE;
+        let r = audit_codes(&codes, shape, 512, 1e-3);
+        let l1 = &r.levels[1];
+        let l3 = &r.levels[3];
+        assert_eq!((l3.level, l3.outliers), (3, 1));
+        assert_eq!((l1.level, l1.outliers), (1, 1));
+        assert_eq!(r.levels[2].outliers, 0);
+        // Both live in block (0,0,0).
+        assert_eq!(r.block_outlier_max, 2);
+        assert_eq!(r.blocks, 8);
+    }
+
+    #[test]
+    fn verify_decode_folds_errors_per_level() {
+        let shape = Shape::d3(8, 8, 8);
+        let codes = vec![512u16; shape.len()];
+        let mut r = audit_codes(&codes, shape, 512, 0.5);
+        let orig = NdArray::from_fn(shape, |_, _, _| 1.0f32);
+        let mut dec = orig.clone();
+        // Perturb a level-1 point within bound and a level-2 point
+        // beyond it.
+        let idx_l1 = 1usize; // (0,0,1)
+        let idx_l2 = 2usize; // (0,0,2)
+        dec.as_mut_slice()[idx_l1] = 1.4;
+        dec.as_mut_slice()[idx_l2] = 2.0;
+        verify_decode(&mut r, &orig, &dec, 1);
+        assert_eq!(r.verified(), shape.len() as u64);
+        assert!((r.levels[1].max_abs_err - 0.4).abs() < 1e-6);
+        assert!((r.levels[2].max_abs_err - 1.0).abs() < 1e-6);
+        assert!(!r.bound_ok());
+        assert!(r.levels[0].max_abs_err == 0.0);
+        let table = r.render_table();
+        assert!(table.contains("EXCEEDS"));
+        assert!(table.contains("anchor"));
+    }
+
+    #[test]
+    fn sample_stride_is_exhaustive_for_small_fields() {
+        assert_eq!(default_sample_stride(1000), 1);
+        assert_eq!(default_sample_stride(1 << 22), 1);
+        assert!(default_sample_stride(1 << 26) > 1);
+    }
+}

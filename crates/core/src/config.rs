@@ -33,6 +33,11 @@ pub struct Config {
     /// geometry/stream count. Off by default (archives can differ from
     /// the static tuner's when the calibrated order differs).
     pub kernel_autotune: bool,
+    /// Stream the fidelity audit ([`crate::audit`]) during compression:
+    /// per-interp-level outlier/entropy/anchor counters, surfaced in
+    /// [`crate::pipeline::Compressed::audit`]. Off by default — the
+    /// audit walks the quant-code plane once on the host.
+    pub audit: bool,
     /// The GPU the kernels are modelled on.
     pub device: DeviceSpec,
 }
@@ -48,8 +53,15 @@ impl Config {
             histogram_topk: 32,
             fuse: false,
             kernel_autotune: false,
+            audit: false,
             device: A100,
         }
+    }
+
+    /// Enable the streaming fidelity audit.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
     }
 
     /// Enable the fused predict-quant + histogram stage.
@@ -112,6 +124,7 @@ mod tests {
         assert_eq!(c.histogram_topk, 32);
         assert!(!c.fuse, "fusion is opt-in: default kernel roster unchanged");
         assert!(!c.kernel_autotune, "kernel autotuner is opt-in");
+        assert!(!c.audit, "the fidelity audit is opt-in");
         assert_eq!(c.device.name, "A100-40GB");
     }
 

@@ -103,4 +103,19 @@ impl CuszError {
             site: what.to_string(),
         }
     }
+
+    /// The pipeline stage this error is attributed to — the exact stage
+    /// for device faults, a coarse phase name for errors raised before
+    /// any stage ran. This is what the flight recorder stamps on the
+    /// terminal event of a black-box dump.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            CuszError::StageError { stage, .. } => stage,
+            CuszError::NonFiniteInput
+            | CuszError::InvalidErrorBound
+            | CuszError::InvalidConfig(_) => "validate",
+            CuszError::CorruptArchive(_) | CuszError::VersionMismatch { .. } => "parse",
+            CuszError::LosslessStage(_) => "lossless",
+        }
+    }
 }

@@ -39,6 +39,7 @@
 
 pub mod archive;
 pub mod arena;
+pub mod audit;
 pub mod batch;
 pub mod config;
 pub mod error;
@@ -49,10 +50,12 @@ pub mod report;
 pub mod sched;
 pub mod stage;
 pub mod stream;
+pub(crate) mod telemetry;
 pub mod traits;
 pub(crate) mod wire;
 
 pub use arena::ScratchArena;
+pub use audit::{AuditReport, LevelAudit};
 pub use config::Config;
 // Surface the profile-driven autotuner so front ends (CLI, bench) can
 // print the calibration matrix without a direct predict dependency.

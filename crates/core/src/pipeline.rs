@@ -37,6 +37,9 @@ pub struct Compressed {
     pub eb_abs: f64,
     /// The tuned interpolation configuration.
     pub interp: InterpConfig,
+    /// The fidelity audit, when [`Config::with_audit`] was set (absent
+    /// on the constant-field fast path, which predicts nothing).
+    pub audit: Option<crate::audit::AuditReport>,
 }
 
 /// A decompression result.
@@ -72,6 +75,11 @@ impl CuszI {
     /// stage DAG, which the multi-stream scheduler executes the same
     /// way — archives are byte-identical either route.
     pub fn compress(&self, data: &NdArray<f32>) -> Result<Compressed, CuszError> {
+        crate::telemetry::init();
+        crate::telemetry::dump_on_err(self.compress_inner(data))
+    }
+
+    fn compress_inner(&self, data: &NdArray<f32>) -> Result<Compressed, CuszError> {
         let _span = cuszi_profile::span("compress", Category::Stage);
         let cfg = &self.cfg;
         if cfg.radius == 0 {
@@ -102,6 +110,7 @@ impl CuszI {
                 sections: SectionSizes { header: HEADER_LEN, ..Default::default() },
                 eb_abs: 0.0,
                 interp: InterpConfig::untuned(data.shape().rank()),
+                audit: None,
             });
         }
 
@@ -122,6 +131,11 @@ impl CuszI {
     /// The archive is self-describing; only the device model comes from
     /// this codec's configuration.
     pub fn decompress(&self, bytes: &[u8]) -> Result<Decompressed, CuszError> {
+        crate::telemetry::init();
+        crate::telemetry::dump_on_err(self.decompress_inner(bytes))
+    }
+
+    fn decompress_inner(&self, bytes: &[u8]) -> Result<Decompressed, CuszError> {
         let _span = cuszi_profile::span("decompress", Category::Stage);
         let header = Header::from_bytes(bytes)?;
 

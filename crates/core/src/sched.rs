@@ -88,6 +88,9 @@ where
     U: Send,
     F: Fn(&T, usize) -> Result<U, CuszError> + Sync,
 {
+    // Install the flight hook before streams are created so the
+    // create/sync/poison events of this schedule are journaled.
+    crate::telemetry::init();
     let n = n_streams.clamp(1, items.len().max(1));
     let workers = (cuszi_gpu_sim::pool::current_threads() / n).max(1);
     let slots: Vec<Mutex<Option<Result<U, CuszError>>>> =
@@ -116,13 +119,17 @@ where
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 // An empty slot means the stream drained this job
                 // without running it (poisoned) — a typed per-job
-                // error, never a panic.
+                // error, never a panic. The job never entered the
+                // pipeline, so no per-job dump exists; write one here
+                // so scheduler-level drops leave a black box too.
                 .unwrap_or_else(|| {
-                    Err(CuszError::StageError {
+                    let e = CuszError::StageError {
                         stage: "schedule",
                         kind: crate::error::StageFaultKind::StreamPoisoned,
                         site: "job slot never filled".to_string(),
-                    })
+                    };
+                    crate::telemetry::dump(&e);
+                    Err(e)
                 })
         })
         .collect();

@@ -309,6 +309,7 @@ pub struct CompressJob<'a> {
     kernels: Vec<KernelStats>,
     archive: Option<Vec<u8>>,
     outlier_count: usize,
+    audit: Option<crate::audit::AuditReport>,
 }
 
 impl<'a> CompressJob<'a> {
@@ -330,12 +331,29 @@ impl<'a> CompressJob<'a> {
             kernels: Vec::new(),
             archive: None,
             outlier_count: 0,
+            audit: None,
+        }
+    }
+
+    /// Stream the quant-code plane into the fidelity audit (host-side,
+    /// opt-in via [`Config::with_audit`]; decode-verify is filled in
+    /// later by whoever holds both fields — see
+    /// [`crate::audit::verify_decode`]).
+    fn audit_pred(&mut self, pred: &PredictOutput) {
+        if self.cfg.audit {
+            self.audit = Some(crate::audit::audit_codes(
+                &pred.codes,
+                self.data.shape(),
+                self.cfg.radius,
+                self.eb_abs,
+            ));
         }
     }
 
     /// Run one stage (callers go through [`run_compress`]).
     fn run(&mut self, kind: StageKind) -> Result<(), CuszError> {
         let _g = cuszi_profile::span(kind.label(), Category::Stage);
+        cuszi_profile::flight::stage_begin(kind.label());
         let r = match kind {
             StageKind::Tune => self.tune(),
             StageKind::PredictQuant => self.predict_quant(),
@@ -348,7 +366,14 @@ impl<'a> CompressJob<'a> {
             StageKind::Finalize => self.finalize(),
             _ => Err(CuszError::InvalidConfig("decompress stage in compress graph")),
         };
-        drain_sticky(kind)?;
+        let r = drain_sticky(kind).and(r);
+        // A failed stage is deliberately left open in the flight journal:
+        // the dump then shows an unmatched stage-begin right before the
+        // terminal error event, which is exactly the forensic shape a
+        // black box should have.
+        if r.is_ok() {
+            cuszi_profile::flight::stage_end(kind.label());
+        }
         r
     }
 
@@ -386,6 +411,7 @@ impl<'a> CompressJob<'a> {
             ginterp::compress(self.data, self.eb_abs, self.cfg.radius, interp, &self.cfg.device);
         self.kernels.extend(pred.kernels.iter().copied());
         self.outlier_count = pred.outliers.indices().len();
+        self.audit_pred(&pred);
         self.pred = Some(pred);
         Ok(())
     }
@@ -406,6 +432,7 @@ impl<'a> CompressJob<'a> {
         );
         self.kernels.extend(pred.kernels.iter().copied());
         self.outlier_count = pred.outliers.indices().len();
+        self.audit_pred(&pred);
         self.pred = Some(pred);
         observe_entropy(&hist);
         self.hist = Some(hist);
@@ -557,6 +584,7 @@ impl<'a> CompressJob<'a> {
             sections: self.section_sizes,
             eb_abs: self.eb_abs,
             interp: missing(self.interp, "finalize", "interp config")?,
+            audit: self.audit,
         })
     }
 }
@@ -604,6 +632,7 @@ impl<'a> DecompressJob<'a> {
 
     fn run(&mut self, kind: StageKind) -> Result<(), CuszError> {
         let _g = cuszi_profile::span(kind.label(), Category::Stage);
+        cuszi_profile::flight::stage_begin(kind.label());
         let r = match kind {
             StageKind::BitcompDecode => self.bitcomp_decode(),
             StageKind::SplitSections => self.split(),
@@ -611,7 +640,10 @@ impl<'a> DecompressJob<'a> {
             StageKind::Reconstruct => self.reconstruct(),
             _ => Err(CuszError::InvalidConfig("compress stage in decompress graph")),
         };
-        drain_sticky(kind)?;
+        let r = drain_sticky(kind).and(r);
+        if r.is_ok() {
+            cuszi_profile::flight::stage_end(kind.label());
+        }
         r
     }
 

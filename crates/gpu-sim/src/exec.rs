@@ -689,6 +689,11 @@ where
     // pre-launch contents — and the error surfaces at the caller's
     // next sticky-error check, not here.
     if crate::fault::launch_should_fail(name) {
+        hook::flight(hook::FlightSignal::Launch {
+            name,
+            stream: crate::stream::current_stream_id(),
+            dropped: true,
+        });
         return KernelStats::default();
     }
     let total = grid.blocks.count();
@@ -720,6 +725,11 @@ where
     // simulated roofline time to that stream's clock (overlap shows up
     // as max-over-streams elapsed time; see `stream::sim_elapsed_ns`).
     crate::stream::note_launch(device, &stats);
+    hook::flight(hook::FlightSignal::Launch {
+        name,
+        stream: crate::stream::current_stream_id(),
+        dropped: false,
+    });
     stats
 }
 

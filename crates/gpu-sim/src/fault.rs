@@ -138,10 +138,16 @@ fn env_init() {
 }
 
 fn arm_spec(spec: FaultSpec) {
+    let site = match &spec {
+        FaultSpec::AllocNth(n) => format!("alloc:{n}"),
+        FaultSpec::LaunchNamed(n) => format!("launch:{n}"),
+        FaultSpec::PoisonStream(i) => format!("stream:{i}"),
+    };
     *lock(&SPEC) = Some(spec);
     *lock(&STICKY) = None;
     ALLOC_SEEN.store(0, Ordering::Relaxed);
     ARMED.store(true, Ordering::Release);
+    crate::hook::flight(crate::hook::FlightSignal::FaultArmed { site: &site });
 }
 
 /// Arm a fault. Resets the allocation counter and clears any pending
@@ -179,9 +185,18 @@ pub fn take_sticky() -> Option<Fault> {
 /// Record a fault; first writer wins (matching CUDA, which preserves
 /// the first sticky error until it is consumed).
 fn set_sticky(f: Fault) {
-    let mut s = lock(&STICKY);
-    if s.is_none() {
-        *s = Some(f);
+    let site = f.site.clone();
+    let recorded = {
+        let mut s = lock(&STICKY);
+        if s.is_none() {
+            *s = Some(f);
+            true
+        } else {
+            false
+        }
+    };
+    if recorded {
+        crate::hook::flight(crate::hook::FlightSignal::FaultTripped { site: &site });
     }
 }
 

@@ -12,7 +12,7 @@
 //! a single relaxed atomic load per launch — effectively free next to
 //! the launch itself.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::device::DeviceSpec;
@@ -79,4 +79,75 @@ pub(crate) fn active_observer() -> Option<&'static dyn LaunchObserver> {
         return None;
     }
     OBSERVER.get().map(|b| &**b)
+}
+
+// ---------------------------------------------------------------------
+// Flight signals: always-on black-box telemetry.
+//
+// Unlike the opt-in `LaunchObserver` above (full stats, gated behind
+// `enable`), flight signals are meant for an *always-on* flight
+// recorder: a registered [`FlightHook`] receives every named launch
+// (including launches the fault injector dropped), a sampled stream of
+// pooled allocations, stream lifecycle/sync operations, and fault
+// arm/trip transitions. When no hook is registered the cost per site is
+// one relaxed atomic load; the substrate stays dependency-free either
+// way (the hook is a plain `fn` pointer registered by the profiler).
+
+/// One low-level substrate event, delivered to the [`FlightHook`].
+#[derive(Clone, Copy, Debug)]
+pub enum FlightSignal<'a> {
+    /// A named kernel launch finished — or, with `dropped`, was dropped
+    /// by the fault injector (the grid never executed).
+    Launch { name: &'a str, stream: Option<u32>, dropped: bool },
+    /// The `seq`-th pooled/arena allocation. Pool draws are sampled
+    /// (one signal per [`ALLOC_SAMPLE`]); `seq` is the true count.
+    Alloc { seq: u64 },
+    /// A stream lifecycle or synchronization operation.
+    Stream { op: &'a str, id: u32 },
+    /// A fault spec was armed (`site` is the `CUSZI_FAULT` spec text).
+    FaultArmed { site: &'a str },
+    /// A fault tripped sticky (`site` is the kernel name, `alloc#N`, or
+    /// stream label that tripped it).
+    FaultTripped { site: &'a str },
+}
+
+/// Sampling period for pooled-allocation flight signals: pool draws are
+/// per-block hot-path events, so the recorder sees one in every
+/// `ALLOC_SAMPLE` (the sequence number keeps the true count).
+pub const ALLOC_SAMPLE: u64 = 1024;
+
+/// The flight-hook signature: a plain `fn` so registration needs no
+/// allocation and dispatch is one pointer load.
+pub type FlightHook = fn(&FlightSignal<'_>);
+
+static FLIGHT: OnceLock<FlightHook> = OnceLock::new();
+static ALLOC_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Register the process-wide flight hook. First registration wins;
+/// returns `false` if one was already registered.
+pub fn set_flight_hook(h: FlightHook) -> bool {
+    FLIGHT.set(h).is_ok()
+}
+
+/// Deliver a flight signal to the registered hook, if any. One relaxed
+/// atomic load when no hook is registered.
+#[inline]
+pub fn flight(sig: FlightSignal<'_>) {
+    if let Some(h) = FLIGHT.get() {
+        h(&sig);
+    }
+}
+
+/// Count one pooled/arena allocation and deliver a sampled
+/// [`FlightSignal::Alloc`]. Called by the buffer pool next to the fault
+/// injector's `on_alloc`; free (one load) when no hook is registered.
+#[inline]
+pub(crate) fn flight_alloc() {
+    if FLIGHT.get().is_none() {
+        return;
+    }
+    let seq = ALLOC_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    if seq.is_multiple_of(ALLOC_SAMPLE) {
+        flight(FlightSignal::Alloc { seq });
+    }
 }

@@ -32,6 +32,7 @@ pub(crate) fn pool_disabled() -> bool {
 /// Take a pooled `Vec<T>` (empty, arbitrary capacity) or a fresh one.
 fn pool_take<T: 'static>() -> Vec<T> {
     crate::fault::on_alloc();
+    crate::hook::flight_alloc();
     if pool_disabled() {
         return Vec::new();
     }

@@ -104,6 +104,13 @@ pub fn current_stream() -> Option<(u32, String)> {
     CURRENT.with(|c| c.borrow().as_ref().map(|s| (s.id, s.label.clone())))
 }
 
+/// The id of the stream the calling thread is executing on, if any —
+/// the allocation-free variant of [`current_stream`] used by the
+/// always-on flight hook.
+pub fn current_stream_id() -> Option<u32> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|s| s.id))
+}
+
 enum SignalState {
     Pending,
     /// Sim timestamp captured when the event was recorded/executed.
@@ -209,7 +216,14 @@ impl<'env> Stream<'env> {
     /// same place a wedged `cudaStream_t` surfaces its sticky error.
     pub fn synchronize(&self) -> Result<(), crate::fault::Fault> {
         self.record().synchronize();
+        crate::hook::flight(crate::hook::FlightSignal::Stream {
+            op: "sync",
+            id: self.shared.id,
+        });
         if self.shared.poisoned {
+            crate::hook::flight(crate::hook::FlightSignal::FaultTripped {
+                site: &self.shared.label,
+            });
             return Err(crate::fault::Fault {
                 kind: crate::fault::FaultKind::Stream,
                 site: self.shared.label.clone(),
@@ -284,11 +298,16 @@ pub fn with_streams<'env, R>(n: usize, f: impl FnOnce(&[Stream<'env>]) -> R) -> 
         let streams: Vec<Stream<'env>> = (0..n)
             .map(|i| {
                 let (tx, rx) = mpsc::channel::<Cmd<'env>>();
+                let poisoned = crate::fault::stream_poisoned(i as u32);
+                crate::hook::flight(crate::hook::FlightSignal::Stream {
+                    op: if poisoned { "create-poisoned" } else { "create" },
+                    id: i as u32,
+                });
                 let shared = Arc::new(StreamShared {
                     id: i as u32,
                     label: format!("stream-{i}"),
                     clock_ns: AtomicU64::new(0),
-                    poisoned: crate::fault::stream_poisoned(i as u32),
+                    poisoned,
                 });
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()

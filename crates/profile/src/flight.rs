@@ -1,0 +1,428 @@
+//! The flight recorder: an always-on, fixed-capacity black box.
+//!
+//! Unlike the opt-in span [`crate::tracer`] (enabled per run via
+//! `--profile` / `CUSZI_PROFILE`), the flight recorder is **on by
+//! default** and cheap enough to stay on in production: every stage
+//! begin/end, named kernel launch, sampled pooled allocation, stream
+//! operation, and fault arm/trip is recorded into a per-thread
+//! lock-free seqlock ring ([`crate::tracer::Ring`]) at roughly one
+//! relaxed atomic store plus a clock read per event. A full ring wraps
+//! and overwrites the oldest events — the recorder never blocks or
+//! allocates on the hot path, and never grows without bound (rings are
+//! recycled through a free list as threads exit, so memory is bounded
+//! by the peak number of concurrently recording threads).
+//!
+//! When a `CuszError` propagates out of the pipeline, the rings are
+//! drained into a `flight_<pid>.json` dump — the aviation black box:
+//! the last [`DUMP_TAIL`] events before the failure, with exact stage
+//! attribution, parseable by [`crate::minjson`]. Fault-matrix failures
+//! and production incidents get full forensics without anyone having
+//! asked for a trace beforehand.
+//!
+//! Set `CUSZI_FLIGHT=0` to disable recording entirely;
+//! `CUSZI_FLIGHT_DIR` overrides where dumps are written (default: the
+//! system temp directory).
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use cuszi_gpu_sim::hook::{self, FlightSignal};
+
+use crate::tracer::{global_epoch, Ring, SmallName};
+
+/// Events per recording thread. Fixed at construction; wraparound
+/// overwrites the oldest events.
+pub const RING_CAPACITY: usize = 2048;
+
+/// Maximum events written to one dump (the newest win). Keeps
+/// error-path dumps small even when the rings are full.
+pub const DUMP_TAIL: usize = 512;
+
+/// What a flight event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A pipeline stage started (`name` = stage label).
+    StageBegin,
+    /// A pipeline stage finished.
+    StageEnd,
+    /// A named kernel launch completed (`arg` = stream id + 1, 0 when
+    /// launched inline on the host thread).
+    Launch,
+    /// A launch the fault injector dropped — the grid never ran.
+    LaunchDropped,
+    /// A sampled pooled/arena allocation (`arg` = true running count).
+    Alloc,
+    /// A stream lifecycle/sync operation (`name` = op, `arg` = id).
+    StreamOp,
+    /// A fault spec was armed (`name` = spec text).
+    FaultArmed,
+    /// A fault tripped sticky (`name` = tripping site).
+    FaultTripped,
+    /// A `CuszError` propagated (`name` = owning stage label). Recorded
+    /// by [`dump_on_error`] immediately before the dump, so it is the
+    /// final event of every dump.
+    Error,
+}
+
+impl FlightKind {
+    /// The `kind` string used in dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightKind::StageBegin => "stage-begin",
+            FlightKind::StageEnd => "stage-end",
+            FlightKind::Launch => "launch",
+            FlightKind::LaunchDropped => "launch-dropped",
+            FlightKind::Alloc => "alloc",
+            FlightKind::StreamOp => "stream-op",
+            FlightKind::FaultArmed => "fault-armed",
+            FlightKind::FaultTripped => "fault-tripped",
+            FlightKind::Error => "error",
+        }
+    }
+}
+
+/// One recorded flight event — fixed-size and `Copy` so a wrapped ring
+/// slot never tears a heap pointer (same discipline as the tracer).
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    pub kind: FlightKind,
+    pub name: SmallName,
+    /// Dense recorder slot id (recycled across threads; not the OS tid).
+    pub tid: u32,
+    /// Nanoseconds since the process profiling epoch.
+    pub ts_ns: u64,
+    /// Kind-specific argument (stream id, allocation count, …).
+    pub arg: u64,
+}
+
+/// Ring registry: every ring ever created plus a free list of rings
+/// whose owning thread has exited. A new recording thread reuses a free
+/// ring before creating one, so the registry — and recorder memory —
+/// is bounded by the peak number of concurrently recording threads,
+/// not the total number of threads over the process lifetime (kernel
+/// workers are scoped per launch).
+struct Recorder {
+    rings: Mutex<Vec<Arc<Ring<FlightEvent>>>>,
+    free: Mutex<Vec<Arc<Ring<FlightEvent>>>>,
+    next_tid: AtomicUsize,
+}
+
+static RECORDER: OnceLock<Recorder> = OnceLock::new();
+/// Serializes dump writes (two stream workers may fail concurrently).
+static DUMP_LOCK: Mutex<()> = Mutex::new(());
+
+fn recorder() -> &'static Recorder {
+    RECORDER.get_or_init(|| Recorder {
+        rings: Mutex::new(Vec::new()),
+        free: Mutex::new(Vec::new()),
+        next_tid: AtomicUsize::new(0),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Thread-local ring handle; returns the ring to the free list when the
+/// thread exits so the next thread reuses it.
+struct RingHandle {
+    ring: Arc<Ring<FlightEvent>>,
+}
+
+impl Drop for RingHandle {
+    fn drop(&mut self) {
+        if let Some(rec) = RECORDER.get() {
+            lock(&rec.free).push(Arc::clone(&self.ring));
+        }
+    }
+}
+
+thread_local! {
+    static MY_RING: RefCell<Option<RingHandle>> = const { RefCell::new(None) };
+}
+
+/// Whether the recorder is on. Always-on by default; `CUSZI_FLIGHT=0`
+/// (or `false`/`off`) disables it for the whole process. Decided once.
+pub fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| match std::env::var("CUSZI_FLIGHT") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")),
+        Err(_) => true,
+    })
+}
+
+/// Record one event on the calling thread. Lock-free after the thread's
+/// first event (which registers or recycles a ring).
+pub fn record(kind: FlightKind, name: &str, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = global_epoch().elapsed().as_nanos() as u64;
+    MY_RING.with(|cell| {
+        let mut local = cell.borrow_mut();
+        if local.is_none() {
+            // Cold path: first event from this thread.
+            let rec = recorder();
+            let ring = lock(&rec.free).pop().unwrap_or_else(|| {
+                let tid = rec.next_tid.fetch_add(1, Ordering::Relaxed) as u32;
+                let ring = Arc::new(Ring::new(tid, RING_CAPACITY));
+                lock(&rec.rings).push(Arc::clone(&ring));
+                ring
+            });
+            *local = Some(RingHandle { ring });
+        }
+        if let Some(h) = local.as_ref() {
+            h.ring.push(FlightEvent {
+                kind,
+                name: SmallName::new(name),
+                tid: h.ring.tid,
+                ts_ns,
+                arg,
+            });
+        }
+    });
+}
+
+/// Record a stage begin (core calls this at every stage boundary).
+pub fn stage_begin(label: &str) {
+    record(FlightKind::StageBegin, label, 0);
+}
+
+/// Record a stage end.
+pub fn stage_end(label: &str) {
+    record(FlightKind::StageEnd, label, 0);
+}
+
+/// Forward gpu-sim flight signals into the recorder.
+fn on_signal(sig: &FlightSignal<'_>) {
+    match *sig {
+        FlightSignal::Launch { name, stream, dropped } => record(
+            if dropped { FlightKind::LaunchDropped } else { FlightKind::Launch },
+            name,
+            stream.map(|i| i as u64 + 1).unwrap_or(0),
+        ),
+        FlightSignal::Alloc { seq } => record(FlightKind::Alloc, "pool", seq),
+        FlightSignal::Stream { op, id } => record(FlightKind::StreamOp, op, id as u64),
+        FlightSignal::FaultArmed { site } => record(FlightKind::FaultArmed, site, 0),
+        FlightSignal::FaultTripped { site } => record(FlightKind::FaultTripped, site, 0),
+    }
+}
+
+/// Register the recorder as gpu-sim's flight hook. Idempotent; a no-op
+/// when `CUSZI_FLIGHT=0`. Called by core at pipeline entry, so any
+/// front end gets substrate events without explicit setup.
+pub fn install() {
+    if enabled() {
+        hook::set_flight_hook(on_signal);
+    }
+}
+
+/// All events currently held in the rings (oldest lost to wraparound),
+/// sorted by timestamp, plus how many were lost. Non-destructive —
+/// unlike [`crate::Tracer::take_events`], a dump must not consume the
+/// evidence a second failure might need.
+pub fn snapshot() -> (Vec<FlightEvent>, u64) {
+    let Some(rec) = RECORDER.get() else {
+        return (Vec::new(), 0);
+    };
+    let rings: Vec<Arc<Ring<FlightEvent>>> = lock(&rec.rings).iter().map(Arc::clone).collect();
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    for ring in rings {
+        let (evs, head) = ring.snapshot(0);
+        dropped += head.saturating_sub(evs.len() as u64);
+        out.extend(evs);
+    }
+    out.sort_by_key(|e| e.ts_ns);
+    (out, dropped)
+}
+
+/// Where dumps land: `CUSZI_FLIGHT_DIR` or the system temp directory.
+pub fn dump_dir() -> PathBuf {
+    std::env::var_os("CUSZI_FLIGHT_DIR").map(PathBuf::from).unwrap_or_else(std::env::temp_dir)
+}
+
+/// The dump path for this process: `<dir>/flight_<pid>.json`.
+pub fn dump_path() -> PathBuf {
+    dump_dir().join(format!("flight_{}.json", std::process::id()))
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a dump document (the newest [`DUMP_TAIL`] events) as JSON.
+pub fn render_dump(error: Option<(&str, &str)>) -> String {
+    let (mut events, dropped) = snapshot();
+    // A black box ends at its failure: truncate anything another thread
+    // recorded between this error and the snapshot (concurrent stream
+    // jobs can fail and keep recording simultaneously), so the terminal
+    // event of the dump is always the error it reports.
+    if let Some((stage, _)) = error {
+        if let Some(at) = events
+            .iter()
+            .rposition(|e| e.kind == FlightKind::Error && e.name.as_str() == stage)
+        {
+            events.truncate(at + 1);
+        }
+    }
+    let skip = events.len().saturating_sub(DUMP_TAIL);
+    let mut out = String::with_capacity(64 * (events.len() - skip) + 256);
+    out.push_str("{\n");
+    out.push_str(&format!("\"pid\": {},\n", std::process::id()));
+    out.push_str(&format!("\"dropped\": {},\n", dropped + skip as u64));
+    match error {
+        Some((stage, detail)) => {
+            out.push_str("\"error\": {\"stage\": \"");
+            escape_into(&mut out, stage);
+            out.push_str("\", \"detail\": \"");
+            escape_into(&mut out, detail);
+            out.push_str("\"},\n");
+        }
+        None => out.push_str("\"error\": null,\n"),
+    }
+    out.push_str("\"events\": [");
+    for (i, ev) in events[skip..].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"ts_ns\": {}, \"tid\": {}, \"kind\": \"{}\", \"name\": \"",
+            ev.ts_ns,
+            ev.tid,
+            ev.kind.label()
+        ));
+        escape_into(&mut out, ev.name.as_str());
+        out.push_str(&format!("\", \"arg\": {}}}", ev.arg));
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+/// Record the terminal [`FlightKind::Error`] event (stage-attributed)
+/// and write the black-box dump for this process. Returns the dump path
+/// on success, `None` when recording is disabled or the write failed —
+/// the error path must never turn a typed error into a panic.
+pub fn dump_on_error(stage: &str, detail: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    // Record the terminal event under the dump lock so two concurrently
+    // failing threads each capture a dump ending at their own error.
+    let _g = lock(&DUMP_LOCK);
+    record(FlightKind::Error, stage, 0);
+    let doc = render_dump(Some((stage, detail)));
+    let path = dump_path();
+    let tmp = path.with_extension("json.tmp");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(doc.as_bytes())?;
+        std::fs::rename(&tmp, &path)
+    };
+    match write() {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Flight state is process-global; tests in this module serialize.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let _g = lock(&GUARD);
+        record(FlightKind::StageBegin, "predict-quant", 0);
+        record(FlightKind::Launch, "g-interp", 0);
+        record(FlightKind::StageEnd, "predict-quant", 0);
+        let (evs, _) = snapshot();
+        let mine: Vec<&FlightEvent> =
+            evs.iter().filter(|e| e.name.as_str() == "predict-quant" || e.name.as_str() == "g-interp").collect();
+        assert!(mine.len() >= 3);
+        let tail = &mine[mine.len() - 3..];
+        assert_eq!(tail[0].kind, FlightKind::StageBegin);
+        assert_eq!(tail[1].kind, FlightKind::Launch);
+        assert_eq!(tail[2].kind, FlightKind::StageEnd);
+        assert!(tail[0].ts_ns <= tail[1].ts_ns && tail[1].ts_ns <= tail[2].ts_ns);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_dropped() {
+        let _g = lock(&GUARD);
+        let (_, dropped_before) = snapshot();
+        for i in 0..(RING_CAPACITY + 100) {
+            record(FlightKind::Alloc, "wrap-test", i as u64);
+        }
+        let (evs, dropped) = snapshot();
+        assert!(dropped >= dropped_before + 100, "overflow must be counted");
+        // The newest event survives.
+        let newest = evs
+            .iter()
+            .filter(|e| e.name.as_str() == "wrap-test")
+            .map(|e| e.arg)
+            .max()
+            .unwrap();
+        assert_eq!(newest, (RING_CAPACITY + 100 - 1) as u64);
+    }
+
+    #[test]
+    fn dump_is_parseable_and_error_event_is_last() {
+        let _g = lock(&GUARD);
+        let dir = std::env::temp_dir().join(format!("cuszi-flight-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        record(FlightKind::Launch, "g-interp", 0);
+        let doc = {
+            record(FlightKind::Error, "predict-quant", 0);
+            render_dump(Some(("predict-quant", "stage 'predict-quant' failed")))
+        };
+        let v = crate::minjson::parse(&doc).expect("dump is valid JSON");
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("stage")).and_then(|s| s.as_str()),
+            Some("predict-quant")
+        );
+        let events = v.get("events").and_then(|e| e.as_array()).expect("events array");
+        assert!(!events.is_empty());
+        let last = events.last().unwrap();
+        assert_eq!(last.get("kind").and_then(|k| k.as_str()), Some("error"));
+        assert_eq!(last.get("name").and_then(|k| k.as_str()), Some("predict-quant"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rings_are_recycled_across_threads() {
+        let _g = lock(&GUARD);
+        // Warm up: make sure this thread has its ring.
+        record(FlightKind::StageBegin, "recycle-warm", 0);
+        let before = lock(&recorder().rings).len();
+        for _ in 0..32 {
+            std::thread::spawn(|| {
+                record(FlightKind::StageBegin, "recycle-probe", 0);
+            })
+            .join()
+            .unwrap();
+        }
+        let after = lock(&recorder().rings).len();
+        // 32 sequential short-lived threads must not create 32 rings:
+        // each exiting thread frees its ring for the next to reuse.
+        assert!(
+            after <= before + 2,
+            "ring registry grew from {before} to {after} over 32 recycled threads"
+        );
+    }
+}

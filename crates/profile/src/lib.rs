@@ -22,6 +22,7 @@
 //! [`install`] + [`enable`], or ambiently via `CUSZI_PROFILE=1` and
 //! [`init_from_env`].
 
+pub mod flight;
 pub mod kernels;
 pub mod metrics;
 pub mod minjson;
@@ -34,6 +35,7 @@ use std::sync::{Mutex, OnceLock};
 use cuszi_gpu_sim::hook::{self, LaunchObserver, LaunchRecord};
 use cuszi_gpu_sim::timing::TimingModel;
 
+pub use flight::{FlightEvent, FlightKind};
 pub use kernels::{KernelRow, KernelTable};
 pub use metrics::{Registry, Snapshot};
 pub use tracer::{Category, Event, Tracer};

@@ -111,6 +111,47 @@ impl Snapshot {
     }
 }
 
+/// Sanitize a metric name for the Prometheus exposition format:
+/// `[a-zA-Z0-9_]` pass through, everything else becomes `_`.
+fn prom_name(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}
+
+impl Snapshot {
+    /// Render as Prometheus text exposition format (version 0.0.4) —
+    /// what a `/metrics` endpoint serves. Counters become `counter`
+    /// samples; log2 histograms become native Prometheus histograms
+    /// with cumulative `_bucket{le="..."}` samples at power-of-two
+    /// boundaries (only occupied buckets are listed, plus `+Inf`).
+    /// All names are prefixed `cuszi_` and sanitized.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = prom_name(k);
+            out.push_str(&format!("# TYPE cuszi_{n} counter\ncuszi_{n} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let n = prom_name(k);
+            out.push_str(&format!("# TYPE cuszi_{n} histogram\n"));
+            let mut cum = 0u64;
+            for (b, cnt) in h.buckets.iter().enumerate() {
+                if *cnt == 0 {
+                    continue;
+                }
+                cum += cnt;
+                // Bucket b holds v in [2^(b-1), 2^b), so its inclusive
+                // upper bound is 2^b - 1; bucket 0 holds only zeros.
+                let le: u128 = if b == 0 { 0 } else { (1u128 << b) - 1 };
+                out.push_str(&format!("cuszi_{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("cuszi_{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("cuszi_{n}_sum {}\n", h.sum));
+            out.push_str(&format!("cuszi_{n}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
 /// JSON-escape a string (shared by the trace and metrics writers).
 pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -242,6 +283,61 @@ mod tests {
         assert_eq!(s.histograms.len(), 1);
         let empty = r.snapshot();
         assert!(empty.counters.is_empty() && empty.histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_zero_one_and_max() {
+        // The three boundary cases of the log2 bucketing rule:
+        // 0 is its own bucket, 1 lands in bucket 1 (2^0..2^1), and
+        // u64::MAX lands in the final bucket 64 (2^63..2^64).
+        let r = Registry::new();
+        r.observe("edge", 0);
+        r.observe("edge", 1);
+        r.observe("edge", u64::MAX);
+        let h = &r.snapshot().histograms["edge"];
+        assert_eq!(h.buckets[0], 1, "zero belongs to bucket 0");
+        assert_eq!(h.buckets[1], 1, "one belongs to bucket 1");
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1, "u64::MAX belongs to the last bucket");
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+        assert_eq!((h.min, h.max), (0, u64::MAX));
+        // Power-of-two edges: 2^k is the first value of bucket k+1.
+        let r2 = Registry::new();
+        for k in [1u32, 8, 33, 62] {
+            r2.observe("pow", (1u64 << k) - 1);
+            r2.observe("pow", 1u64 << k);
+        }
+        let h2 = &r2.snapshot().histograms["pow"];
+        for k in [1usize, 8, 33, 62] {
+            assert!(h2.buckets[k] >= 1, "2^{k}-1 in bucket {k}");
+            assert!(h2.buckets[k + 1] >= 1, "2^{k} in bucket {}", k + 1);
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_counters_and_histograms() {
+        let r = Registry::new();
+        r.count("compress.bytes_in", 4096);
+        r.observe("audit.level-1 outliers", 0);
+        r.observe("audit.level-1 outliers", 3);
+        r.observe("audit.level-1 outliers", 1024);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE cuszi_compress_bytes_in counter"));
+        assert!(text.contains("cuszi_compress_bytes_in 4096"));
+        // Sanitized histogram name, cumulative buckets, sum and count.
+        assert!(text.contains("# TYPE cuszi_audit_level_1_outliers histogram"));
+        assert!(text.contains("cuszi_audit_level_1_outliers_bucket{le=\"0\"} 1"));
+        assert!(text.contains("cuszi_audit_level_1_outliers_bucket{le=\"3\"} 2"));
+        assert!(text.contains("cuszi_audit_level_1_outliers_bucket{le=\"2047\"} 3"));
+        assert!(text.contains("cuszi_audit_level_1_outliers_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("cuszi_audit_level_1_outliers_sum 1027"));
+        assert!(text.contains("cuszi_audit_level_1_outliers_count 3"));
+        // Every line is a comment or a `name value` sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
     }
 
     #[test]

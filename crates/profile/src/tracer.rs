@@ -119,28 +119,31 @@ pub struct Event {
 
 /// Slot sequence protocol: `2*pos + 1` while the writer is mid-slot,
 /// `2*pos + 2` once the event at ring position `pos` is published.
-struct Slot {
+struct Slot<T> {
     seq: AtomicU64,
-    data: UnsafeCell<MaybeUninit<Event>>,
+    data: UnsafeCell<MaybeUninit<T>>,
 }
 
-/// Single-writer ring buffer; the owner thread pushes, anyone may
-/// snapshot after the owner is quiescent.
-struct Ring {
-    tid: u32,
+/// Single-writer ring buffer over any fixed-size `Copy` record; the
+/// owner thread pushes, anyone may snapshot after the owner is
+/// quiescent. Shared between the span [`Tracer`] (element = [`Event`])
+/// and the always-on flight recorder (element =
+/// [`crate::flight::FlightEvent`]).
+pub(crate) struct Ring<T: Copy> {
+    pub(crate) tid: u32,
     head: AtomicU64,
-    slots: Box<[Slot]>,
+    slots: Box<[Slot<T>]>,
 }
 
 // SAFETY: `data` is written only by the owning thread; readers validate
 // the per-slot `seq` (odd or changed => torn, skipped) and only trust
 // slots published with a Release store. Drains are additionally
 // documented to run after the writers of interest have quiesced.
-unsafe impl Send for Ring {}
-unsafe impl Sync for Ring {}
+unsafe impl<T: Copy + Send> Send for Ring<T> {}
+unsafe impl<T: Copy + Send> Sync for Ring<T> {}
 
-impl Ring {
-    fn new(tid: u32, capacity: usize) -> Self {
+impl<T: Copy> Ring<T> {
+    pub(crate) fn new(tid: u32, capacity: usize) -> Self {
         assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
         Ring {
             tid,
@@ -155,7 +158,7 @@ impl Ring {
     }
 
     /// Owner-thread only.
-    fn push(&self, ev: Event) {
+    pub(crate) fn push(&self, ev: T) {
         let pos = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(pos as usize) & (self.slots.len() - 1)];
         slot.seq.store(pos * 2 + 1, Ordering::Release);
@@ -168,7 +171,7 @@ impl Ring {
 
     /// Events in `[from, head)` in push order, plus the ring's current
     /// head. Events older than one capacity are gone (overwritten).
-    fn snapshot(&self, from: u64) -> (Vec<Event>, u64) {
+    pub(crate) fn snapshot(&self, from: u64) -> (Vec<T>, u64) {
         let head = self.head.load(Ordering::Acquire);
         let cap = self.slots.len() as u64;
         let start = from.max(head.saturating_sub(cap));
@@ -192,7 +195,7 @@ impl Ring {
 
 /// Per-ring drain bookkeeping.
 struct RingState {
-    ring: Arc<Ring>,
+    ring: Arc<Ring<Event>>,
     /// Ring position up to which events were already taken.
     drained: u64,
 }
@@ -215,10 +218,10 @@ static TRACER_IDS: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     /// (tracer id, ring) pairs for every tracer this thread has written
     /// to. Linear scan: a thread rarely records into more than one.
-    static LOCAL_RINGS: RefCell<Vec<(u64, Arc<Ring>)>> = const { RefCell::new(Vec::new()) };
+    static LOCAL_RINGS: RefCell<Vec<(u64, Arc<Ring<Event>>)>> = const { RefCell::new(Vec::new()) };
 }
 
-fn global_epoch() -> Instant {
+pub(crate) fn global_epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
@@ -270,7 +273,7 @@ impl Tracer {
         self.epoch.elapsed().as_nanos() as u64
     }
 
-    fn with_ring<R>(&self, f: impl FnOnce(&Ring) -> R) -> R {
+    fn with_ring<R>(&self, f: impl FnOnce(&Ring<Event>) -> R) -> R {
         LOCAL_RINGS.with(|cell| {
             let mut local = cell.borrow_mut();
             if let Some((_, ring)) = local.iter().find(|(id, _)| *id == self.id) {

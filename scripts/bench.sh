@@ -6,11 +6,15 @@
 # the per-stage wall-clock bench, writing BENCH_<n>.json where <n> is
 # the first unused index in the output directory.
 #
-# Usage: scripts/bench.sh [--quick] [--profile] [--out-dir DIR] [extra exp_hostperf args...]
+# Usage: scripts/bench.sh [--quick] [--profile] [--gate] [--out-dir DIR] [extra exp_hostperf args...]
 #   --quick     2 samples per measurement (CI smoke); default is 5.
 #   --profile   enable the cuszi-profile tracer/kernel-table during the
 #               run; writes profile_<n>.json next to BENCH_<n>.json and
 #               prints the per-kernel roofline report.
+#   --gate      after the run, compare BENCH_<n>.json against the newest
+#               existing report with the noise-aware regression sentinel
+#               (exp_hostperf --compare); exits nonzero on a significant
+#               throughput/CR/DRAM regression. First run just records.
 #   --out-dir   where BENCH_<n>.json goes (default: repo root).
 #
 # The report includes a per-dataset "overlap" section (batch + slab
@@ -34,11 +38,13 @@ export RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}"
 out_dir="."
 quick=0
 profile=0
+gate=0
 extra=()
 while [ $# -gt 0 ]; do
     case "$1" in
         --quick) quick=1 ;;
         --profile) profile=1 ;;
+        --gate) gate=1 ;;
         --out-dir) out_dir="$2"; shift ;;
         *) extra+=("$1") ;;
     esac
@@ -49,6 +55,16 @@ mkdir -p "$out_dir"
 n=1
 while [ -e "$out_dir/BENCH_$n.json" ]; do n=$((n + 1)); done
 out="$out_dir/BENCH_$n.json"
+
+if [ "$gate" = 1 ]; then
+    if [ "$n" -gt 1 ]; then
+        baseline="$out_dir/BENCH_$((n - 1)).json"
+        extra+=("--compare" "$baseline")
+        echo "gate: comparing against $baseline"
+    else
+        echo "gate: no previous BENCH report in $out_dir — recording a baseline"
+    fi
+fi
 
 if [ "$quick" = 1 ]; then
     export CUSZI_BENCH_QUICK=1

@@ -12,6 +12,7 @@ pub use cuszi_gpu_sim as gpu_sim;
 pub use cuszi_huffman as huffman;
 pub use cuszi_metrics as metrics;
 pub use cuszi_predict as predict;
+pub use cuszi_profile as profile;
 pub use cuszi_quant as quant;
 pub use cuszi_tensor as tensor;
 pub use cuszi_transfer as transfer;

@@ -1,0 +1,57 @@
+//! Fidelity-audit acceptance: on every dataset analogue the streaming
+//! audit's sampled decode-verify must see max abs error within the
+//! bound, per interpolation level, and the per-level partition must
+//! cover the field exactly.
+
+use cuszi_repro::core::{audit, Config, CuszI};
+use cuszi_repro::datagen::{generate, DatasetKind, Scale};
+use cuszi_repro::quant::ErrorBound;
+
+#[test]
+fn audit_bound_holds_on_all_six_datasets() {
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 42);
+        let field = &ds.fields[0].data;
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)).with_audit());
+        let c = codec.compress(field).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        let mut rep = c
+            .audit
+            .clone()
+            .unwrap_or_else(|| panic!("{}: audit report missing", kind.name()));
+
+        // The per-level partition covers the field exactly once.
+        assert_eq!(rep.total, field.len() as u64, "{}", kind.name());
+        let sum: u64 = rep.levels.iter().map(|l| l.elements).sum();
+        assert_eq!(sum, field.len() as u64, "{}: levels must partition the field", kind.name());
+        assert!(rep.anchor_share() > 0.0 && rep.anchor_share() < 0.5, "{}", kind.name());
+
+        // Sampled decode-verify: max abs error within eb on every level.
+        let d = codec.decompress(&c.bytes).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        audit::verify_decode(
+            &mut rep,
+            field,
+            &d.data,
+            audit::default_sample_stride(field.len()),
+        );
+        assert!(rep.verified() > 0, "{}: no samples verified", kind.name());
+        assert!(
+            rep.bound_ok(),
+            "{}: sampled max err {:.3e} exceeds eb {:.3e}\n{}",
+            kind.name(),
+            rep.max_abs_err(),
+            rep.eb_abs,
+            rep.render_table()
+        );
+        let table = rep.render_table();
+        assert!(table.contains("fidelity audit"), "{table}");
+        assert!(!table.contains("EXCEEDS"), "{}: {table}", kind.name());
+    }
+}
+
+#[test]
+fn audit_is_off_by_default_and_costs_nothing() {
+    let ds = generate(DatasetKind::Nyx, Scale::Small, 7);
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+    let c = codec.compress(&ds.fields[0].data).unwrap();
+    assert!(c.audit.is_none());
+}

@@ -15,6 +15,7 @@ use cuszi_repro::core::{
 };
 use cuszi_repro::datagen::{generate, DatasetKind, Scale};
 use cuszi_repro::gpu_sim::fault::{self, FaultSpec};
+use cuszi_repro::profile::{flight, minjson};
 use cuszi_repro::quant::ErrorBound;
 use cuszi_repro::tensor::{NdArray, Shape};
 
@@ -55,6 +56,40 @@ fn fields_of(kind: DatasetKind) -> Vec<(String, NdArray<f32>)> {
     ds.fields.iter().take(2).map(|f| (f.name.to_string(), crop(&f.data))).collect()
 }
 
+/// Remove this process's flight dump so a later assertion can't pass on
+/// a stale file from an earlier injection.
+fn clear_flight_dump() {
+    let _ = std::fs::remove_file(flight::dump_path());
+}
+
+/// Every injection must leave a black box: a parseable
+/// `flight_<pid>.json` whose terminal event is the error, attributed to
+/// the same stage as the typed `CuszError`. `expect_stage` is `None`
+/// at stream counts where attribution is nondeterministic (several
+/// concurrent jobs race to write the dump; the last writer wins).
+fn assert_flight_dump(err: &CuszError, expect_stage: Option<&str>) {
+    let path = flight::dump_path();
+    let txt = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("no flight dump at {}: {e} (after {err})", path.display()));
+    let v = minjson::parse(&txt).expect("flight dump is valid JSON");
+    let stage = v
+        .get("error")
+        .and_then(|e| e.get("stage"))
+        .and_then(|s| s.as_str())
+        .expect("dump has error.stage");
+    let events = v.get("events").and_then(|e| e.as_array()).expect("dump has events");
+    let last = events.last().expect("dump has at least the error event");
+    assert_eq!(last.get("kind").and_then(|k| k.as_str()), Some("error"), "{err}");
+    assert_eq!(
+        last.get("name").and_then(|n| n.as_str()),
+        Some(stage),
+        "terminal event must carry the error's stage ({err})"
+    );
+    if let Some(want) = expect_stage {
+        assert_eq!(stage, want, "dump attribution disagrees with typed error ({err})");
+    }
+}
+
 /// Kernel-bearing compress stages and the kernels they launch.
 const COMPRESS_STAGES: &[(&str, &[&str])] = &[
     ("predict-quant", &["anchor-gather", "g-interp"]),
@@ -81,6 +116,7 @@ fn launch_faults_error_at_owning_stage_on_all_datasets() {
         for streams in [1usize, 4] {
             for &(stage, kernels) in COMPRESS_STAGES {
                 for &kernel in kernels {
+                    clear_flight_dump();
                     let _armed = Armed::new(FaultSpec::LaunchNamed(kernel.into()));
                     let err = compress_fields_streams(&named, cfg, streams)
                         .expect_err(&format!(
@@ -100,6 +136,7 @@ fn launch_faults_error_at_owning_stage_on_all_datasets() {
                         }
                         other => panic!("{}: launch:{kernel} gave {other:?}", kind.name()),
                     }
+                    assert_flight_dump(&err, (streams == 1).then_some(stage));
                 }
             }
         }
@@ -119,6 +156,7 @@ fn fused_stage_launch_faults_attribute_to_the_fused_stage() {
             // and owns the histogram work; both kernels of the fused
             // stage must attribute to `predict-quant-histogram`.
             for kernel in ["anchor-gather", "g-interp-hist"] {
+                clear_flight_dump();
                 let _armed = Armed::new(FaultSpec::LaunchNamed(kernel.into()));
                 let err = compress_fields_streams(&named, cfg, streams).expect_err(&format!(
                     "{}: launch:{kernel} at streams={streams} compressed Ok",
@@ -134,6 +172,10 @@ fn fused_stage_launch_faults_attribute_to_the_fused_stage() {
                     }
                     other => panic!("{}: launch:{kernel} gave {other:?}", kind.name()),
                 }
+                assert_flight_dump(
+                    &err,
+                    (streams == 1).then_some("predict-quant-histogram"),
+                );
             }
             // The separate histogram kernel never launches under
             // fusion: arming it must leave the run untouched.
@@ -154,6 +196,7 @@ fn decompress_launch_faults_error_at_owning_stage_on_all_datasets() {
         let archive = codec.compress(data).expect("unarmed compress").bytes;
         for &(stage, kernels) in DECOMPRESS_STAGES {
             for &kernel in kernels {
+                clear_flight_dump();
                 let _armed = Armed::new(FaultSpec::LaunchNamed(kernel.into()));
                 let err = codec.decompress(&archive).expect_err(&format!(
                     "{}/{name}: launch:{kernel} decompressed Ok",
@@ -169,6 +212,7 @@ fn decompress_launch_faults_error_at_owning_stage_on_all_datasets() {
                     "{}/{name}",
                     kind.name()
                 );
+                assert_flight_dump(&err, Some(stage));
             }
         }
     }
@@ -186,14 +230,20 @@ fn alloc_faults_error_without_panicking() {
     // assembly arena draws too). Each N may surface at a different
     // stage — the sweep asserts the kind, not the site.
     for n in [1u64, 2, 3, 5, 8, 13, 21, 34] {
+        clear_flight_dump();
         let _armed = Armed::new(FaultSpec::AllocNth(n));
         match codec.compress(data) {
-            Err(CuszError::StageError { kind: StageFaultKind::AllocFailed, .. }) => {}
+            Err(err @ CuszError::StageError { kind: StageFaultKind::AllocFailed, .. }) => {
+                assert_flight_dump(&err, Some(err.stage()));
+            }
             other => panic!("alloc:{n} compress gave {other:?}"),
         }
+        clear_flight_dump();
         let _armed = Armed::new(FaultSpec::AllocNth(n));
         match codec.decompress(&archive) {
-            Err(CuszError::StageError { kind: StageFaultKind::AllocFailed, .. }) => {}
+            Err(err @ CuszError::StageError { kind: StageFaultKind::AllocFailed, .. }) => {
+                assert_flight_dump(&err, Some(err.stage()));
+            }
             other => panic!("alloc:{n} decompress gave {other:?}"),
         }
     }
@@ -212,6 +262,7 @@ fn poisoned_stream_fails_only_its_own_jobs() {
     // land on the poisoned stream and must fail typed; the other six
     // must come back byte-identical to the unarmed archive.
     let items: Vec<&NdArray<f32>> = (0..8).map(|_| data).collect();
+    clear_flight_dump();
     let _armed = Armed::new(FaultSpec::PoisonStream(1));
     let (results, report) = sched::run_jobs(&items, 4, |d, _| codec.compress(d));
     assert_eq!(report.streams, 4);
@@ -226,6 +277,7 @@ fn poisoned_stream_fails_only_its_own_jobs() {
                 }),
                 "job {i} ran on the poisoned stream"
             );
+            assert_flight_dump(r.as_ref().unwrap_err(), Some("schedule"));
         } else {
             let c = r.as_ref().unwrap_or_else(|e| panic!("sibling job {i} failed: {e}"));
             assert_eq!(c.bytes, reference, "job {i}: sibling archive changed");
@@ -240,6 +292,7 @@ fn poisoning_the_only_stream_fails_every_job_typed() {
     let fields = fields_of(DatasetKind::ALL[2]);
     let named: Vec<NamedField> =
         fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+    clear_flight_dump();
     let _armed = Armed::new(FaultSpec::PoisonStream(0));
     let err = compress_fields_streams(&named, cfg, 1).expect_err("poisoned batch compressed Ok");
     assert!(
@@ -249,6 +302,7 @@ fn poisoning_the_only_stream_fails_every_job_typed() {
         ),
         "{err}"
     );
+    assert_flight_dump(&err, Some(err.stage()));
 }
 
 #[test]
