@@ -1,0 +1,412 @@
+//! Open-loop load generator for the multi-tenant serving engine.
+//!
+//! Drives an in-process `cuszi_core::Engine` (the same object `cuszi
+//! serve` wraps in a TCP daemon) with Poisson arrivals from six tenant
+//! profiles — one per synthetic dataset, alternating interactive and
+//! batch lanes, mixing compress and decompress requests — and records
+//! the serving metrics that matter for a shared deployment: p50 / p99 /
+//! p99.9 latency, offered vs achieved throughput (the saturation
+//! curve), admission rejections, and session-cache hit rates.
+//!
+//! The generator is *open-loop*: request arrival times are drawn up
+//! front from a seeded exponential inter-arrival distribution and do
+//! not wait for earlier responses, so queueing delay shows up in the
+//! tail percentiles instead of silently throttling the offered rate.
+//! Rates are calibrated against a serial warmup: the engine's measured
+//! per-job service time sets capacity = workers / service_time, and the
+//! sweep runs at 0.5x, 1.0x, and 2.0x capacity by default.
+//!
+//! Usage: `exp_serve [--paper] [--seed N] [--out PATH] [--workers N]
+//! [--compare BASELINE.json]`
+//!
+//! The report goes to the next free `BENCH_<n>.json` (or `--out`) in
+//! the sentinel-compatible schema: the top level carries the
+//! fingerprint fields (`experiment:"serve"`, scale, seed, rel_eb,
+//! streams = engine workers) plus an empty `datasets` grid, so
+//! `--compare` can refuse cross-config and cross-experiment baselines
+//! through the same fingerprint gate `exp_hostperf` uses.
+//! Env: `CUSZI_BENCH_QUICK=1` shrinks the per-rate job count.
+
+use std::time::{Duration, Instant};
+
+use cuszi_bench::parse_args;
+use cuszi_core::{Config, Engine, EngineConfig, EngineError, Priority, Ticket};
+use cuszi_datagen::{generate, DatasetKind, Scale};
+use cuszi_quant::ErrorBound;
+use cuszi_tensor::{NdArray, Shape};
+
+const REL_EB: f64 = 1e-3;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One-line command output, for provenance stamping; "unknown" when
+/// the tool is unavailable (e.g. no git in the container).
+fn tool_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn provenance_json() -> String {
+    format!(
+        "{{\"git_rev\":\"{}\",\"rustc\":\"{}\"}}",
+        json_escape(&tool_line("git", &["rev-parse", "--short", "HEAD"])),
+        json_escape(&tool_line("rustc", &["-V"])),
+    )
+}
+
+/// Next unused `BENCH_<n>.json` in `dir`, so serve reports slot into
+/// the same numbered series the other experiments append to.
+fn next_bench_path(dir: &std::path::Path) -> String {
+    let mut max = 0u32;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                max = max.max(n);
+            }
+        }
+    }
+    format!("BENCH_{}.json", max + 1)
+}
+
+/// Deterministic splitmix-style generator for arrival draws; good
+/// enough spectral quality for exponential inter-arrival sampling and
+/// keeps the run reproducible from `--seed`.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1] — never 0, so `ln` below is finite.
+    fn next_unit(&mut self) -> f64 {
+        (((self.next_u64() >> 11) + 1) as f64) / (1u64 << 53) as f64
+    }
+
+    /// Exponential inter-arrival gap for a Poisson process at `rate`/s.
+    fn next_gap_s(&mut self, rate: f64) -> f64 {
+        -self.next_unit().ln() / rate
+    }
+}
+
+/// A tenant's steady-state workload: always the same content, so after
+/// the first job its compressions are session-cache warm hits — the
+/// serving scenario the cache exists for.
+struct Tenant {
+    name: String,
+    priority: Priority,
+    data: NdArray<f32>,
+    /// Precomputed archive, replayed for the decompress share of the mix.
+    archive: Vec<u8>,
+}
+
+/// Small per-tenant crops keep one job in the low milliseconds so the
+/// sweep's ~hundreds of jobs stay inside a bench-friendly wall clock.
+fn build_tenants(scale: Scale, seed: u64, cfg: Config) -> Vec<Tenant> {
+    let mut out = Vec::new();
+    for (i, kind) in DatasetKind::ALL.iter().enumerate() {
+        let ds = generate(*kind, scale, seed);
+        let f = &ds.fields[0];
+        let d = f.data.shape().dims3();
+        let ext = [d[0].min(16), d[1].min(16), d[2].min(16)];
+        let data = NdArray::from_fn(Shape::d3(ext[0], ext[1], ext[2]), |z, y, x| {
+            f.data.get3(z, y, x)
+        });
+        let archive =
+            cuszi_core::CuszI::new(cfg).compress(&data).expect("tenant archive").bytes;
+        out.push(Tenant {
+            name: format!("t-{}", kind.name().to_lowercase()),
+            priority: if i % 2 == 0 { Priority::Interactive } else { Priority::Batch },
+            data,
+            archive,
+        });
+    }
+    out
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct RateResult {
+    offered_rps: f64,
+    achieved_rps: f64,
+    submitted: usize,
+    completed: usize,
+    rejected: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    cache_hit_rate: f64,
+}
+
+impl RateResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"offered_rps\":{:.2},\"achieved_rps\":{:.2},\"submitted\":{},\
+             \"completed\":{},\"rejected\":{},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\
+             \"p999_ms\":{:.4},\"cache_hit_rate\":{:.4}}}",
+            self.offered_rps,
+            self.achieved_rps,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.p50_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.cache_hit_rate,
+        )
+    }
+}
+
+/// Sleep until `deadline`, burning the last stretch in a spin so
+/// sub-millisecond inter-arrival gaps are honoured despite coarse
+/// OS sleep granularity.
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > Duration::from_micros(800) {
+            std::thread::sleep(left - Duration::from_micros(500));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// One open-loop run: `jobs` Poisson arrivals at `rate`/s across the
+/// tenant mix (every 4th request replays the tenant's archive through
+/// decompress). Tickets are collected and drained after the arrival
+/// schedule completes — latency comes from the engine's own
+/// submit/done clocks, so late draining does not distort it.
+fn run_rate(
+    engine: &Engine,
+    tenants: &[Tenant],
+    cfg: Config,
+    rng: &mut Rng,
+    rate: f64,
+    jobs: usize,
+) -> RateResult {
+    let before = engine.stats();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(jobs);
+    let mut rejected = 0usize;
+    let start = Instant::now();
+    let mut next = start;
+    for i in 0..jobs {
+        wait_until(next);
+        next += Duration::from_secs_f64(rng.next_gap_s(rate));
+        let t = &tenants[i % tenants.len()];
+        let res = if i % 4 == 3 {
+            engine.submit_decompress(&t.name, t.priority, t.archive.clone(), cfg)
+        } else {
+            engine.submit_compress(&t.name, t.priority, t.data.clone(), cfg)
+        };
+        match res {
+            Ok(ticket) => tickets.push(ticket),
+            Err(EngineError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(tickets.len());
+    let mut first_submit = u64::MAX;
+    let mut last_done = 0u64;
+    for ticket in tickets {
+        let r = ticket.wait().expect("job failed");
+        lat_ms.push((r.done_ns - r.submitted_ns) as f64 / 1e6);
+        first_submit = first_submit.min(r.submitted_ns);
+        last_done = last_done.max(r.done_ns);
+    }
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    let span_s = (last_done.saturating_sub(first_submit)) as f64 / 1e9;
+    let after = engine.stats();
+    let hits = after.cache_hits - before.cache_hits;
+    let misses = after.cache_misses - before.cache_misses;
+    RateResult {
+        offered_rps: rate,
+        achieved_rps: if span_s > 0.0 { lat_ms.len() as f64 / span_s } else { 0.0 },
+        submitted: jobs,
+        completed: lat_ms.len(),
+        rejected,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+        p999_ms: percentile(&lat_ms, 0.999),
+        cache_hit_rate: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let mut out_path: Option<String> = None;
+    let mut workers = 2usize;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out_path = Some(args.next().expect("--out needs a path"));
+        } else if a == "--workers" {
+            workers = args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--workers needs a count >= 1");
+        } else if a == "--compare" {
+            baseline = Some(args.next().expect("--compare needs a baseline BENCH_<n>.json"));
+        }
+    }
+    let out_path =
+        out_path.unwrap_or_else(|| next_bench_path(std::path::Path::new(".")));
+    let quick = std::env::var("CUSZI_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let jobs = if quick { 40 } else { 160 };
+
+    let cfg = Config::new(ErrorBound::Rel(REL_EB));
+    let engine = Engine::new(EngineConfig::default().with_workers(workers));
+    let tenants = build_tenants(scale, seed, cfg);
+    println!(
+        "serve: scale {scale:?}, seed {seed}, {workers} workers, {} tenants, {jobs} jobs/rate \
+         -> {out_path}",
+        tenants.len()
+    );
+
+    // Calibration: one serial pass over the tenant mix (this also
+    // seeds the session cache, so the sweep measures the warm steady
+    // state a long-lived daemon converges to).
+    let t0 = Instant::now();
+    for t in &tenants {
+        engine.compress(&t.name, t.data.clone(), cfg).expect("calibration job");
+    }
+    let service_s = t0.elapsed().as_secs_f64() / tenants.len() as f64;
+    let capacity_rps = workers as f64 / service_s.max(1e-9);
+    println!(
+        "calibration: {:.3} ms/job -> capacity ~{:.0} req/s at {workers} workers",
+        service_s * 1e3,
+        capacity_rps
+    );
+
+    let mut rng = Rng(seed ^ 0x5e7e_5e7e_5e7e_5e7e);
+    let mut rates_json = Vec::new();
+    for mult in [0.5, 1.0, 2.0] {
+        let rate = (capacity_rps * mult).max(1.0);
+        let r = run_rate(&engine, &tenants, cfg, &mut rng, rate, jobs);
+        println!(
+            "  {mult:>4}x capacity ({:>8.1} rps offered): {:>8.1} rps achieved, \
+             p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms, {} rejected, cache hit {:.0}%",
+            r.offered_rps,
+            r.achieved_rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.rejected,
+            r.cache_hit_rate * 100.0
+        );
+        rates_json.push(r.to_json());
+    }
+    engine.drain();
+
+    // Sentinel-compatible envelope: `streams` doubles as the engine
+    // worker count so reports taken at different parallelism never
+    // compare; `datasets` stays an (empty) grid for the parser.
+    let json = format!(
+        "{{\"experiment\":\"serve\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
+         \"samples\":{jobs},\"rel_eb\":{REL_EB},\"streams\":{workers},\
+         \"provenance\":{},\"datasets\":[],\
+         \"serve\":{{\"workers\":{workers},\"jobs_per_rate\":{jobs},\
+         \"tenants\":{},\"mean_service_ms\":{:.4},\"capacity_rps\":{:.2},\
+         \"rates\":[{}]}}}}\n",
+        provenance_json(),
+        tenants.len(),
+        service_s * 1e3,
+        capacity_rps,
+        rates_json.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("\nwrote {out_path}");
+
+    if let Some(base_path) = &baseline {
+        let base_src = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("read baseline {base_path}: {e}"));
+        let old = cuszi_bench::parse_bench(&base_src).expect("parse baseline");
+        let new = cuszi_bench::parse_bench(&json).expect("parse fresh report");
+        match cuszi_bench::compare(&old, &new) {
+            Ok(rep) => {
+                println!("\n{}", rep.render_markdown(base_path, &out_path));
+                if rep.has_regression() {
+                    eprintln!("bench sentinel: significant regression vs {base_path}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench sentinel: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_bench_path_skips_existing_numbers() {
+        let dir = std::env::temp_dir().join(format!("cuszi-serve-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_bench_path(&dir), "BENCH_1.json");
+        std::fs::write(dir.join("BENCH_1.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
+        assert_eq!(next_bench_path(&dir), "BENCH_8.json");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_gaps_average_to_rate() {
+        let mut a = Rng(42);
+        let mut b = Rng(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut rng = Rng(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_gap_s(100.0)).sum::<f64>() / n as f64;
+        // Exponential(rate=100) has mean 10 ms; allow wide slack.
+        assert!((mean - 0.01).abs() < 0.002, "mean gap {mean}");
+    }
+
+    #[test]
+    fn percentiles_pick_the_tail() {
+        let v: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.5), 501.0);
+        assert_eq!(percentile(&v, 0.99), 990.0);
+        assert_eq!(percentile(&v, 0.999), 999.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -32,9 +32,12 @@ pub const FLOOR_REF_SAMPLES: i64 = 8;
 pub const EXACT_FLOOR_PCT: f64 = 2.0;
 
 /// The bench configuration a report was taken under. Two reports are
-/// comparable only when these match exactly.
+/// comparable only when these match exactly — including the experiment
+/// kind, so an `exp_serve` latency report can never silently gate an
+/// `exp_hostperf` throughput report (or vice versa).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Fingerprint {
+    pub experiment: String,
     pub scale: String,
     pub seed: i64,
     pub rel_eb: f64,
@@ -45,8 +48,8 @@ impl std::fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "scale {}, seed {}, rel_eb {:e}, streams {}",
-            self.scale, self.seed, self.rel_eb, self.streams
+            "experiment {}, scale {}, seed {}, rel_eb {:e}, streams {}",
+            self.experiment, self.scale, self.seed, self.rel_eb, self.streams
         )
     }
 }
@@ -82,13 +85,19 @@ fn num(v: &Value, key: &str) -> Option<f64> {
     v.get(key).and_then(Value::as_f64)
 }
 
-/// Parse a `BENCH_<n>.json` document.
+/// Parse a `BENCH_<n>.json` document (`exp_hostperf` or `exp_serve`).
 pub fn parse_bench(src: &str) -> Result<BenchDoc, String> {
     let v = parse(src)?;
-    if v.get("experiment").and_then(Value::as_str) != Some("hostperf") {
-        return Err("not an exp_hostperf report (missing experiment:\"hostperf\")".into());
-    }
+    let experiment = match v.get("experiment").and_then(Value::as_str) {
+        Some(e @ ("hostperf" | "serve")) => e.to_string(),
+        _ => {
+            return Err(
+                "not a sentinel report (experiment must be \"hostperf\" or \"serve\")".into()
+            )
+        }
+    };
     let fingerprint = Fingerprint {
+        experiment: experiment.clone(),
         scale: v
             .get("scale")
             .and_then(Value::as_str)
@@ -105,7 +114,16 @@ pub fn parse_bench(src: &str) -> Result<BenchDoc, String> {
         .and_then(Value::as_str)
         .map(str::to_string);
     let mut rows = Vec::new();
-    for ds in v.get("datasets").and_then(Value::as_array).ok_or("report lacks \"datasets\"")? {
+    // `exp_serve` reports carry latency percentiles instead of the
+    // dataset x codec throughput grid; an absent/empty dataset list is
+    // valid there.
+    let empty = Vec::new();
+    let ds_list = match v.get("datasets").and_then(Value::as_array) {
+        Some(a) => a,
+        None if experiment == "serve" => &empty,
+        None => return Err("report lacks \"datasets\"".into()),
+    };
+    for ds in ds_list {
         let dataset = ds
             .get("dataset")
             .and_then(Value::as_str)
@@ -437,6 +455,25 @@ mod tests {
     fn non_hostperf_documents_are_rejected() {
         assert!(parse_bench("{\"experiment\":\"fig9\"}").is_err());
         assert!(parse_bench("not json").is_err());
+    }
+
+    #[test]
+    fn serve_reports_parse_but_never_compare_against_hostperf() {
+        // An exp_serve report has no dataset grid; it still parses so
+        // the sentinel machinery can fingerprint it.
+        let serve = r#"{"experiment":"serve","scale":"Small","seed":42,"samples":120,
+            "rel_eb":0.001,"streams":2,
+            "provenance":{"git_rev":"abc1234","rustc":"rustc 1.0"},
+            "datasets":[]}"#;
+        let s = parse_bench(serve).unwrap();
+        assert_eq!(s.fingerprint.experiment, "serve");
+        assert!(s.rows.is_empty());
+        // Same-experiment comparison works (trivially quiet)...
+        assert!(!compare(&s, &s).unwrap().has_regression());
+        // ...but a hostperf baseline is refused outright.
+        let h = parse_bench(&doc("", 100.0)).unwrap();
+        let err = compare(&h, &s).unwrap_err();
+        assert!(err.contains("refusing to compare"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! Input fields are raw little-endian `f32` streams in row-major order
 //! (the SDRBench distribution format the paper's datasets use).
 
+pub mod serve;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -67,6 +69,12 @@ pub enum Command {
     Info {
         input: String,
     },
+    /// Run the multi-tenant compression daemon (see `serve`).
+    Serve {
+        addr: String,
+        workers: usize,
+        max_inflight: usize,
+    },
 }
 
 /// How the bound was specified.
@@ -115,6 +123,7 @@ USAGE:
                    [--audit] [--prom[=METRICS.prom]]
   cuszi decompress -i <in.cszi> -o <out.f32> [--profile[=TRACE.json]]
   cuszi info       -i <in.cszi>
+  cuszi serve      [--addr HOST:PORT] [--workers N] [--max-inflight N]
 
 Dims are slowest-to-fastest (z x y x x), e.g. --dims 256x384x384;
 1-d and 2-d fields use fewer components (--dims 1000 or --dims 384x384).
@@ -144,7 +153,13 @@ and a sampled decode-verify of max abs error against the bound,
 printed as a per-level table.
 
 --prom writes the run's metrics registry (compress.*, audit.*) as
-Prometheus text exposition (default <out>.prom); implies profiling.";
+Prometheus text exposition (default <out>.prom); implies profiling.
+
+serve starts a multi-tenant daemon (default 127.0.0.1:7070): a
+length-prefixed TCP frame protocol feeding a shared engine with a
+session cache, per-tenant token-bucket fairness, and in-flight
+backpressure. A stats frame returns Prometheus text; SIGINT (or a
+shutdown frame) drains gracefully. See docs/SERVING.md.";
 
 /// Parse `ZxYxX` dims.
 pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
@@ -171,6 +186,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut autotune = false;
     let mut audit = false;
     let mut prom = None;
+    let mut addr = None;
+    let mut workers = None;
+    let mut max_inflight = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -243,12 +261,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 streams = Some(n);
             }
+            "--addr" => addr = Some(val("--addr")?),
+            "--workers" => {
+                let n: usize =
+                    val("--workers")?.parse().map_err(|_| CliError("bad --workers".into()))?;
+                if n == 0 {
+                    return Err(CliError("--workers must be >= 1".into()));
+                }
+                workers = Some(n);
+            }
+            "--max-inflight" => {
+                let n: usize = val("--max-inflight")?
+                    .parse()
+                    .map_err(|_| CliError("bad --max-inflight".into()))?;
+                if n == 0 {
+                    return Err(CliError("--max-inflight must be >= 1".into()));
+                }
+                max_inflight = Some(n);
+            }
             other => {
                 return Err(CliError(format!(
                     "unknown argument '{other}' (run with --help for usage)"
                 )))
             }
         }
+    }
+    if sub == "serve" {
+        let workers = workers.unwrap_or(2);
+        return Ok(Command::Serve {
+            addr: addr.unwrap_or_else(|| "127.0.0.1:7070".into()),
+            workers,
+            max_inflight: max_inflight.unwrap_or(workers),
+        });
     }
     let input = input.ok_or_else(|| CliError("missing -i".into()))?;
     match sub.as_str() {
@@ -397,6 +441,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             result
         }
         Command::Info { input } => info_text(&input),
+        Command::Serve { addr, workers, max_inflight } => {
+            serve::serve(&serve::ServeConfig { addr, workers, max_inflight })
+        }
     }
 }
 

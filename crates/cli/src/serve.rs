@@ -1,0 +1,637 @@
+//! `cuszi serve`: a multi-tenant compression daemon over TCP.
+//!
+//! The daemon is std-only: a length-prefixed binary frame protocol on
+//! a `TcpListener`, one thread per connection, every request funnelled
+//! into one shared [`cuszi_core::Engine`] (which provides the session
+//! cache, per-tenant fairness, and backpressure — see `docs/SERVING.md`
+//! for the architecture and knobs).
+//!
+//! # Frame protocol
+//!
+//! Every frame is `u32` little-endian body length, then the body. The
+//! body's first byte is the opcode:
+//!
+//! | op     | direction | payload |
+//! |--------|-----------|---------|
+//! | `0x01` | request   | compress: `tenant_len u8, tenant, rank u8, rank×u64 dims, eb_mode u8 (0=abs 1=rel), eb f64, flags u8 (bit0 = bitcomp), raw f32 LE data` |
+//! | `0x02` | request   | decompress: `tenant_len u8, tenant, archive bytes` |
+//! | `0x03` | request   | stats (empty payload) |
+//! | `0x7F` | request   | shutdown: begin graceful drain (empty payload) |
+//! | `0x81` | response  | compress ok: archive bytes |
+//! | `0x82` | response  | decompress ok: `rank u8, rank×u64 dims, raw f32 LE data` |
+//! | `0x83` | response  | stats: Prometheus text exposition of the engine registry |
+//! | `0x84` | response  | shutdown acknowledged |
+//! | `0xFF` | response  | error: `stage_len u8, stage, UTF-8 message` (typed stage attribution) |
+//!
+//! # Drain semantics
+//!
+//! `SIGINT` or a `0x7F` frame stops the accept loop; in-flight and
+//! queued jobs finish (the engine drains), open connections get their
+//! responses, and the run summary reports totals. No new connections
+//! are admitted while draining.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cuszi_core::{Config, Engine, EngineConfig, EngineError};
+use cuszi_quant::ErrorBound;
+use cuszi_tensor::{NdArray, Shape};
+
+use crate::CliError;
+
+/// Request opcodes.
+pub const OP_COMPRESS: u8 = 0x01;
+pub const OP_DECOMPRESS: u8 = 0x02;
+pub const OP_STATS: u8 = 0x03;
+pub const OP_SHUTDOWN: u8 = 0x7F;
+/// Response opcodes.
+pub const OP_COMPRESS_OK: u8 = 0x81;
+pub const OP_DECOMPRESS_OK: u8 = 0x82;
+pub const OP_STATS_OK: u8 = 0x83;
+pub const OP_SHUTDOWN_OK: u8 = 0x84;
+pub const OP_ERROR: u8 = 0xFF;
+
+/// Largest accepted frame body (guards the daemon against a hostile
+/// length prefix).
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Server knobs, straight from `cuszi serve` flags.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub addr: String,
+    pub workers: usize,
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:7070".into(), workers: 2, max_inflight: 2 }
+    }
+}
+
+// --- SIGINT ---------------------------------------------------------------
+
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_sig: i32) {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Install the SIGINT handler (idempotent). libstd already links libc,
+/// so the raw `signal(2)` declaration needs no extra dependency.
+pub fn install_sigint() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT_NO: i32 = 2;
+    unsafe {
+        signal(SIGINT_NO, on_sigint);
+    }
+}
+
+/// The process-wide interrupt flag the accept loop polls (exposed so
+/// tests can trigger a drain without delivering a real signal).
+pub fn sigint_flag() -> &'static AtomicBool {
+    &SIGINT
+}
+
+// --- Frame encode/decode ---------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds the {MAX_FRAME} byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Encode a compress request body.
+pub fn encode_compress(
+    tenant: &str,
+    shape: Shape,
+    eb: ErrorBound,
+    bitcomp: bool,
+    data: &[f32],
+) -> Vec<u8> {
+    let dims = shape.dims().to_vec();
+    let mut b = Vec::with_capacity(16 + tenant.len() + data.len() * 4);
+    b.push(OP_COMPRESS);
+    b.push(tenant.len() as u8);
+    b.extend_from_slice(tenant.as_bytes());
+    b.push(dims.len() as u8);
+    for &d in &dims {
+        b.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    match eb {
+        ErrorBound::Abs(e) => {
+            b.push(0);
+            b.extend_from_slice(&e.to_le_bytes());
+        }
+        ErrorBound::Rel(e) => {
+            b.push(1);
+            b.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+    b.push(u8::from(bitcomp));
+    for v in data {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+/// Encode a decompress request body.
+pub fn encode_decompress(tenant: &str, archive: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(2 + tenant.len() + archive.len());
+    b.push(OP_DECOMPRESS);
+    b.push(tenant.len() as u8);
+    b.extend_from_slice(tenant.as_bytes());
+    b.extend_from_slice(archive);
+    b
+}
+
+/// Decode an error response body (after the opcode byte) into
+/// `(stage, message)`.
+pub fn decode_error(body: &[u8]) -> Option<(String, String)> {
+    let n = *body.first()? as usize;
+    let stage = std::str::from_utf8(body.get(1..1 + n)?).ok()?.to_string();
+    let msg = String::from_utf8_lossy(body.get(1 + n..)?).to_string();
+    Some((stage, msg))
+}
+
+fn error_body(stage: &str, msg: &str) -> Vec<u8> {
+    let mut b = Vec::with_capacity(2 + stage.len() + msg.len());
+    b.push(OP_ERROR);
+    b.push(stage.len().min(255) as u8);
+    b.extend_from_slice(&stage.as_bytes()[..stage.len().min(255)]);
+    b.extend_from_slice(msg.as_bytes());
+    b
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.b.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.b.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8).map(|s| u64::from_le_bytes(s.try_into().unwrap_or([0; 8])))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn rest(self) -> &'a [u8] {
+        self.b.get(self.pos..).unwrap_or(&[])
+    }
+}
+
+// --- Server ----------------------------------------------------------------
+
+/// A bound, not-yet-running daemon. Split from [`Server::run`] so
+/// callers (and tests) learn the ephemeral port before serving.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Bind the listener and start the engine workers.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, CliError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| CliError(format!("cannot bind {}: {e}", cfg.addr)))?;
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_workers(cfg.workers)
+                .with_max_inflight(cfg.max_inflight),
+        );
+        Ok(Server {
+            listener,
+            engine: Arc::new(engine),
+            stop: Arc::new(AtomicBool::new(false)),
+            requests: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (the actual port when `--addr` used port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, CliError> {
+        self.listener.local_addr().map_err(|e| CliError(e.to_string()))
+    }
+
+    /// A handle that makes [`Server::run`] drain and return when set
+    /// (same path as SIGINT and the shutdown frame).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The shared engine (for load generators and tests that need to
+    /// observe admission/cache counters while the daemon runs).
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Accept connections until SIGINT, a shutdown frame, or the stop
+    /// handle; then drain the engine and return a run summary.
+    pub fn run(self) -> Result<String, CliError> {
+        self.listener.set_nonblocking(true).map_err(|e| CliError(e.to_string()))?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.stop.load(Ordering::SeqCst) || SIGINT.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((sock, _peer)) => {
+                    // A read timeout lets idle connection threads poll
+                    // the stop flag, so a drain never hangs on a client
+                    // that keeps its socket open without sending.
+                    let _ = sock.set_read_timeout(Some(Duration::from_millis(100)));
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    let requests = Arc::clone(&self.requests);
+                    let spawned = std::thread::Builder::new()
+                        .name("cuszi-serve-conn".into())
+                        .spawn(move || handle_connection(sock, &engine, &stop, &requests));
+                    if let Ok(h) = spawned {
+                        conns.push(h);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(CliError(format!("accept failed: {e}"))),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: stop admitting (the engine rejects new submissions),
+        // finish queued + in-flight jobs, let connection threads flush
+        // their final responses.
+        self.engine.drain();
+        for h in conns {
+            let _ = h.join();
+        }
+        let s = self.engine.stats();
+        Ok(format!(
+            "drained: {} requests served, {} jobs completed ({} rejected), \
+             session cache {} hits / {} misses ({} entries, {:.1} KB)\n",
+            self.requests.load(Ordering::Relaxed),
+            s.completed,
+            s.rejected,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_entries,
+            s.cache_bytes as f64 / 1e3,
+        ))
+    }
+}
+
+/// Serve until interrupted; the `cuszi serve` subcommand body.
+pub fn serve(cfg: &ServeConfig) -> Result<String, CliError> {
+    install_sigint();
+    let server = Server::bind(cfg)?;
+    let addr = server.local_addr()?;
+    println!("cuszi serve: listening on {addr} ({} workers, {} in-flight)", cfg.workers, cfg.max_inflight);
+    server.run()
+}
+
+fn handle_connection(
+    mut sock: TcpStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    requests: &AtomicU64,
+) {
+    loop {
+        let body = match read_frame(&mut sock) {
+            Ok(Some(b)) => b,
+            Ok(None) => return,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle between frames: keep waiting unless draining.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        requests.fetch_add(1, Ordering::Relaxed);
+        let reply = dispatch(&body, engine, stop);
+        if write_frame(&mut sock, &reply).is_err() {
+            return;
+        }
+        // During a drain the current request's reply is flushed, then
+        // the connection closes — no new work is accepted.
+        if body.first() == Some(&OP_SHUTDOWN) || stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn dispatch(body: &[u8], engine: &Engine, stop: &AtomicBool) -> Vec<u8> {
+    match body.first().copied() {
+        Some(OP_COMPRESS) => handle_compress(&body[1..], engine),
+        Some(OP_DECOMPRESS) => handle_decompress(&body[1..], engine),
+        Some(OP_STATS) => {
+            let mut b = vec![OP_STATS_OK];
+            b.extend_from_slice(engine.metrics().render_prometheus().as_bytes());
+            b
+        }
+        Some(OP_SHUTDOWN) => {
+            stop.store(true, Ordering::SeqCst);
+            vec![OP_SHUTDOWN_OK]
+        }
+        _ => error_body("parse", "unknown opcode"),
+    }
+}
+
+fn engine_error_body(e: &EngineError) -> Vec<u8> {
+    match e {
+        EngineError::Job(err) => error_body(err.stage(), &err.to_string()),
+        EngineError::Overloaded { .. } => error_body("admission", &e.to_string()),
+        EngineError::ShuttingDown => error_body("admission", &e.to_string()),
+        EngineError::Canceled => error_body("engine", &e.to_string()),
+    }
+}
+
+fn handle_compress(payload: &[u8], engine: &Engine) -> Vec<u8> {
+    let mut c = Cursor { b: payload, pos: 0 };
+    let parsed = (|| {
+        let tn = c.u8()? as usize;
+        let tenant = std::str::from_utf8(c.bytes(tn)?).ok()?.to_string();
+        let rank = c.u8()? as usize;
+        if !(1..=3).contains(&rank) {
+            return None;
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(usize::try_from(c.u64()?).ok()?);
+        }
+        let shape = Shape::from_dims(&dims)?;
+        let eb_mode = c.u8()?;
+        let e = c.f64()?;
+        let eb = match eb_mode {
+            0 => ErrorBound::Abs(e),
+            1 => ErrorBound::Rel(e),
+            _ => return None,
+        };
+        let flags = c.u8()?;
+        Some((tenant, shape, eb, flags & 1 != 0))
+    })();
+    let Some((tenant, shape, eb, bitcomp)) = parsed else {
+        return error_body("parse", "malformed compress request");
+    };
+    let raw = c.rest();
+    if raw.len() != shape.len() * 4 {
+        return error_body(
+            "validate",
+            &format!("dims {shape} need {} data bytes, got {}", shape.len() * 4, raw.len()),
+        );
+    }
+    let vals: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap_or([0; 4])))
+        .collect();
+    let data = NdArray::from_vec(shape, vals);
+    let mut cfg = Config::new(eb);
+    if !bitcomp {
+        cfg = cfg.without_bitcomp();
+    }
+    match engine.compress(&tenant, data, cfg) {
+        Ok(r) => match r.output.into_compressed() {
+            Some(comp) => {
+                let mut b = Vec::with_capacity(1 + comp.bytes.len());
+                b.push(OP_COMPRESS_OK);
+                b.extend_from_slice(&comp.bytes);
+                b
+            }
+            None => error_body("engine", "compress job returned a decompress output"),
+        },
+        Err(e) => engine_error_body(&e),
+    }
+}
+
+fn handle_decompress(payload: &[u8], engine: &Engine) -> Vec<u8> {
+    let mut c = Cursor { b: payload, pos: 0 };
+    let tenant = (|| {
+        let tn = c.u8()? as usize;
+        std::str::from_utf8(c.bytes(tn)?).ok().map(str::to_string)
+    })();
+    let Some(tenant) = tenant else {
+        return error_body("parse", "malformed decompress request");
+    };
+    let archive = c.rest().to_vec();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    match engine.decompress(&tenant, archive, cfg) {
+        Ok(r) => match r.output.into_decompressed() {
+            Some(d) => {
+                let shape = d.data.shape();
+                let dims = shape.dims().to_vec();
+                let mut b = Vec::with_capacity(2 + dims.len() * 8 + d.data.len() * 4);
+                b.push(OP_DECOMPRESS_OK);
+                b.push(dims.len() as u8);
+                for &dim in &dims {
+                    b.extend_from_slice(&(dim as u64).to_le_bytes());
+                }
+                for v in d.data.as_slice() {
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
+                b
+            }
+            None => error_body("engine", "decompress job returned a compress output"),
+        },
+        Err(e) => engine_error_body(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuszi_core::CuszI;
+
+    fn field() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(12, 12, 12), |z, y, x| {
+            ((x as f32) * 0.3).sin() + (y as f32) * 0.04 + (z as f32) * 0.01
+        })
+    }
+
+    fn start_server() -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<String>) {
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            max_inflight: 2,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle();
+        let h = std::thread::spawn(move || server.run().unwrap());
+        (addr, stop, h)
+    }
+
+    fn roundtrip(sock: &mut TcpStream, body: &[u8]) -> Vec<u8> {
+        write_frame(sock, body).unwrap();
+        read_frame(sock).unwrap().expect("response frame")
+    }
+
+    #[test]
+    fn daemon_roundtrips_and_matches_one_shot() {
+        let (addr, _stop, h) = start_server();
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let data = field();
+        let eb = ErrorBound::Rel(1e-3);
+
+        let req = encode_compress("t0", data.shape(), eb, true, data.as_slice());
+        let resp = roundtrip(&mut sock, &req);
+        assert_eq!(resp[0], OP_COMPRESS_OK, "{:?}", decode_error(&resp[1..]));
+        let archive = resp[1..].to_vec();
+        let serial = CuszI::new(Config::new(eb)).compress(&data).unwrap();
+        assert_eq!(archive, serial.bytes, "served archive is byte-identical to one-shot");
+
+        let resp = roundtrip(&mut sock, &encode_decompress("t0", &archive));
+        assert_eq!(resp[0], OP_DECOMPRESS_OK);
+        let rank = resp[1] as usize;
+        assert_eq!(rank, 3);
+        let raw = &resp[2 + rank * 8..];
+        assert_eq!(raw.len(), data.len() * 4);
+
+        let resp = roundtrip(&mut sock, &[OP_STATS]);
+        assert_eq!(resp[0], OP_STATS_OK);
+        let text = String::from_utf8_lossy(&resp[1..]);
+        assert!(text.contains("cuszi_engine_jobs"), "{text}");
+
+        let resp = roundtrip(&mut sock, &[OP_SHUTDOWN]);
+        assert_eq!(resp[0], OP_SHUTDOWN_OK);
+        let summary = h.join().unwrap();
+        assert!(summary.contains("drained"), "{summary}");
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors_and_the_daemon_survives() {
+        let (addr, stop, h) = start_server();
+        let mut sock = TcpStream::connect(addr).unwrap();
+
+        let resp = roundtrip(&mut sock, &[0x42]);
+        assert_eq!(resp[0], OP_ERROR);
+        assert_eq!(decode_error(&resp[1..]).unwrap().0, "parse");
+
+        // Compress body shorter than its dims claim.
+        let mut req = encode_compress("t", Shape::d1(64), ErrorBound::Abs(1e-3), true, &[0.0; 8]);
+        req.truncate(req.len() - 4);
+        let resp = roundtrip(&mut sock, &req);
+        assert_eq!(resp[0], OP_ERROR);
+        assert_eq!(decode_error(&resp[1..]).unwrap().0, "validate");
+
+        // Garbage archive: typed stage attribution from the pipeline.
+        let resp = roundtrip(&mut sock, &encode_decompress("t", &[1, 2, 3]));
+        assert_eq!(resp[0], OP_ERROR);
+        let (stage, msg) = decode_error(&resp[1..]).unwrap();
+        assert_eq!(stage, "parse", "{msg}");
+
+        // Daemon still serves after all that.
+        let data = field();
+        let req = encode_compress("t", data.shape(), ErrorBound::Rel(1e-3), true, data.as_slice());
+        assert_eq!(roundtrip(&mut sock, &req)[0], OP_COMPRESS_OK);
+
+        stop.store(true, Ordering::SeqCst);
+        drop(sock);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn stop_handle_drains_in_flight_work() {
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            max_inflight: 2,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle();
+        let engine = server.engine();
+        let h = std::thread::spawn(move || server.run().unwrap());
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let data = field();
+        let req = encode_compress("t", data.shape(), ErrorBound::Rel(1e-3), true, data.as_slice());
+        write_frame(&mut sock, &req).unwrap();
+        // Wait until the request has been admitted to the engine, then
+        // trigger the SIGINT-equivalent drain: the in-flight response
+        // must still arrive.
+        while {
+            let s = engine.stats();
+            s.queued + s.inflight + s.completed as usize == 0
+        } {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::SeqCst);
+        let mut resp = None;
+        for _ in 0..200 {
+            match read_frame(&mut sock) {
+                Ok(r) => {
+                    resp = r;
+                    break;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => panic!("read failed during drain: {e}"),
+            }
+        }
+        let resp = resp.expect("drain delivered the response");
+        assert_eq!(resp[0], OP_COMPRESS_OK);
+        let summary = h.join().unwrap();
+        assert!(summary.contains("jobs completed"), "{summary}");
+    }
+
+    #[test]
+    fn sigint_flag_is_wired() {
+        install_sigint();
+        assert!(!sigint_flag().load(Ordering::SeqCst));
+        on_sigint(2);
+        assert!(sigint_flag().load(Ordering::SeqCst));
+        sigint_flag().store(false, Ordering::SeqCst);
+    }
+}

@@ -82,6 +82,12 @@ impl ScratchArena {
     pub fn pooled(&self) -> usize {
         self.bufs.len()
     }
+
+    /// Total capacity held by pooled buffers — what the engine's
+    /// session cache charges against its LRU byte budget.
+    pub fn bytes(&self) -> usize {
+        self.bufs.iter().map(|b| b.capacity()).sum()
+    }
 }
 
 thread_local! {
@@ -101,6 +107,14 @@ pub fn take(cap: usize) -> Vec<u8> {
 /// Return a buffer to this thread's arena.
 pub fn put(buf: Vec<u8>) {
     with_arena(|a| a.put(buf));
+}
+
+/// Swap this thread's arena for `a`, returning the previous one. The
+/// engine installs a session's warm arena before running its job (so
+/// assembly buffers stay hot across requests touching the same dataset
+/// family) and swaps the worker's own arena back afterwards.
+pub fn swap(a: ScratchArena) -> ScratchArena {
+    ARENA.with(|cell| std::mem::replace(&mut *cell.borrow_mut(), a))
 }
 
 #[cfg(test)]

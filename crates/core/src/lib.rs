@@ -42,6 +42,7 @@ pub mod arena;
 pub mod audit;
 pub mod batch;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod pipeline;
 pub mod quality;
@@ -57,6 +58,9 @@ pub(crate) mod wire;
 pub use arena::ScratchArena;
 pub use audit::{AuditReport, LevelAudit};
 pub use config::Config;
+pub use engine::{
+    Engine, EngineConfig, EngineError, EngineStats, JobOutput, JobResult, Priority, Ticket,
+};
 // Surface the profile-driven autotuner so front ends (CLI, bench) can
 // print the calibration matrix without a direct predict dependency.
 pub use cuszi_predict::tuning::{autotune, AutotuneDecision};

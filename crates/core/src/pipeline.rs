@@ -49,6 +49,22 @@ pub struct Decompressed {
     pub kernels: Vec<KernelStats>,
 }
 
+/// How a compress run interacts with an engine session cache (plain
+/// [`CuszI::compress`] always uses `None` — no behavioural change for
+/// one-shot callers).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) enum SessionMode<'a> {
+    /// One-shot: no cache interaction.
+    #[default]
+    None,
+    /// Cold cache miss: run the full graph, then clone out the
+    /// reusable artifacts for insertion.
+    Harvest,
+    /// Cache hit: reuse the cached artifacts, skipping
+    /// `tune`/`histogram`/`codebook`.
+    Warm(&'a stage::WarmStart),
+}
+
 /// The cuSZ-i compressor.
 #[derive(Clone, Copy, Debug)]
 pub struct CuszI {
@@ -76,10 +92,29 @@ impl CuszI {
     /// way — archives are byte-identical either route.
     pub fn compress(&self, data: &NdArray<f32>) -> Result<Compressed, CuszError> {
         crate::telemetry::init();
-        crate::telemetry::dump_on_err(self.compress_inner(data))
+        crate::telemetry::dump_on_err(self.compress_inner(data, SessionMode::None).map(|(c, _)| c))
     }
 
-    fn compress_inner(&self, data: &NdArray<f32>) -> Result<Compressed, CuszError> {
+    /// Session-aware compress for [`crate::engine::Engine`]: a `Warm`
+    /// mode reuses a previous run's tuned config + codebook (skipping
+    /// `tune`/`histogram`/`codebook` with a byte-identical archive —
+    /// valid only for identical field content, which the engine
+    /// guarantees via content fingerprinting); `Harvest` additionally
+    /// clones out the artifacts for the cache after a cold run.
+    pub(crate) fn compress_session(
+        &self,
+        data: &NdArray<f32>,
+        mode: SessionMode<'_>,
+    ) -> Result<(Compressed, Option<stage::WarmStart>), CuszError> {
+        crate::telemetry::init();
+        crate::telemetry::dump_on_err(self.compress_inner(data, mode))
+    }
+
+    fn compress_inner(
+        &self,
+        data: &NdArray<f32>,
+        mode: SessionMode<'_>,
+    ) -> Result<(Compressed, Option<stage::WarmStart>), CuszError> {
         let _span = cuszi_profile::span("compress", Category::Stage);
         let cfg = &self.cfg;
         if cfg.radius == 0 {
@@ -104,14 +139,17 @@ impl CuszI {
                 const_value: range.min,
                 sections: [0; 5],
             };
-            return Ok(Compressed {
-                bytes: header.to_bytes(),
-                kernels: Vec::new(),
-                sections: SectionSizes { header: HEADER_LEN, ..Default::default() },
-                eb_abs: 0.0,
-                interp: InterpConfig::untuned(data.shape().rank()),
-                audit: None,
-            });
+            return Ok((
+                Compressed {
+                    bytes: header.to_bytes(),
+                    kernels: Vec::new(),
+                    sections: SectionSizes { header: HEADER_LEN, ..Default::default() },
+                    eb_abs: 0.0,
+                    interp: InterpConfig::untuned(data.shape().rank()),
+                    audit: None,
+                },
+                None,
+            ));
         }
 
         let eb_abs = cfg.error_bound.absolute(range.range() as f64);
@@ -120,10 +158,19 @@ impl CuszI {
             return Err(CuszError::InvalidErrorBound);
         }
 
-        let graph = StageGraph::compress(cfg);
-        let mut job = CompressJob::new(data, cfg, eb_abs, rel_eb);
+        let (graph, mut job) = match mode {
+            SessionMode::Warm(warm) => (
+                StageGraph::compress_warm(cfg),
+                CompressJob::new_warm(data, cfg, eb_abs, rel_eb, warm),
+            ),
+            _ => (StageGraph::compress(cfg), CompressJob::new(data, cfg, eb_abs, rel_eb)),
+        };
         stage::run_compress(&graph, &mut job)?;
-        job.into_compressed()
+        let harvest = match mode {
+            SessionMode::Harvest => job.harvest_warm(),
+            _ => None,
+        };
+        Ok((job.into_compressed()?, harvest))
     }
 
     /// Decompress an archive produced by [`CuszI::compress`].
@@ -152,7 +199,7 @@ impl CuszI {
         let mut job = DecompressJob::new(bytes, &header, &self.cfg);
         stage::run_decompress(&graph, &mut job)?;
         let d = job.into_decompressed()?;
-        if cuszi_profile::enabled() {
+        if cuszi_profile::metrics_active() {
             cuszi_profile::count("decompress.fields", 1);
             cuszi_profile::count("decompress.bytes_in", bytes.len() as u64);
             cuszi_profile::count("decompress.bytes_out", (d.data.len() * 4) as u64);

@@ -197,6 +197,24 @@ impl StageGraph {
         g
     }
 
+    /// The compress graph for a [`WarmStart`]ed job: the session cache
+    /// supplies `Interp` and `Book` as graph inputs, so the `tune`,
+    /// `histogram`, and `codebook` stages are skipped entirely — one
+    /// fewer kernel launch (the histogram) and no tuning work, with a
+    /// byte-identical archive. Fusion is moot here (the fused node
+    /// exists to produce the histogram inline, which a warm job never
+    /// needs), so the plain predict-quant node is always used.
+    pub fn compress_warm(cfg: &Config) -> Self {
+        let mut order = vec![StageKind::PredictQuant, StageKind::HuffmanEncode, StageKind::Assemble];
+        if cfg.bitcomp {
+            order.push(StageKind::Bitcomp);
+        }
+        order.push(StageKind::Finalize);
+        let g = StageGraph { order };
+        debug_assert!(g.validate(&[Buf::Field, Buf::Interp, Buf::Book]).is_ok());
+        g
+    }
+
     /// The decompress graph for an archive (Bitcomp-decode present iff
     /// the header says the payload is packed).
     pub fn decompress(bitcomp: bool) -> Self {
@@ -245,12 +263,39 @@ impl StageGraph {
     }
 }
 
+/// Session-cache warm start: the per-field artifacts a previous
+/// compression of the *same content* derived, reusable verbatim. The
+/// quant-code plane is a deterministic function of (field bytes, interp
+/// config, eb, radius, device), so reusing the tuned [`InterpConfig`]
+/// and the [`Codebook`] built from that plane's histogram skips the
+/// `tune`, `histogram`, and `codebook` stages while producing a
+/// byte-identical archive — the engine's session cache keys entries by
+/// a content fingerprint for exactly this reason (see
+/// [`crate::engine`]).
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    /// The tuned interpolation configuration (skips `tune`, including
+    /// the autotuner's calibration sweep).
+    pub interp: InterpConfig,
+    /// The Huffman codebook (skips `histogram` + `codebook`).
+    pub book: Codebook,
+}
+
+impl WarmStart {
+    /// Approximate resident bytes, for the session cache's LRU budget.
+    pub fn approx_bytes(&self) -> usize {
+        // Codebook storage dominates: ~16 bytes per alphabet symbol
+        // across its code/length/canonical tables.
+        std::mem::size_of::<WarmStart>() + self.book.alphabet() * 16
+    }
+}
+
 /// Shannon entropy of the quant-code distribution, in milli-bits per
 /// symbol — the floor the Huffman stage is chasing. Only computed when
-/// profiling (it walks the histogram). Shared by the separate and
-/// fused histogram stages.
+/// metrics are consuming it (it walks the histogram). Shared by the
+/// separate and fused histogram stages.
 fn observe_entropy(hist: &[u32]) {
-    if !cuszi_profile::enabled() {
+    if !cuszi_profile::metrics_active() {
         return;
     }
     let total: u64 = hist.iter().map(|&c| c as u64).sum();
@@ -333,6 +378,32 @@ impl<'a> CompressJob<'a> {
             outlier_count: 0,
             audit: None,
         }
+    }
+
+    /// A job pre-seeded with a session-cache [`WarmStart`]: the interp
+    /// config and codebook arrive as graph inputs (pair with
+    /// [`StageGraph::compress_warm`]).
+    pub fn new_warm(
+        data: &'a NdArray<f32>,
+        cfg: &'a Config,
+        eb_abs: f64,
+        rel_eb: f64,
+        warm: &WarmStart,
+    ) -> Self {
+        let mut job = CompressJob::new(data, cfg, eb_abs, rel_eb);
+        job.interp = Some(warm.interp.clone());
+        job.book = Some(warm.book.clone());
+        job
+    }
+
+    /// Clone out the reusable artifacts for the session cache (call
+    /// after the graph ran, before [`Self::into_compressed`]). `None`
+    /// until `tune` and `codebook` have both produced their buffers.
+    pub fn harvest_warm(&self) -> Option<WarmStart> {
+        Some(WarmStart {
+            interp: self.interp.as_ref()?.clone(),
+            book: self.book.as_ref()?.clone(),
+        })
     }
 
     /// Stream the quant-code plane into the fidelity audit (host-side,
@@ -557,7 +628,7 @@ impl<'a> CompressJob<'a> {
         let mut bytes = header.to_bytes();
         bytes.extend_from_slice(&payload);
         crate::arena::put(payload);
-        if cuszi_profile::enabled() {
+        if cuszi_profile::metrics_active() {
             let bytes_in = (self.data.len() * 4) as u64;
             let bytes_out = bytes.len() as u64;
             cuszi_profile::count("compress.fields", 1);

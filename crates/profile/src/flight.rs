@@ -13,20 +13,24 @@
 //! by the peak number of concurrently recording threads).
 //!
 //! When a `CuszError` propagates out of the pipeline, the rings are
-//! drained into a `flight_<pid>.json` dump — the aviation black box:
-//! the last [`DUMP_TAIL`] events before the failure, with exact stage
-//! attribution, parseable by [`crate::minjson`]. Fault-matrix failures
-//! and production incidents get full forensics without anyone having
-//! asked for a trace beforehand.
+//! drained into a `flight_<pid>_<seq>.json` dump — the aviation black
+//! box: the last [`DUMP_TAIL`] events before the failure, with exact
+//! stage attribution (and the failing job/tenant id when an engine set
+//! one via [`job_scope`]), parseable by [`crate::minjson`]. The
+//! sequence number makes every failure in a long-lived server its own
+//! dump; at most [`DUMP_KEEP`] are retained (oldest evicted).
+//! Fault-matrix failures and production incidents get full forensics
+//! without anyone having asked for a trace beforehand.
 //!
 //! Set `CUSZI_FLIGHT=0` to disable recording entirely;
 //! `CUSZI_FLIGHT_DIR` overrides where dumps are written (default: the
 //! system temp directory).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use cuszi_gpu_sim::hook::{self, FlightSignal};
@@ -40,6 +44,14 @@ pub const RING_CAPACITY: usize = 2048;
 /// Maximum events written to one dump (the newest win). Keeps
 /// error-path dumps small even when the rings are full.
 pub const DUMP_TAIL: usize = 512;
+
+/// Maximum dumps kept on disk per process. A long-lived server handles
+/// many failing jobs; each failure gets its *own* sequenced dump
+/// (`flight_<pid>_<seq>.json` — the old one-file-per-process name made
+/// a second failure overwrite the first), and once more than this many
+/// exist the oldest is deleted so a crash-looping tenant cannot fill
+/// the disk.
+pub const DUMP_KEEP: usize = 8;
 
 /// What a flight event describes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,6 +125,42 @@ struct Recorder {
 static RECORDER: OnceLock<Recorder> = OnceLock::new();
 /// Serializes dump writes (two stream workers may fail concurrently).
 static DUMP_LOCK: Mutex<()> = Mutex::new(());
+/// Monotonic per-process dump sequence; baked into every dump name so
+/// one process handling many failing jobs never overwrites evidence.
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Dumps written by this process, oldest first (the eviction queue).
+static WRITTEN: Mutex<VecDeque<PathBuf>> = Mutex::new(VecDeque::new());
+
+thread_local! {
+    /// The engine job executing on this thread, if any: `(job id,
+    /// tenant)`. Stamped into dumps so a server operator can tell
+    /// *whose* request crashed.
+    static JOB_CTX: Cell<Option<(u64, SmallName)>> = const { Cell::new(None) };
+}
+
+/// RAII guard for the per-thread job/tenant context (see [`job_scope`]).
+pub struct JobScope {
+    prev: Option<(u64, SmallName)>,
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        JOB_CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Tag this thread with the engine job it is executing. Every flight
+/// dump written while the guard lives carries a `"job": {"id", "tenant"}`
+/// block. Nests (the previous context is restored on drop).
+pub fn job_scope(job_id: u64, tenant: &str) -> JobScope {
+    let prev = JOB_CTX.with(|c| c.replace(Some((job_id, SmallName::new(tenant)))));
+    JobScope { prev }
+}
+
+/// The job context of the calling thread, if one is set.
+pub fn current_job() -> Option<(u64, String)> {
+    JOB_CTX.with(|c| c.get()).map(|(id, t)| (id, t.as_str().to_string()))
+}
 
 fn recorder() -> &'static Recorder {
     RECORDER.get_or_init(|| Recorder {
@@ -245,9 +293,30 @@ pub fn dump_dir() -> PathBuf {
     std::env::var_os("CUSZI_FLIGHT_DIR").map(PathBuf::from).unwrap_or_else(std::env::temp_dir)
 }
 
-/// The dump path for this process: `<dir>/flight_<pid>.json`.
-pub fn dump_path() -> PathBuf {
-    dump_dir().join(format!("flight_{}.json", std::process::id()))
+/// The dump path for one sequenced failure:
+/// `<dir>/flight_<pid>_<seq>.json`.
+fn dump_path_for(seq: u64) -> PathBuf {
+    dump_dir().join(format!("flight_{}_{seq:04}.json", std::process::id()))
+}
+
+/// The most recent dump written by this process, if any.
+pub fn latest_dump() -> Option<PathBuf> {
+    lock(&WRITTEN).back().cloned()
+}
+
+/// Every dump this process has written and not yet evicted, oldest
+/// first (at most [`DUMP_KEEP`]).
+pub fn written_dumps() -> Vec<PathBuf> {
+    lock(&WRITTEN).iter().cloned().collect()
+}
+
+/// Delete this process's dumps and forget them — test hygiene, so a
+/// later assertion cannot pass on a stale black box.
+pub fn clear_dumps() {
+    let mut w = lock(&WRITTEN);
+    for p in w.drain(..) {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 fn escape_into(out: &mut String, s: &str) {
@@ -265,7 +334,8 @@ fn escape_into(out: &mut String, s: &str) {
 }
 
 /// Render a dump document (the newest [`DUMP_TAIL`] events) as JSON.
-pub fn render_dump(error: Option<(&str, &str)>) -> String {
+/// `job` is the failing thread's job/tenant context, if any.
+pub fn render_dump(error: Option<(&str, &str)>, job: Option<(u64, &str)>) -> String {
     let (mut events, dropped) = snapshot();
     // A black box ends at its failure: truncate anything another thread
     // recorded between this error and the snapshot (concurrent stream
@@ -284,6 +354,14 @@ pub fn render_dump(error: Option<(&str, &str)>) -> String {
     out.push_str("{\n");
     out.push_str(&format!("\"pid\": {},\n", std::process::id()));
     out.push_str(&format!("\"dropped\": {},\n", dropped + skip as u64));
+    match job {
+        Some((id, tenant)) => {
+            out.push_str(&format!("\"job\": {{\"id\": {id}, \"tenant\": \""));
+            escape_into(&mut out, tenant);
+            out.push_str("\"},\n");
+        }
+        None => out.push_str("\"job\": null,\n"),
+    }
     match error {
         Some((stage, detail)) => {
             out.push_str("\"error\": {\"stage\": \"");
@@ -324,8 +402,10 @@ pub fn dump_on_error(stage: &str, detail: &str) -> Option<PathBuf> {
     // failing threads each capture a dump ending at their own error.
     let _g = lock(&DUMP_LOCK);
     record(FlightKind::Error, stage, 0);
-    let doc = render_dump(Some((stage, detail)));
-    let path = dump_path();
+    let job = JOB_CTX.with(|c| c.get());
+    let doc = render_dump(Some((stage, detail)), job.as_ref().map(|(id, t)| (*id, t.as_str())));
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dump_path_for(seq);
     let tmp = path.with_extension("json.tmp");
     let write = || -> std::io::Result<()> {
         let mut f = std::fs::File::create(&tmp)?;
@@ -333,7 +413,19 @@ pub fn dump_on_error(stage: &str, detail: &str) -> Option<PathBuf> {
         std::fs::rename(&tmp, &path)
     };
     match write() {
-        Ok(()) => Some(path),
+        Ok(()) => {
+            let mut w = lock(&WRITTEN);
+            w.push_back(path.clone());
+            // Over-capacity eviction: a server that keeps failing must
+            // not fill the disk with black boxes — keep the newest
+            // DUMP_KEEP, delete the rest.
+            while w.len() > DUMP_KEEP {
+                if let Some(old) = w.pop_front() {
+                    let _ = std::fs::remove_file(old);
+                }
+            }
+            Some(path)
+        }
         Err(_) => None,
     }
 }
@@ -389,7 +481,7 @@ mod tests {
         record(FlightKind::Launch, "g-interp", 0);
         let doc = {
             record(FlightKind::Error, "predict-quant", 0);
-            render_dump(Some(("predict-quant", "stage 'predict-quant' failed")))
+            render_dump(Some(("predict-quant", "stage 'predict-quant' failed")), None)
         };
         let v = crate::minjson::parse(&doc).expect("dump is valid JSON");
         assert_eq!(
@@ -401,6 +493,70 @@ mod tests {
         let last = events.last().unwrap();
         assert_eq!(last.get("kind").and_then(|k| k.as_str()), Some("error"));
         assert_eq!(last.get("name").and_then(|k| k.as_str()), Some("predict-quant"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequenced_dumps_do_not_collide_and_evict_beyond_cap() {
+        let _g = lock(&GUARD);
+        let dir = std::env::temp_dir().join(format!("cuszi-flight-seq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CUSZI_FLIGHT_DIR", &dir);
+        clear_dumps();
+        // Two failures in one process: two distinct parseable dumps.
+        let a = dump_on_error("predict-quant", "first").expect("first dump");
+        let b = dump_on_error("histogram", "second").expect("second dump");
+        assert_ne!(a, b, "sequenced dump names must not collide");
+        assert!(a.exists() && b.exists(), "both dumps survive");
+        for (p, stage) in [(&a, "predict-quant"), (&b, "histogram")] {
+            let txt = std::fs::read_to_string(p).unwrap();
+            let v = crate::minjson::parse(&txt).expect("dump parses");
+            assert_eq!(
+                v.get("error").and_then(|e| e.get("stage")).and_then(|s| s.as_str()),
+                Some(stage),
+                "{}",
+                p.display()
+            );
+        }
+        assert_eq!(latest_dump().as_ref(), Some(&b));
+        // Over-capacity eviction: only the newest DUMP_KEEP survive.
+        for i in 0..(DUMP_KEEP + 3) {
+            dump_on_error("predict-quant", &format!("flood {i}")).expect("dump");
+        }
+        let kept = written_dumps();
+        assert_eq!(kept.len(), DUMP_KEEP);
+        assert!(kept.iter().all(|p| p.exists()));
+        assert!(!a.exists() && !b.exists(), "oldest dumps evicted");
+        clear_dumps();
+        std::env::remove_var("CUSZI_FLIGHT_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dumps_carry_the_job_context() {
+        let _g = lock(&GUARD);
+        let dir = std::env::temp_dir().join(format!("cuszi-flight-job-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CUSZI_FLIGHT_DIR", &dir);
+        assert_eq!(current_job(), None);
+        let with_job = {
+            let _scope = job_scope(42, "tenant-a");
+            assert_eq!(current_job(), Some((42, "tenant-a".to_string())));
+            dump_on_error("predict-quant", "job-tagged").expect("dump")
+        };
+        assert_eq!(current_job(), None, "job scope restored on drop");
+        let without_job = dump_on_error("predict-quant", "untagged").expect("dump");
+        let v = crate::minjson::parse(&std::fs::read_to_string(&with_job).unwrap()).unwrap();
+        let job = v.get("job").expect("job block");
+        assert_eq!(job.get("id").and_then(|x| x.as_f64()), Some(42.0));
+        assert_eq!(job.get("tenant").and_then(|x| x.as_str()), Some("tenant-a"));
+        let v2 = crate::minjson::parse(&std::fs::read_to_string(&without_job).unwrap()).unwrap();
+        assert!(
+            v2.get("job").is_some_and(|j| matches!(j, crate::minjson::Value::Null)),
+            "no context -> job: null"
+        );
+        clear_dumps();
+        std::env::remove_var("CUSZI_FLIGHT_DIR");
         std::fs::remove_dir_all(&dir).ok();
     }
 

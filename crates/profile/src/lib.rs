@@ -29,8 +29,9 @@ pub mod minjson;
 pub mod trace_json;
 pub mod tracer;
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use cuszi_gpu_sim::hook::{self, LaunchObserver, LaunchRecord};
 use cuszi_gpu_sim::timing::TimingModel;
@@ -263,7 +264,75 @@ fn span_slow(name: &str, cat: Category) -> SpanGuard {
     }
 }
 
-/// Add to a global monotonic counter (no-op when disabled).
+/// Count of live [`MetricsScope`]s across all threads. One relaxed
+/// load keeps the no-scope fast path of [`count`]/[`observe`] free of
+/// thread-local traffic.
+static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Registries scoped onto this thread (innermost last). Metric
+    /// records fan out to every scoped registry in addition to the
+    /// global profiler, so an engine can capture per-request and
+    /// per-engine views of the same stage-level counters without the
+    /// process-global registry bleeding jobs into each other.
+    static SCOPES: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for a scoped registry (see [`scope`]).
+pub struct MetricsScope {
+    _priv: (),
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+        ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Route this thread's [`count`]/[`observe`] calls into `reg` (in
+/// addition to any outer scopes and the global profiler) until the
+/// returned guard drops. Scopes nest: an engine typically installs its
+/// per-engine registry and a per-request registry for the same job, so
+/// one stage-level record lands in both.
+pub fn scope(reg: Arc<Registry>) -> MetricsScope {
+    ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+    SCOPES.with(|s| s.borrow_mut().push(reg));
+    MetricsScope { _priv: () }
+}
+
+/// Whether the calling thread has at least one scoped registry.
+pub fn scope_active() -> bool {
+    ACTIVE_SCOPES.load(Ordering::Relaxed) != 0 && SCOPES.with(|s| !s.borrow().is_empty())
+}
+
+/// Whether a [`count`]/[`observe`] call would record anywhere — the
+/// global profiler ([`enabled`]) or a scoped registry. Call sites that
+/// precompute metric values guard on this instead of [`enabled`] so
+/// scoped (per-request) recording works with the profiler off.
+#[inline]
+pub fn metrics_active() -> bool {
+    enabled() || scope_active()
+}
+
+/// Fan a metric record out to this thread's scoped registries.
+#[cold]
+fn record_scoped(name: &str, value: u64, histogram: bool) {
+    SCOPES.with(|s| {
+        for r in s.borrow().iter() {
+            if histogram {
+                r.observe(name, value);
+            } else {
+                r.count(name, value);
+            }
+        }
+    });
+}
+
+/// Add to a global monotonic counter (and any scoped registries;
+/// no-op when disabled and unscoped).
 #[inline]
 pub fn count(name: &str, delta: u64) {
     if enabled() {
@@ -271,15 +340,22 @@ pub fn count(name: &str, delta: u64) {
             p.metrics.count(name, delta);
         }
     }
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) != 0 {
+        record_scoped(name, delta, false);
+    }
 }
 
-/// Record a global histogram sample (no-op when disabled).
+/// Record a global histogram sample (and any scoped registries;
+/// no-op when disabled and unscoped).
 #[inline]
 pub fn observe(name: &str, value: u64) {
     if enabled() {
         if let Some(p) = PROFILER.get() {
             p.metrics.observe(name, value);
         }
+    }
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) != 0 {
+        record_scoped(name, value, true);
     }
 }
 
@@ -300,6 +376,30 @@ mod tests {
         let per_call = t0.elapsed().as_nanos() as f64 / 1e6;
         // Generous bound (CI machines vary): well under 100ns per pair.
         assert!(per_call < 100.0, "disabled hook cost {per_call} ns");
+    }
+
+    #[test]
+    fn scoped_registries_capture_without_profiler() {
+        // Profiler off: records land only in the scoped registries,
+        // innermost and outer both, and stop at guard drop.
+        assert!(!enabled());
+        let engine = Arc::new(Registry::new());
+        let request = Arc::new(Registry::new());
+        {
+            let _e = scope(Arc::clone(&engine));
+            assert!(metrics_active(), "a scope alone activates metrics");
+            {
+                let _r = scope(Arc::clone(&request));
+                count("bytes", 10);
+                observe("cr", 4);
+            }
+            count("bytes", 5); // after the request scope closed
+        }
+        assert!(!metrics_active());
+        count("bytes", 99); // unscoped: dropped
+        assert_eq!(engine.snapshot().counters["bytes"], 15);
+        assert_eq!(request.snapshot().counters["bytes"], 10);
+        assert_eq!(request.snapshot().histograms["cr"].count, 1);
     }
 
     #[test]

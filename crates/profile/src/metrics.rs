@@ -68,6 +68,61 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The part of `self` recorded *after* `earlier` — per-request /
+    /// per-interval scoping over a shared registry: snapshot before the
+    /// work, snapshot after, and `after.delta(&before)` is exactly what
+    /// the work recorded, with no bleed from jobs that ran earlier in
+    /// the same process.
+    ///
+    /// Counters subtract (entries that did not move are dropped).
+    /// Histograms subtract bucket-wise along with `count`/`sum`; the
+    /// original per-sample `min`/`max` cannot be recovered from a
+    /// subtraction, so they are re-derived from the occupied delta
+    /// buckets' bounds (exact for bucket 0, conservative otherwise).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut counters = BTreeMap::new();
+        for (k, &v) in &self.counters {
+            let base = earlier.counters.get(k).copied().unwrap_or(0);
+            let d = v.saturating_sub(base);
+            if d > 0 {
+                counters.insert(k.clone(), d);
+            }
+        }
+        let mut histograms = BTreeMap::new();
+        for (k, h) in &self.histograms {
+            let mut d = Histogram::default();
+            let base = earlier.histograms.get(k);
+            for (b, slot) in d.buckets.iter_mut().enumerate() {
+                let prev = base.map(|e| e.buckets[b]).unwrap_or(0);
+                *slot = h.buckets[b].saturating_sub(prev);
+            }
+            d.count = h.count.saturating_sub(base.map(|e| e.count).unwrap_or(0));
+            d.sum = h.sum.saturating_sub(base.map(|e| e.sum).unwrap_or(0));
+            if d.count == 0 {
+                continue;
+            }
+            for (b, &n) in d.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                // Bucket b holds values in [2^(b-1), 2^b) (bucket 0 is
+                // exactly zero): lower bound for min, upper for max.
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let hi = if b == 0 {
+                    0
+                } else if b >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
+                d.min = d.min.min(lo);
+                d.max = d.max.max(hi);
+            }
+            histograms.insert(k.clone(), d);
+        }
+        Snapshot { counters, histograms }
+    }
+
     /// Render as a JSON object with `counters` and `histograms` keys
     /// (histogram buckets are emitted sparsely as `[bucket, count]`
     /// pairs).
@@ -271,6 +326,33 @@ mod tests {
         assert_eq!(h.buckets[3], 1); // 4..7
         assert_eq!(h.buckets[11], 1); // 1024..2047
         assert!((h.mean() - (1034.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_isolates_an_interval() {
+        let r = Registry::new();
+        r.count("bytes_in", 100);
+        r.observe("cr", 8);
+        let before = r.snapshot();
+        r.count("bytes_in", 23);
+        r.count("fresh", 7);
+        r.observe("cr", 1024);
+        r.observe("cr", 0);
+        let after = r.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counters.get("bytes_in"), Some(&23), "only the interval's increment");
+        assert_eq!(d.counters.get("fresh"), Some(&7));
+        let h = &d.histograms["cr"];
+        assert_eq!(h.count, 2, "pre-interval samples excluded");
+        assert_eq!(h.sum, 1024);
+        assert_eq!(h.buckets[0], 1, "the interval's zero sample");
+        assert_eq!(h.buckets[11], 1, "the interval's 1024 sample");
+        assert_eq!(h.buckets[4], 0, "the earlier 8 sample subtracted out");
+        assert_eq!(h.min, 0);
+        assert!(h.max >= 1024 && h.max < 2048, "max from occupied bucket bound");
+        // A no-op interval deltas to empty.
+        let empty = after.delta(&after);
+        assert!(empty.counters.is_empty() && empty.histograms.is_empty());
     }
 
     #[test]

@@ -6,15 +6,22 @@
 # the per-stage wall-clock bench, writing BENCH_<n>.json where <n> is
 # the first unused index in the output directory.
 #
-# Usage: scripts/bench.sh [--quick] [--profile] [--gate] [--out-dir DIR] [extra exp_hostperf args...]
+# Usage: scripts/bench.sh [--quick] [--profile] [--gate] [--serve] [--out-dir DIR] [extra exp args...]
 #   --quick     2 samples per measurement (CI smoke); default is 5.
 #   --profile   enable the cuszi-profile tracer/kernel-table during the
 #               run; writes profile_<n>.json next to BENCH_<n>.json and
-#               prints the per-kernel roofline report.
+#               prints the per-kernel roofline report (hostperf only).
 #   --gate      after the run, compare BENCH_<n>.json against the newest
 #               existing report with the noise-aware regression sentinel
-#               (exp_hostperf --compare); exits nonzero on a significant
-#               throughput/CR/DRAM regression. First run just records.
+#               (--compare); exits nonzero on a significant regression.
+#               A baseline taken under a different config or experiment
+#               (e.g. gating a --serve run against a hostperf report) is
+#               reported as "not comparable" and skipped, not failed.
+#               First run just records.
+#   --serve     run the exp_serve open-loop serving-latency sweep
+#               (p50/p99/p99.9, saturation curve, cache hit rates)
+#               against the multi-tenant engine instead of the hostperf
+#               throughput grid. See docs/SERVING.md.
 #   --out-dir   where BENCH_<n>.json goes (default: repo root).
 #
 # The report includes a per-dataset "overlap" section (batch + slab
@@ -39,12 +46,14 @@ out_dir="."
 quick=0
 profile=0
 gate=0
+serve=0
 extra=()
 while [ $# -gt 0 ]; do
     case "$1" in
         --quick) quick=1 ;;
         --profile) profile=1 ;;
         --gate) gate=1 ;;
+        --serve) serve=1 ;;
         --out-dir) out_dir="$2"; shift ;;
         *) extra+=("$1") ;;
     esac
@@ -73,8 +82,25 @@ if [ "$profile" = 1 ]; then
     extra+=("--profile")
 fi
 
-cargo build --release -p cuszi-bench --bin exp_hostperf --benches
-./target/release/exp_hostperf --out "$out" ${extra[@]+"${extra[@]}"}
-cargo bench -p cuszi-bench --bench stages
+if [ "$serve" = 1 ]; then
+    tool=exp_serve
+else
+    tool=exp_hostperf
+fi
+
+cargo build --release -p cuszi-bench --bin "$tool" --benches
+rc=0
+./target/release/"$tool" --out "$out" ${extra[@]+"${extra[@]}"} || rc=$?
+if [ "$rc" = 2 ]; then
+    # Sentinel exit 2 means the baseline was refused (different
+    # config/experiment fingerprint), not a regression: the fresh
+    # report is still on disk, so record it and move on.
+    echo "gate: baseline not comparable — recorded $out without gating"
+elif [ "$rc" != 0 ]; then
+    exit "$rc"
+fi
+if [ "$serve" = 0 ]; then
+    cargo bench -p cuszi-bench --bench stages
+fi
 
 echo "report: $out"

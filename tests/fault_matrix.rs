@@ -56,10 +56,10 @@ fn fields_of(kind: DatasetKind) -> Vec<(String, NdArray<f32>)> {
     ds.fields.iter().take(2).map(|f| (f.name.to_string(), crop(&f.data))).collect()
 }
 
-/// Remove this process's flight dump so a later assertion can't pass on
-/// a stale file from an earlier injection.
+/// Remove this process's flight dumps so a later assertion can't pass
+/// on a stale file from an earlier injection.
 fn clear_flight_dump() {
-    let _ = std::fs::remove_file(flight::dump_path());
+    flight::clear_dumps();
 }
 
 /// Every injection must leave a black box: a parseable
@@ -68,7 +68,7 @@ fn clear_flight_dump() {
 /// at stream counts where attribution is nondeterministic (several
 /// concurrent jobs race to write the dump; the last writer wins).
 fn assert_flight_dump(err: &CuszError, expect_stage: Option<&str>) {
-    let path = flight::dump_path();
+    let path = flight::latest_dump().unwrap_or_else(|| panic!("no flight dump (after {err})"));
     let txt = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("no flight dump at {}: {e} (after {err})", path.display()));
     let v = minjson::parse(&txt).expect("flight dump is valid JSON");

@@ -1,8 +1,9 @@
 //! End-to-end flight recorder behaviour: an untouched pipeline run
 //! journals every stage boundary and every *named* kernel launch into
 //! the always-on black box, and an injected fault drains the journal
-//! into a parseable `flight_<pid>.json` dump whose terminal event
-//! carries the failing stage.
+//! into a parseable `flight_<pid>_<seq>.json` dump whose terminal
+//! event carries the failing stage. Dumps are sequence-numbered, so
+//! repeated faults in one process never clobber each other.
 //!
 //! Flight state (rings, dump file) and fault state are process-global,
 //! so every test serializes on one lock, mirroring `fault_matrix.rs`.
@@ -117,10 +118,10 @@ fn clean_roundtrip_journals_stages_and_named_launches() {
     }
 
     // A clean run must not write a black-box dump.
-    let _ = std::fs::remove_file(flight::dump_path());
+    flight::clear_dumps();
     let c2 = codec.compress(&data).expect("compress");
     assert!(!c2.bytes.is_empty());
-    assert!(!flight::dump_path().exists(), "clean run wrote a flight dump");
+    assert!(flight::latest_dump().is_none(), "clean run wrote a flight dump");
 }
 
 #[test]
@@ -132,7 +133,7 @@ fn injected_fault_leaves_a_parseable_black_box() {
     flight::install();
     let data = small_field();
     let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
-    let _ = std::fs::remove_file(flight::dump_path());
+    flight::clear_dumps();
 
     let err = {
         let _armed = Armed::new(FaultSpec::LaunchNamed("g-interp".into()));
@@ -140,7 +141,8 @@ fn injected_fault_leaves_a_parseable_black_box() {
     };
     assert!(matches!(err, CuszError::StageError { stage: "predict-quant", .. }), "{err}");
 
-    let txt = std::fs::read_to_string(flight::dump_path()).expect("flight dump written");
+    let txt = std::fs::read_to_string(flight::latest_dump().expect("flight dump written"))
+        .expect("flight dump readable");
     let v = minjson::parse(&txt).expect("dump is valid JSON");
     assert_eq!(
         v.get("error").and_then(|e| e.get("stage")).and_then(|s| s.as_str()),
@@ -176,6 +178,37 @@ fn injected_fault_leaves_a_parseable_black_box() {
         rpos("stage-end", "predict-quant").is_none_or(|e| e < begun),
         "failed stage must not record a stage-end"
     );
+}
+
+#[test]
+fn two_faults_in_one_process_leave_two_distinct_dumps() {
+    let _g = guard();
+    flight::install();
+    let data = small_field();
+    let codec = CuszI::new(Config::new(ErrorBound::Rel(1e-3)));
+    flight::clear_dumps();
+
+    for kernel in ["g-interp", "histogram"] {
+        let _armed = Armed::new(FaultSpec::LaunchNamed(kernel.into()));
+        codec.compress(&data).expect_err("armed compress succeeded");
+    }
+
+    let dumps = flight::written_dumps();
+    assert_eq!(dumps.len(), 2, "each fault writes its own dump: {dumps:?}");
+    assert_ne!(dumps[0], dumps[1], "dump paths must not collide");
+    let mut stages = Vec::new();
+    for p in &dumps {
+        let txt = std::fs::read_to_string(p).expect("dump readable");
+        let v = minjson::parse(&txt).expect("dump is valid JSON");
+        stages.push(
+            v.get("error")
+                .and_then(|e| e.get("stage"))
+                .and_then(|s| s.as_str())
+                .expect("dump has error.stage")
+                .to_string(),
+        );
+    }
+    assert_eq!(stages, ["predict-quant", "histogram"], "dumps kept their own attribution");
 }
 
 #[test]
