@@ -345,7 +345,7 @@ fn main() {
 
     let json = format!(
         "{{\"experiment\":\"hostperf\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
-         \"samples\":{},\"rel_eb\":{REL_EB},\"streams\":{streams},\
+         \"samples\":{},\"rel_eb\":{REL_EB},\"streams\":{streams},\"devices\":1,\
          \"provenance\":{},\"datasets\":[{}]}}\n",
         b.samples,
         provenance_json(),

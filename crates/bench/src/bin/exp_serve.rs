@@ -269,6 +269,7 @@ fn main() {
     let (scale, seed) = parse_args();
     let mut out_path: Option<String> = None;
     let mut workers = 2usize;
+    let mut devices = 1usize;
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -280,6 +281,12 @@ fn main() {
                 .and_then(|n| n.parse().ok())
                 .filter(|&n| n >= 1)
                 .expect("--workers needs a count >= 1");
+        } else if a == "--devices" {
+            devices = args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| (1..=cuszi_gpu_sim::MAX_DEVICES).contains(&n))
+                .expect("--devices needs a count in 1..=8");
         } else if a == "--compare" {
             baseline = Some(args.next().expect("--compare needs a baseline BENCH_<n>.json"));
         }
@@ -290,11 +297,11 @@ fn main() {
     let jobs = if quick { 40 } else { 160 };
 
     let cfg = Config::new(ErrorBound::Rel(REL_EB));
-    let engine = Engine::new(EngineConfig::default().with_workers(workers));
+    let engine = Engine::new(EngineConfig::default().with_workers(workers).with_devices(devices));
     let tenants = build_tenants(scale, seed, cfg);
     println!(
-        "serve: scale {scale:?}, seed {seed}, {workers} workers, {} tenants, {jobs} jobs/rate \
-         -> {out_path}",
+        "serve: scale {scale:?}, seed {seed}, {workers} workers, {devices} devices, \
+         {} tenants, {jobs} jobs/rate -> {out_path}",
         tenants.len()
     );
 
@@ -338,7 +345,7 @@ fn main() {
     // compare; `datasets` stays an (empty) grid for the parser.
     let json = format!(
         "{{\"experiment\":\"serve\",\"scale\":\"{scale:?}\",\"seed\":{seed},\
-         \"samples\":{jobs},\"rel_eb\":{REL_EB},\"streams\":{workers},\
+         \"samples\":{jobs},\"rel_eb\":{REL_EB},\"streams\":{workers},\"devices\":{devices},\
          \"provenance\":{},\"datasets\":[],\
          \"serve\":{{\"workers\":{workers},\"jobs_per_rate\":{jobs},\
          \"tenants\":{},\"mean_service_ms\":{:.4},\"capacity_rps\":{:.2},\

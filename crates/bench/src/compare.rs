@@ -42,14 +42,18 @@ pub struct Fingerprint {
     pub seed: i64,
     pub rel_eb: f64,
     pub streams: i64,
+    /// Simulated device count the report was taken at. Reports that
+    /// predate the field read as 1 (single-device): a 4-device sweep
+    /// is never a baseline for a single-device run.
+    pub devices: i64,
 }
 
 impl std::fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "experiment {}, scale {}, seed {}, rel_eb {:e}, streams {}",
-            self.experiment, self.scale, self.seed, self.rel_eb, self.streams
+            "experiment {}, scale {}, seed {}, rel_eb {:e}, streams {}, devices {}",
+            self.experiment, self.scale, self.seed, self.rel_eb, self.streams, self.devices
         )
     }
 }
@@ -89,11 +93,11 @@ fn num(v: &Value, key: &str) -> Option<f64> {
 pub fn parse_bench(src: &str) -> Result<BenchDoc, String> {
     let v = parse(src)?;
     let experiment = match v.get("experiment").and_then(Value::as_str) {
-        Some(e @ ("hostperf" | "serve")) => e.to_string(),
+        Some(e @ ("hostperf" | "serve" | "multigpu")) => e.to_string(),
         _ => {
-            return Err(
-                "not a sentinel report (experiment must be \"hostperf\" or \"serve\")".into()
-            )
+            return Err("not a sentinel report (experiment must be \"hostperf\", \"serve\", \
+                 or \"multigpu\")"
+                .into())
         }
     };
     let fingerprint = Fingerprint {
@@ -106,6 +110,7 @@ pub fn parse_bench(src: &str) -> Result<BenchDoc, String> {
         seed: num(&v, "seed").ok_or("report lacks \"seed\"")? as i64,
         rel_eb: num(&v, "rel_eb").ok_or("report lacks \"rel_eb\"")?,
         streams: num(&v, "streams").ok_or("report lacks \"streams\"")? as i64,
+        devices: num(&v, "devices").map_or(1, |d| d as i64),
     };
     let samples = num(&v, "samples").unwrap_or(1.0) as i64;
     let git_rev = v
@@ -114,13 +119,13 @@ pub fn parse_bench(src: &str) -> Result<BenchDoc, String> {
         .and_then(Value::as_str)
         .map(str::to_string);
     let mut rows = Vec::new();
-    // `exp_serve` reports carry latency percentiles instead of the
-    // dataset x codec throughput grid; an absent/empty dataset list is
-    // valid there.
+    // `exp_serve` (latency percentiles) and `exp_multigpu` (shard
+    // sweep cells) carry their payload outside the dataset x codec
+    // throughput grid; an absent/empty dataset list is valid there.
     let empty = Vec::new();
     let ds_list = match v.get("datasets").and_then(Value::as_array) {
         Some(a) => a,
-        None if experiment == "serve" => &empty,
+        None if experiment != "hostperf" => &empty,
         None => return Err("report lacks \"datasets\"".into()),
     };
     for ds in ds_list {
@@ -474,6 +479,29 @@ mod tests {
         let h = parse_bench(&doc("", 100.0)).unwrap();
         let err = compare(&h, &s).unwrap_err();
         assert!(err.contains("refusing to compare"), "{err}");
+    }
+
+    #[test]
+    fn device_count_fingerprints_and_refuses_cross_count() {
+        // Reports that predate the field read as single-device.
+        let legacy = parse_bench(&doc("", 100.0)).unwrap();
+        assert_eq!(legacy.fingerprint.devices, 1);
+        // A multigpu sweep report parses with its device count...
+        let multi = r#"{"experiment":"multigpu","scale":"Small","seed":42,"samples":1,
+            "rel_eb":0.001,"streams":2,"devices":4,
+            "provenance":{"git_rev":"abc1234","rustc":"rustc 1.0"},
+            "datasets":[],"multigpu":{"cells":[]}}"#;
+        let m4 = parse_bench(multi).unwrap();
+        assert_eq!(m4.fingerprint.experiment, "multigpu");
+        assert_eq!(m4.fingerprint.devices, 4);
+        assert!(!compare(&m4, &m4).unwrap().has_regression());
+        // ...and a run at a different device count is refused: sim
+        // speedups at 4 devices are no baseline for 2.
+        let mut m2 = m4.clone();
+        m2.fingerprint.devices = 2;
+        let err = compare(&m4, &m2).unwrap_err();
+        assert!(err.contains("refusing to compare"), "{err}");
+        assert!(err.contains("devices"), "{err}");
     }
 
     #[test]

@@ -74,6 +74,8 @@ pub enum Command {
         addr: String,
         workers: usize,
         max_inflight: usize,
+        /// Simulated devices the engine places jobs onto.
+        devices: usize,
     },
 }
 
@@ -124,6 +126,7 @@ USAGE:
   cuszi decompress -i <in.cszi> -o <out.f32> [--profile[=TRACE.json]]
   cuszi info       -i <in.cszi>
   cuszi serve      [--addr HOST:PORT] [--workers N] [--max-inflight N]
+                   [--devices M]
 
 Dims are slowest-to-fastest (z x y x x), e.g. --dims 256x384x384;
 1-d and 2-d fields use fewer components (--dims 1000 or --dims 384x384).
@@ -158,8 +161,10 @@ Prometheus text exposition (default <out>.prom); implies profiling.
 serve starts a multi-tenant daemon (default 127.0.0.1:7070): a
 length-prefixed TCP frame protocol feeding a shared engine with a
 session cache, per-tenant token-bucket fairness, and in-flight
-backpressure. A stats frame returns Prometheus text; SIGINT (or a
-shutdown frame) drains gracefully. See docs/SERVING.md.";
+backpressure. --devices M places jobs onto M simulated devices
+(least-loaded, with session-cache affinity — see docs/SHARDING.md).
+A stats frame returns Prometheus text; SIGINT (or a shutdown frame)
+drains gracefully. See docs/SERVING.md.";
 
 /// Parse `ZxYxX` dims.
 pub fn parse_dims(s: &str) -> Result<Shape, CliError> {
@@ -189,6 +194,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut addr = None;
     let mut workers = None;
     let mut max_inflight = None;
+    let mut devices = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -270,6 +276,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 workers = Some(n);
             }
+            "--devices" => {
+                let n: usize =
+                    val("--devices")?.parse().map_err(|_| CliError("bad --devices".into()))?;
+                if !(1..=cuszi_gpu_sim::MAX_DEVICES).contains(&n) {
+                    return Err(CliError(format!(
+                        "--devices must be 1..={}",
+                        cuszi_gpu_sim::MAX_DEVICES
+                    )));
+                }
+                devices = Some(n);
+            }
             "--max-inflight" => {
                 let n: usize = val("--max-inflight")?
                     .parse()
@@ -292,6 +309,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             addr: addr.unwrap_or_else(|| "127.0.0.1:7070".into()),
             workers,
             max_inflight: max_inflight.unwrap_or(workers),
+            devices: devices.unwrap_or(1),
         });
     }
     let input = input.ok_or_else(|| CliError("missing -i".into()))?;
@@ -441,8 +459,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             result
         }
         Command::Info { input } => info_text(&input),
-        Command::Serve { addr, workers, max_inflight } => {
-            serve::serve(&serve::ServeConfig { addr, workers, max_inflight })
+        Command::Serve { addr, workers, max_inflight, devices } => {
+            serve::serve(&serve::ServeConfig { addr, workers, max_inflight, devices })
         }
     }
 }
@@ -826,6 +844,28 @@ mod tests {
         .unwrap();
         let err = run(no_slab).unwrap_err();
         assert!(err.0.contains("--streams requires --slab"), "{err}");
+    }
+
+    #[test]
+    fn parse_serve_devices_flag() {
+        let cmd = parse_args(&strings(&["serve", "--devices", "4"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:7070".into(),
+                workers: 2,
+                max_inflight: 2,
+                devices: 4,
+            }
+        );
+        let default = parse_args(&strings(&["serve"])).unwrap();
+        match default {
+            Command::Serve { devices, .. } => assert_eq!(devices, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&strings(&["serve", "--devices", "0"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--devices", "99"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--devices"])).is_err());
     }
 
     #[test]

@@ -64,11 +64,14 @@ pub struct ServeConfig {
     pub addr: String,
     pub workers: usize,
     pub max_inflight: usize,
+    /// Simulated devices the engine places jobs onto (least-loaded
+    /// with session-cache affinity).
+    pub devices: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { addr: "127.0.0.1:7070".into(), workers: 2, max_inflight: 2 }
+        ServeConfig { addr: "127.0.0.1:7070".into(), workers: 2, max_inflight: 2, devices: 1 }
     }
 }
 
@@ -240,7 +243,8 @@ impl Server {
         let engine = Engine::new(
             EngineConfig::default()
                 .with_workers(cfg.workers)
-                .with_max_inflight(cfg.max_inflight),
+                .with_max_inflight(cfg.max_inflight)
+                .with_devices(cfg.devices),
         );
         Ok(Server {
             listener,
@@ -307,9 +311,16 @@ impl Server {
             let _ = h.join();
         }
         let s = self.engine.stats();
+        let by_device = if s.devices > 1 {
+            let counts: Vec<String> =
+                (0..s.devices).map(|d| format!("dev{d}:{}", s.device_jobs[d])).collect();
+            format!(", jobs by device [{}]", counts.join(" "))
+        } else {
+            String::new()
+        };
         Ok(format!(
             "drained: {} requests served, {} jobs completed ({} rejected), \
-             session cache {} hits / {} misses ({} entries, {:.1} KB)\n",
+             session cache {} hits / {} misses ({} entries, {:.1} KB){by_device}\n",
             self.requests.load(Ordering::Relaxed),
             s.completed,
             s.rejected,
@@ -326,7 +337,13 @@ pub fn serve(cfg: &ServeConfig) -> Result<String, CliError> {
     install_sigint();
     let server = Server::bind(cfg)?;
     let addr = server.local_addr()?;
-    println!("cuszi serve: listening on {addr} ({} workers, {} in-flight)", cfg.workers, cfg.max_inflight);
+    println!(
+        "cuszi serve: listening on {addr} ({} workers, {} in-flight, {} device{})",
+        cfg.workers,
+        cfg.max_inflight,
+        cfg.devices,
+        if cfg.devices == 1 { "" } else { "s" }
+    );
     server.run()
 }
 
@@ -499,6 +516,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             max_inflight: 2,
+            devices: 2,
         })
         .unwrap();
         let addr = server.local_addr().unwrap();
@@ -582,6 +600,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             max_inflight: 2,
+            devices: 1,
         })
         .unwrap();
         let addr = server.local_addr().unwrap();

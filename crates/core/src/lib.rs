@@ -49,6 +49,7 @@ pub mod quality;
 pub mod pwrel;
 pub mod report;
 pub mod sched;
+pub mod shard;
 pub mod stage;
 pub mod stream;
 pub(crate) mod telemetry;
@@ -73,6 +74,9 @@ pub use batch::{
 pub use pwrel::{compress_pw_rel, decompress_pw_rel, PwRelCompressed};
 pub use report::{render_breakdown, stage_breakdown, StageCost};
 pub use sched::{default_streams, ScheduleReport};
+pub use shard::{
+    compress_fields_sharded, compress_slabs_sharded, DeviceShardReport, ShardPlan, ShardReport,
+};
 pub use stage::{StageGraph, StageKind};
 pub use stream::{compress_slabs, compress_slabs_streams, decompress_slabs};
 pub use traits::{Codec, CodecArtifacts};

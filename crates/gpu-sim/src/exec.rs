@@ -664,6 +664,7 @@ impl Drop for LaunchReport<'_> {
                 wall_s: t0.elapsed().as_secs_f64(),
                 completed: !std::thread::panicking(),
                 stream: stream.as_ref().map(|(id, label)| (*id, label.as_str())),
+                device_id: crate::multi::current_device(),
             });
         }
     }

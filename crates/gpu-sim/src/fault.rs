@@ -1,4 +1,4 @@
-//! Deterministic fault injection for the simulated device.
+//! Deterministic fault injection for the simulated device(s).
 //!
 //! Real GPU failures — allocation failures, launch errors, a wedged
 //! stream — are rare in practice and impossible to provoke on demand,
@@ -12,13 +12,26 @@
 //! The injector mirrors CUDA's asynchronous ("sticky") error
 //! semantics: a failed launch or allocation does not unwind at the
 //! call site. Instead the kernel body is *dropped* (for launches) or
-//! the allocation is flagged (for allocations), a process-global
-//! sticky [`Fault`] is recorded, and execution continues until the
-//! next explicit error check — [`take_sticky`], called by the pipeline
-//! at every stage boundary — or, for poisoned streams, until
+//! the allocation is flagged (for allocations), a sticky [`Fault`] is
+//! recorded, and execution continues until the next explicit error
+//! check — [`take_sticky`], called by the pipeline at every stage
+//! boundary — or, for poisoned streams, until
 //! [`crate::Stream::synchronize`]. This is what makes the injection
 //! *useful*: it exercises the same deferred-error plumbing a real
 //! `cudaGetLastError` / `cudaStreamSynchronize` pair would.
+//!
+//! # Fault domains are per device
+//!
+//! Sticky errors belong to a CUDA *context*, and a context belongs to
+//! one device — a wedged GPU 1 says nothing about GPU 0. The injector
+//! reproduces that: state lives in [`crate::multi::MAX_DEVICES`]
+//! independent domains, indexed by the calling thread's
+//! [`crate::multi::current_device`] binding. Single-device code never
+//! binds a device and therefore always operates on domain 0 — the
+//! pre-multi-device behaviour, bit for bit. Within one domain the
+//! state is process-global (not thread-local) because kernels execute
+//! on freshly scoped pool worker threads every launch; the device
+//! binding is what gets forwarded to those workers.
 //!
 //! # Determinism
 //!
@@ -34,17 +47,20 @@
 //! # Syntax (`CUSZI_FAULT`)
 //!
 //! ```text
-//! CUSZI_FAULT=alloc:7        # flag the 7th pooled/arena allocation
+//! CUSZI_FAULT=alloc:7          # flag the 7th pooled/arena allocation
 //! CUSZI_FAULT=launch:g-interp  # drop every launch of kernel "g-interp"
-//! CUSZI_FAULT=stream:1       # poison stream id 1 in every scope
+//! CUSZI_FAULT=stream:1         # poison stream id 1 in every scope
+//! CUSZI_FAULT=dev2:stream:0    # same, but only in device 2's domain
 //! ```
 //!
-//! State is process-global (not thread-local) because kernels execute
-//! on freshly scoped pool worker threads every launch; thread-locals
-//! would never reach them.
+//! The optional `dev<N>:` prefix scopes the spec to one device's
+//! domain; without it the spec arms device 0 (where all single-device
+//! work runs).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, PoisonError};
+
+use crate::multi::{current_device, MAX_DEVICES};
 
 /// Which site to fail. Armed with [`arm`] or `CUSZI_FAULT`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,7 +82,8 @@ pub enum FaultSpec {
 
 impl FaultSpec {
     /// Parse the `CUSZI_FAULT` syntax: `alloc:N`, `launch:<name>`,
-    /// `stream:<id>`. Returns `None` on anything else.
+    /// `stream:<id>`. Returns `None` on anything else. (The optional
+    /// `dev<N>:` device prefix is handled by [`FaultSpec::parse_scoped`].)
     pub fn parse(s: &str) -> Option<FaultSpec> {
         let (kind, arg) = s.split_once(':')?;
         match kind.trim() {
@@ -78,6 +95,23 @@ impl FaultSpec {
             "stream" => arg.trim().parse().ok().map(FaultSpec::PoisonStream),
             _ => None,
         }
+    }
+
+    /// Parse a possibly device-scoped spec: `dev<N>:<spec>` targets
+    /// device `N`'s fault domain, a bare `<spec>` targets device 0.
+    pub fn parse_scoped(s: &str) -> Option<(usize, FaultSpec)> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("dev") {
+            if let Some((id, spec)) = rest.split_once(':') {
+                if let Ok(d) = id.trim().parse::<usize>() {
+                    if d < MAX_DEVICES {
+                        return FaultSpec::parse(spec).map(|sp| (d, sp));
+                    }
+                    return None;
+                }
+            }
+        }
+        FaultSpec::parse(s).map(|sp| (0, sp))
     }
 }
 
@@ -110,14 +144,31 @@ impl std::fmt::Display for Fault {
     }
 }
 
-/// Fast-path flag: a single relaxed load decides "nothing armed".
-static ARMED: AtomicBool = AtomicBool::new(false);
-/// The armed spec; consulted only when `ARMED` is set.
-static SPEC: Mutex<Option<FaultSpec>> = Mutex::new(None);
-/// The sticky fault, pending until [`take_sticky`] drains it.
-static STICKY: Mutex<Option<Fault>> = Mutex::new(None);
-/// Allocations seen since arming (for [`FaultSpec::AllocNth`]).
-static ALLOC_SEEN: AtomicU64 = AtomicU64::new(0);
+/// One device's independent fault domain.
+struct Domain {
+    /// Fast-path flag: a single relaxed load decides "nothing armed".
+    armed: AtomicBool,
+    /// The armed spec; consulted only when `armed` is set.
+    spec: Mutex<Option<FaultSpec>>,
+    /// The sticky fault, pending until [`take_sticky`] drains it.
+    sticky: Mutex<Option<Fault>>,
+    /// Allocations seen since arming (for [`FaultSpec::AllocNth`]).
+    alloc_seen: AtomicU64,
+}
+
+impl Domain {
+    const fn new() -> Self {
+        Domain {
+            armed: AtomicBool::new(false),
+            spec: Mutex::new(None),
+            sticky: Mutex::new(None),
+            alloc_seen: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One domain per simulated device; index = device id.
+static DOMAINS: [Domain; MAX_DEVICES] = [const { Domain::new() }; MAX_DEVICES];
 /// One-shot `CUSZI_FAULT` parse, folded into the first armed() check.
 static ENV_INIT: Once = Once::new();
 
@@ -130,64 +181,84 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 fn env_init() {
     ENV_INIT.call_once(|| {
         if let Ok(v) = std::env::var("CUSZI_FAULT") {
-            if let Some(spec) = FaultSpec::parse(&v) {
-                arm_spec(spec);
+            if let Some((dev, spec)) = FaultSpec::parse_scoped(&v) {
+                arm_spec(dev, spec);
             }
         }
     });
 }
 
-fn arm_spec(spec: FaultSpec) {
+fn arm_spec(dev: usize, spec: FaultSpec) {
+    // Device 0 keeps the bare site (single-device dumps and tests are
+    // unchanged); other domains carry the `dev<N>:` scope they were
+    // armed with.
+    let scope = if dev == 0 { String::new() } else { format!("dev{dev}:") };
     let site = match &spec {
-        FaultSpec::AllocNth(n) => format!("alloc:{n}"),
-        FaultSpec::LaunchNamed(n) => format!("launch:{n}"),
-        FaultSpec::PoisonStream(i) => format!("stream:{i}"),
+        FaultSpec::AllocNth(n) => format!("{scope}alloc:{n}"),
+        FaultSpec::LaunchNamed(n) => format!("{scope}launch:{n}"),
+        FaultSpec::PoisonStream(i) => format!("{scope}stream:{i}"),
     };
-    *lock(&SPEC) = Some(spec);
-    *lock(&STICKY) = None;
-    ALLOC_SEEN.store(0, Ordering::Relaxed);
-    ARMED.store(true, Ordering::Release);
+    let d = &DOMAINS[dev];
+    *lock(&d.spec) = Some(spec);
+    *lock(&d.sticky) = None;
+    d.alloc_seen.store(0, Ordering::Relaxed);
+    d.armed.store(true, Ordering::Release);
     crate::hook::flight(crate::hook::FlightSignal::FaultArmed { site: &site });
 }
 
-/// Arm a fault. Resets the allocation counter and clears any pending
-/// sticky fault, so each armed experiment starts clean.
+/// Arm a fault in the *calling thread's* device domain (device 0 for
+/// single-device code). Resets the domain's allocation counter and
+/// clears any pending sticky fault, so each armed experiment starts
+/// clean.
 pub fn arm(spec: FaultSpec) {
     env_init();
-    arm_spec(spec);
+    arm_spec(current_device(), spec);
 }
 
-/// Disarm: no further faults trip, and any undelivered sticky fault is
-/// cleared. The substrate reverts to its bit-identical unarmed path.
+/// Arm a fault in a specific device's domain — the other devices'
+/// domains are untouched (a wedged GPU 1 says nothing about GPU 0).
+pub fn arm_on(dev: usize, spec: FaultSpec) {
+    assert!(dev < MAX_DEVICES, "device id {dev} >= MAX_DEVICES ({MAX_DEVICES})");
+    env_init();
+    arm_spec(dev, spec);
+}
+
+/// Disarm *every* device domain: no further faults trip anywhere, and
+/// any undelivered sticky faults are cleared. The substrate reverts to
+/// its bit-identical unarmed path. (Process-wide on purpose — this is
+/// the cleanup call tests and experiments use between scenarios.)
 pub fn disarm() {
     env_init();
-    ARMED.store(false, Ordering::Release);
-    *lock(&SPEC) = None;
-    *lock(&STICKY) = None;
+    for d in &DOMAINS {
+        d.armed.store(false, Ordering::Release);
+        *lock(&d.spec) = None;
+        *lock(&d.sticky) = None;
+    }
 }
 
-/// Whether a fault is currently armed (env var counts).
+/// Whether a fault is armed in the calling thread's device domain
+/// (env var counts).
 pub fn armed() -> bool {
     env_init();
-    ARMED.load(Ordering::Acquire)
+    DOMAINS[current_device()].armed.load(Ordering::Acquire)
 }
 
-/// Drain the pending sticky fault, if any. The pipeline calls this at
-/// every stage boundary (the `cudaGetLastError` analogue); returns
-/// `None` when disarmed.
+/// Drain the pending sticky fault of the calling thread's device
+/// domain, if any. The pipeline calls this at every stage boundary
+/// (the `cudaGetLastError` analogue); returns `None` when disarmed.
 pub fn take_sticky() -> Option<Fault> {
     if !armed() {
         return None;
     }
-    lock(&STICKY).take()
+    lock(&DOMAINS[current_device()].sticky).take()
 }
 
-/// Record a fault; first writer wins (matching CUDA, which preserves
-/// the first sticky error until it is consumed).
-fn set_sticky(f: Fault) {
+/// Record a fault in `dev`'s domain; first writer wins (matching CUDA,
+/// which preserves the first sticky error until it is consumed).
+fn set_sticky(dev: usize, f: Fault) {
     let site = f.site.clone();
     let recorded = {
-        let mut s = lock(&STICKY);
+        let mut s = lock(&DOMAINS[dev].sticky);
         if s.is_none() {
             *s = Some(f);
             true
@@ -202,17 +273,19 @@ fn set_sticky(f: Fault) {
 
 /// Notify the injector of one pooled/arena allocation. Called by the
 /// substrate's buffer pool and by core's assembly arena; a no-op (one
-/// relaxed load) when nothing is armed.
+/// relaxed load) when nothing is armed in the calling thread's domain.
 pub fn on_alloc() {
     if !armed() {
         return;
     }
-    let n = match &*lock(&SPEC) {
+    let dev = current_device();
+    let d = &DOMAINS[dev];
+    let n = match &*lock(&d.spec) {
         Some(FaultSpec::AllocNth(n)) => *n,
         _ => return,
     };
-    if ALLOC_SEEN.fetch_add(1, Ordering::Relaxed) + 1 == n {
-        set_sticky(Fault { kind: FaultKind::Alloc, site: format!("alloc#{n}") });
+    if d.alloc_seen.fetch_add(1, Ordering::Relaxed) + 1 == n {
+        set_sticky(dev, Fault { kind: FaultKind::Alloc, site: format!("alloc#{n}") });
     }
 }
 
@@ -220,29 +293,38 @@ pub fn on_alloc() {
 /// when it is. Called by [`crate::exec::launch_named`].
 ///
 /// Mirrors CUDA's sticky semantics fully: once *any* fault is pending
-/// (a dropped launch, a flagged allocation), every subsequent launch
-/// is also dropped until the error is consumed — a kernel must never
-/// run against buffers a failed predecessor left unwritten (that is
-/// how a real context behaves, and it is what keeps downstream
-/// device code panic-free between the fault and the next check).
+/// in this device's domain (a dropped launch, a flagged allocation),
+/// every subsequent launch on the device is also dropped until the
+/// error is consumed — a kernel must never run against buffers a
+/// failed predecessor left unwritten (that is how a real context
+/// behaves, and it is what keeps downstream device code panic-free
+/// between the fault and the next check). Launches on *other* devices
+/// are unaffected: fault domains are per device.
 pub(crate) fn launch_should_fail(name: &str) -> bool {
     if !armed() {
         return false;
     }
-    if lock(&STICKY).is_some() {
+    let dev = current_device();
+    let d = &DOMAINS[dev];
+    if lock(&d.sticky).is_some() {
         return true;
     }
-    let hit = matches!(&*lock(&SPEC), Some(FaultSpec::LaunchNamed(n)) if n == name);
+    let hit = matches!(&*lock(&d.spec), Some(FaultSpec::LaunchNamed(n)) if n == name);
     if hit {
-        set_sticky(Fault { kind: FaultKind::Launch, site: name.to_string() });
+        set_sticky(dev, Fault { kind: FaultKind::Launch, site: name.to_string() });
     }
     hit
 }
 
-/// Whether the stream with this id is poisoned. Checked once at stream
-/// creation by [`crate::with_streams`].
+/// Whether the stream with this id is poisoned in the calling thread's
+/// device domain. Checked once at stream creation by
+/// [`crate::with_streams`].
 pub(crate) fn stream_poisoned(id: u32) -> bool {
-    armed() && matches!(&*lock(&SPEC), Some(FaultSpec::PoisonStream(k)) if *k == id)
+    armed()
+        && matches!(
+            &*lock(&DOMAINS[current_device()].spec),
+            Some(FaultSpec::PoisonStream(k)) if *k == id
+        )
 }
 
 /// Crate-internal test lock: fault state is process-global, so tests
@@ -267,6 +349,27 @@ mod tests {
         assert_eq!(FaultSpec::parse("stream:2"), Some(FaultSpec::PoisonStream(2)));
         for bad in ["", "alloc", "alloc:0", "alloc:x", "launch:", "boom:1", "7"] {
             assert_eq!(FaultSpec::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn scoped_spec_parsing() {
+        assert_eq!(
+            FaultSpec::parse_scoped("stream:1"),
+            Some((0, FaultSpec::PoisonStream(1))),
+            "bare specs target device 0"
+        );
+        assert_eq!(
+            FaultSpec::parse_scoped("dev2:stream:0"),
+            Some((2, FaultSpec::PoisonStream(0)))
+        );
+        assert_eq!(
+            FaultSpec::parse_scoped("dev1:launch:g-interp"),
+            Some((1, FaultSpec::LaunchNamed("g-interp".into())))
+        );
+        assert_eq!(FaultSpec::parse_scoped("dev3:alloc:5"), Some((3, FaultSpec::AllocNth(5))));
+        for bad in ["dev:stream:1", "dev99:stream:1", "devx:launch:k", "dev2:boom:1"] {
+            assert_eq!(FaultSpec::parse_scoped(bad), None, "{bad:?}");
         }
     }
 
@@ -313,5 +416,48 @@ mod tests {
         assert!(stream_poisoned(1));
         disarm();
         assert!(!stream_poisoned(1));
+    }
+
+    #[test]
+    fn fault_domains_are_independent_per_device() {
+        let _g = lock(&GUARD);
+        arm_on(1, FaultSpec::LaunchNamed("k".into()));
+        // Device 0 (the default binding): nothing armed, launches run.
+        assert!(!armed());
+        assert!(!launch_should_fail("k"));
+        assert_eq!(take_sticky(), None);
+        // Device 1: armed, the launch drops and the sticky is local.
+        crate::multi::on_device(1, || {
+            assert!(armed());
+            assert!(launch_should_fail("k"));
+            let f = take_sticky().expect("device 1 sticky");
+            assert_eq!(f.kind, FaultKind::Launch);
+        });
+        // The trip on device 1 never leaked to device 0.
+        assert_eq!(take_sticky(), None);
+        disarm();
+    }
+
+    #[test]
+    fn stream_poison_scopes_to_its_device() {
+        let _g = lock(&GUARD);
+        arm_on(2, FaultSpec::PoisonStream(0));
+        assert!(!stream_poisoned(0), "device 0's stream 0 is healthy");
+        crate::multi::on_device(2, || assert!(stream_poisoned(0)));
+        crate::multi::on_device(1, || assert!(!stream_poisoned(0)));
+        disarm();
+    }
+
+    #[test]
+    fn disarm_clears_every_domain() {
+        let _g = lock(&GUARD);
+        arm_on(0, FaultSpec::AllocNth(1));
+        arm_on(3, FaultSpec::LaunchNamed("k".into()));
+        disarm();
+        assert!(!armed());
+        crate::multi::on_device(3, || {
+            assert!(!armed());
+            assert!(!launch_should_fail("k"));
+        });
     }
 }

@@ -41,6 +41,9 @@ pub struct LaunchRecord<'a> {
     /// issued on, or `None` for inline (host-thread) launches. Profilers
     /// use the label as the trace lane name (one lane per stream).
     pub stream: Option<(u32, &'a str)>,
+    /// The simulated device the launch was issued on
+    /// ([`crate::multi::current_device`]; 0 for single-device runs).
+    pub device_id: usize,
 }
 
 /// A process-wide observer of kernel launches.

@@ -36,6 +36,7 @@ pub mod device;
 pub mod exec;
 pub mod fault;
 pub mod hook;
+pub mod multi;
 pub mod pool;
 pub mod shared;
 pub mod stats;
@@ -45,6 +46,7 @@ pub mod timing;
 pub use device::{DeviceSpec, A100, A40};
 pub use exec::{launch, launch_named, BlockCtx, BlockSlots, Dim3, GlobalRead, GlobalWrite, Grid};
 pub use fault::{Fault, FaultKind, FaultSpec};
+pub use multi::{current_device, on_device, MultiDevice, MAX_DEVICES};
 pub use hook::{LaunchObserver, LaunchRecord};
 pub use shared::{ScratchVec, SharedTile};
 pub use stats::{AtomicKernelStats, KernelStats};

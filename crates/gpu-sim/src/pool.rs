@@ -90,9 +90,14 @@ where
         }
         acc
     };
+    // Forward the caller's device binding: allocations and fault checks
+    // inside kernel bodies must attribute to the launching device.
+    let dev = crate::multi::current_device();
     let mut parts = std::thread::scope(|s| {
         let worker = &worker;
-        let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || worker(w))).collect();
+        let handles: Vec<_> = (0..threads)
+            .map(|w| s.spawn(move || crate::multi::on_device(dev, || worker(w))))
+            .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<A>>()
     });
     let mut acc = parts.remove(0);

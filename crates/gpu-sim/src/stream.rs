@@ -288,12 +288,16 @@ fn worker(shared: Arc<StreamShared>, rx: mpsc::Receiver<Cmd<'_>>) {
 /// submitted command has finished — and any panic from one is
 /// propagated — before `with_streams` returns.
 ///
-/// The caller's [`crate::pool::with_threads`] override (if any) is
-/// forwarded to the stream workers, so launches inside stream commands
-/// use the same per-launch worker count they would inline.
+/// The caller's [`crate::pool::with_threads`] override (if any) and
+/// [`crate::multi::current_device`] binding are forwarded to the
+/// stream workers, so launches inside stream commands use the same
+/// per-launch worker count — and attribute to the same device — they
+/// would inline. Off device 0, stream labels carry the device
+/// (`dev<d>.stream-<i>`), so fault sites and trace lanes name it.
 pub fn with_streams<'env, R>(n: usize, f: impl FnOnce(&[Stream<'env>]) -> R) -> R {
     assert!(n >= 1, "need at least one stream");
     let launch_threads = crate::pool::current_threads();
+    let dev = crate::multi::current_device();
     std::thread::scope(|scope| {
         let streams: Vec<Stream<'env>> = (0..n)
             .map(|i| {
@@ -305,7 +309,11 @@ pub fn with_streams<'env, R>(n: usize, f: impl FnOnce(&[Stream<'env>]) -> R) -> 
                 });
                 let shared = Arc::new(StreamShared {
                     id: i as u32,
-                    label: format!("stream-{i}"),
+                    label: if dev == 0 {
+                        format!("stream-{i}")
+                    } else {
+                        format!("dev{dev}.stream-{i}")
+                    },
                     clock_ns: AtomicU64::new(0),
                     poisoned,
                 });
@@ -313,7 +321,9 @@ pub fn with_streams<'env, R>(n: usize, f: impl FnOnce(&[Stream<'env>]) -> R) -> 
                 std::thread::Builder::new()
                     .name(format!("cuszi-stream-{i}"))
                     .spawn_scoped(scope, move || {
-                        crate::pool::with_threads(launch_threads, || worker(sh, rx))
+                        crate::multi::on_device(dev, || {
+                            crate::pool::with_threads(launch_threads, || worker(sh, rx))
+                        })
                     })
                     .expect("spawn stream worker");
                 Stream { shared, tx }

@@ -104,6 +104,10 @@ pub struct FlightEvent {
     pub name: SmallName,
     /// Dense recorder slot id (recycled across threads; not the OS tid).
     pub tid: u32,
+    /// The simulated device the recording thread was bound to
+    /// ([`cuszi_gpu_sim::current_device`]; 0 for single-device runs).
+    /// This is what lets a dump attribute a fault to a device.
+    pub dev: u32,
     /// Nanoseconds since the process profiling epoch.
     pub ts_ns: u64,
     /// Kind-specific argument (stream id, allocation count, …).
@@ -209,6 +213,7 @@ pub fn record(kind: FlightKind, name: &str, arg: u64) {
         return;
     }
     let ts_ns = global_epoch().elapsed().as_nanos() as u64;
+    let dev = cuszi_gpu_sim::current_device() as u32;
     MY_RING.with(|cell| {
         let mut local = cell.borrow_mut();
         if local.is_none() {
@@ -227,6 +232,7 @@ pub fn record(kind: FlightKind, name: &str, arg: u64) {
                 kind,
                 name: SmallName::new(name),
                 tid: h.ring.tid,
+                dev,
                 ts_ns,
                 arg,
             });
@@ -244,14 +250,33 @@ pub fn stage_end(label: &str) {
     record(FlightKind::StageEnd, label, 0);
 }
 
+/// Per-device launch-count metric names, pre-rendered so the always-on
+/// hook never formats on the hot path (index = device id).
+const DEVICE_LAUNCH_COUNTERS: [&str; cuszi_gpu_sim::MAX_DEVICES] = [
+    "gpu.dev0.launches",
+    "gpu.dev1.launches",
+    "gpu.dev2.launches",
+    "gpu.dev3.launches",
+    "gpu.dev4.launches",
+    "gpu.dev5.launches",
+    "gpu.dev6.launches",
+    "gpu.dev7.launches",
+];
+
 /// Forward gpu-sim flight signals into the recorder.
 fn on_signal(sig: &FlightSignal<'_>) {
     match *sig {
-        FlightSignal::Launch { name, stream, dropped } => record(
-            if dropped { FlightKind::LaunchDropped } else { FlightKind::Launch },
-            name,
-            stream.map(|i| i as u64 + 1).unwrap_or(0),
-        ),
+        FlightSignal::Launch { name, stream, dropped } => {
+            if !dropped {
+                let dev = cuszi_gpu_sim::current_device().min(DEVICE_LAUNCH_COUNTERS.len() - 1);
+                crate::count(DEVICE_LAUNCH_COUNTERS[dev], 1);
+            }
+            record(
+                if dropped { FlightKind::LaunchDropped } else { FlightKind::Launch },
+                name,
+                stream.map(|i| i as u64 + 1).unwrap_or(0),
+            )
+        }
         FlightSignal::Alloc { seq } => record(FlightKind::Alloc, "pool", seq),
         FlightSignal::Stream { op, id } => record(FlightKind::StreamOp, op, id as u64),
         FlightSignal::FaultArmed { site } => record(FlightKind::FaultArmed, site, 0),
@@ -378,9 +403,10 @@ pub fn render_dump(error: Option<(&str, &str)>, job: Option<(u64, &str)>) -> Str
             out.push(',');
         }
         out.push_str(&format!(
-            "\n{{\"ts_ns\": {}, \"tid\": {}, \"kind\": \"{}\", \"name\": \"",
+            "\n{{\"ts_ns\": {}, \"tid\": {}, \"dev\": {}, \"kind\": \"{}\", \"name\": \"",
             ev.ts_ns,
             ev.tid,
+            ev.dev,
             ev.kind.label()
         ));
         escape_into(&mut out, ev.name.as_str());
@@ -558,6 +584,30 @@ mod tests {
         clear_dumps();
         std::env::remove_var("CUSZI_FLIGHT_DIR");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_recording_device() {
+        let _g = lock(&GUARD);
+        cuszi_gpu_sim::on_device(2, || record(FlightKind::Launch, "dev-stamp-probe", 0));
+        record(FlightKind::Launch, "dev-stamp-host", 0);
+        let (evs, _) = snapshot();
+        let on_dev =
+            evs.iter().rev().find(|e| e.name.as_str() == "dev-stamp-probe").expect("recorded");
+        assert_eq!(on_dev.dev, 2, "event carries the binding of its recording thread");
+        let on_host =
+            evs.iter().rev().find(|e| e.name.as_str() == "dev-stamp-host").expect("recorded");
+        assert_eq!(on_host.dev, 0, "unbound threads are device 0");
+        let doc = render_dump(None, None);
+        let v = crate::minjson::parse(&doc).expect("dump parses");
+        let events = v.get("events").and_then(|e| e.as_array()).expect("events");
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("dev-stamp-probe")
+                    && e.get("dev").and_then(|d| d.as_f64()) == Some(2.0)
+            }),
+            "dump events carry the device id"
+        );
     }
 
     #[test]

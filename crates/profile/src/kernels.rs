@@ -257,6 +257,7 @@ mod tests {
             wall_s: 0.001,
             completed,
             stream: None,
+            device_id: 0,
         }
     }
 

@@ -11,6 +11,12 @@ use cuszi_gpu_sim::{KernelStats, TimingModel};
 /// The Globus link between the paper's two testbeds.
 pub const GLOBUS_BANDWIDTH_GBPS: f64 = 1.0;
 
+/// NVLink 3.0, per direction (GA100 node fabric).
+pub const NVLINK_BANDWIDTH_GBPS: f64 = 300.0;
+
+/// PCIe 4.0 x16, effective.
+pub const PCIE_BANDWIDTH_GBPS: f64 = 25.0;
+
 /// A transfer scenario: link bandwidth in GB/s.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Scenario {
@@ -21,6 +27,112 @@ impl Scenario {
     /// The paper's ThetaGPU <-> Anvil Globus link.
     pub fn globus() -> Self {
         Scenario { bandwidth_gbps: GLOBUS_BANDWIDTH_GBPS }
+    }
+
+    /// An NVLink-class intra-node device link.
+    pub fn nvlink() -> Self {
+        Scenario { bandwidth_gbps: NVLINK_BANDWIDTH_GBPS }
+    }
+
+    /// A PCIe-class host link (devices without direct fabric).
+    pub fn pcie() -> Self {
+        Scenario { bandwidth_gbps: PCIE_BANDWIDTH_GBPS }
+    }
+
+    /// Time to move `bytes` over this link, seconds.
+    pub fn time_s(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth_gbps > 0.0);
+        bytes as f64 / 1e9 / self.bandwidth_gbps
+    }
+}
+
+/// The three link classes the multi-device experiments sweep: the
+/// intra-node fabrics archives gather over, and the WAN link of the
+/// paper's § VII-C.5 case study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkClass {
+    /// NVLink-class fabric (300 GB/s).
+    NvLink,
+    /// PCIe-class host link (25 GB/s).
+    Pcie,
+    /// WAN / Globus (1 GB/s, the paper's ThetaGPU <-> Anvil link).
+    Wan,
+}
+
+impl LinkClass {
+    /// All classes, fastest first (sweep order).
+    pub fn all() -> [LinkClass; 3] {
+        [LinkClass::NvLink, LinkClass::Pcie, LinkClass::Wan]
+    }
+
+    /// The scenario (bandwidth) this class models.
+    pub fn scenario(self) -> Scenario {
+        match self {
+            LinkClass::NvLink => Scenario::nvlink(),
+            LinkClass::Pcie => Scenario::pcie(),
+            LinkClass::Wan => Scenario::globus(),
+        }
+    }
+
+    /// Short stable label (bench/report column key).
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkClass::NvLink => "nvlink",
+            LinkClass::Pcie => "pcie",
+            LinkClass::Wan => "wan",
+        }
+    }
+
+    /// Parse a [`LinkClass::label`] back (CLI/bench flags).
+    pub fn parse(s: &str) -> Option<LinkClass> {
+        match s.trim() {
+            "nvlink" => Some(LinkClass::NvLink),
+            "pcie" => Some(LinkClass::Pcie),
+            "wan" | "globus" => Some(LinkClass::Wan),
+            _ => None,
+        }
+    }
+}
+
+/// A declared inter-device link topology: one link per device toward
+/// the gather target (device 0, where sharded archives assemble).
+/// Device 0's "link" to itself is free.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    links: Vec<Scenario>,
+}
+
+impl Topology {
+    /// `devices` devices all reaching device 0 over the same link
+    /// class — the homogeneous node the experiments model.
+    pub fn uniform(devices: usize, link: LinkClass) -> Self {
+        assert!(devices >= 1, "a topology needs at least one device");
+        Topology { links: vec![link.scenario(); devices] }
+    }
+
+    /// Per-device links toward device 0, in device-id order.
+    pub fn of_links(links: Vec<Scenario>) -> Self {
+        assert!(!links.is_empty(), "a topology needs at least one device");
+        Topology { links }
+    }
+
+    /// Number of devices in the topology.
+    pub fn devices(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link device `dev` uses to reach device 0.
+    pub fn link(&self, dev: usize) -> Scenario {
+        self.links[dev]
+    }
+
+    /// Modelled time for device `dev` to gather `bytes` to device 0,
+    /// seconds. Zero for device 0 itself (the data is already there).
+    pub fn gather_s(&self, dev: usize, bytes: u64) -> f64 {
+        if dev == 0 {
+            return 0.0;
+        }
+        self.links[dev].time_s(bytes)
     }
 }
 
@@ -135,5 +247,49 @@ mod tests {
     fn zero_bandwidth_rejected() {
         let s = Scenario { bandwidth_gbps: 0.0 };
         let _ = s.cost(1, 1, 1.0, 1.0);
+    }
+
+    #[test]
+    fn link_classes_rank_and_roundtrip() {
+        let [nv, pcie, wan] = LinkClass::all();
+        assert!(
+            nv.scenario().bandwidth_gbps > pcie.scenario().bandwidth_gbps
+                && pcie.scenario().bandwidth_gbps > wan.scenario().bandwidth_gbps
+        );
+        for c in LinkClass::all() {
+            assert_eq!(LinkClass::parse(c.label()), Some(c));
+        }
+        assert_eq!(LinkClass::parse("globus"), Some(LinkClass::Wan));
+        assert_eq!(LinkClass::parse("carrier-pigeon"), None);
+        assert_eq!(wan.scenario(), Scenario::globus(), "the paper point is the WAN class");
+    }
+
+    #[test]
+    fn link_time_scales_with_bytes_and_bandwidth() {
+        assert_eq!(Scenario::globus().time_s(1_000_000_000), 1.0);
+        assert!((Scenario::nvlink().time_s(300_000_000_000) - 1.0).abs() < 1e-12);
+        assert!(Scenario::pcie().time_s(1 << 30) > Scenario::nvlink().time_s(1 << 30));
+    }
+
+    #[test]
+    fn topology_prices_gathers_to_device_zero() {
+        let t = Topology::uniform(4, LinkClass::Pcie);
+        assert_eq!(t.devices(), 4);
+        assert_eq!(t.gather_s(0, 1 << 30), 0.0, "device 0 gathers locally");
+        let s = t.gather_s(3, 25_000_000_000);
+        assert!((s - 1.0).abs() < 1e-12, "25 GB over 25 GB/s = 1 s, got {s}");
+        assert_eq!(t.link(1), Scenario::pcie());
+    }
+
+    #[test]
+    fn heterogeneous_topology() {
+        let t = Topology::of_links(vec![Scenario::nvlink(), Scenario::nvlink(), Scenario::pcie()]);
+        assert!(t.gather_s(2, 1 << 30) > t.gather_s(1, 1 << 30));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_topology_rejected() {
+        let _ = Topology::uniform(0, LinkClass::Wan);
     }
 }

@@ -6,7 +6,7 @@
 # the per-stage wall-clock bench, writing BENCH_<n>.json where <n> is
 # the first unused index in the output directory.
 #
-# Usage: scripts/bench.sh [--quick] [--profile] [--gate] [--serve] [--out-dir DIR] [extra exp args...]
+# Usage: scripts/bench.sh [--quick] [--profile] [--gate] [--serve|--multigpu] [--out-dir DIR] [extra exp args...]
 #   --quick     2 samples per measurement (CI smoke); default is 5.
 #   --profile   enable the cuszi-profile tracer/kernel-table during the
 #               run; writes profile_<n>.json next to BENCH_<n>.json and
@@ -22,6 +22,11 @@
 #               (p50/p99/p99.9, saturation curve, cache hit rates)
 #               against the multi-tenant engine instead of the hostperf
 #               throughput grid. See docs/SERVING.md.
+#   --multigpu  run the exp_multigpu sharding sweep (device count x
+#               link class x codec: per-device sim clocks, modelled
+#               gather-transfer time, sim speedup, byte-identity
+#               assert) instead of the hostperf grid. See
+#               docs/SHARDING.md.
 #   --out-dir   where BENCH_<n>.json goes (default: repo root).
 #
 # The report includes a per-dataset "overlap" section (batch + slab
@@ -47,6 +52,7 @@ quick=0
 profile=0
 gate=0
 serve=0
+multigpu=0
 extra=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -54,6 +60,7 @@ while [ $# -gt 0 ]; do
         --profile) profile=1 ;;
         --gate) gate=1 ;;
         --serve) serve=1 ;;
+        --multigpu) multigpu=1 ;;
         --out-dir) out_dir="$2"; shift ;;
         *) extra+=("$1") ;;
     esac
@@ -84,6 +91,8 @@ fi
 
 if [ "$serve" = 1 ]; then
     tool=exp_serve
+elif [ "$multigpu" = 1 ]; then
+    tool=exp_multigpu
 else
     tool=exp_hostperf
 fi
@@ -99,7 +108,7 @@ if [ "$rc" = 2 ]; then
 elif [ "$rc" != 0 ]; then
     exit "$rc"
 fi
-if [ "$serve" = 0 ]; then
+if [ "$serve" = 0 ] && [ "$multigpu" = 0 ]; then
     cargo bench -p cuszi-bench --bench stages
 fi
 

@@ -11,10 +11,12 @@
 use std::sync::Mutex;
 
 use cuszi_repro::core::{
-    compress_fields_streams, sched, Config, CuszError, CuszI, NamedField, StageFaultKind,
+    compress_fields_sharded, compress_fields_streams, sched, Config, CuszError, CuszI, NamedField,
+    ShardPlan, StageFaultKind,
 };
 use cuszi_repro::datagen::{generate, DatasetKind, Scale};
 use cuszi_repro::gpu_sim::fault::{self, FaultSpec};
+use cuszi_repro::gpu_sim::on_device;
 use cuszi_repro::profile::{flight, minjson};
 use cuszi_repro::quant::ErrorBound;
 use cuszi_repro::tensor::{NdArray, Shape};
@@ -32,6 +34,13 @@ struct Armed;
 impl Armed {
     fn new(spec: FaultSpec) -> Armed {
         fault::arm(spec);
+        Armed
+    }
+
+    /// Arm in a specific device's fault domain (the `dev<N>:` scope of
+    /// `CUSZI_FAULT`); the other domains stay untouched.
+    fn on(dev: usize, spec: FaultSpec) -> Armed {
+        fault::arm_on(dev, spec);
         Armed
     }
 }
@@ -303,6 +312,93 @@ fn poisoning_the_only_stream_fails_every_job_typed() {
         "{err}"
     );
     assert_flight_dump(&err, Some(err.stage()));
+}
+
+#[test]
+fn poisoned_device_fails_only_its_own_shards() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    let codec = CuszI::new(cfg);
+    let fields = fields_of(DatasetKind::ALL[3]);
+    let (_, data) = &fields[0];
+    let reference = codec.compress(data).expect("unarmed compress").bytes;
+
+    // Eight shards round-robin over four devices, two per device, each
+    // device scheduling its pair on its own (single) stream — the shard
+    // layer's layout. Only device 2's domain is poisoned: its shards
+    // must fail typed, every neighbour's archives stay byte-identical.
+    let items: Vec<&NdArray<f32>> = (0..8).map(|_| data).collect();
+    clear_flight_dump();
+    let _armed = Armed::on(2, FaultSpec::PoisonStream(0));
+    for dev in 0..4usize {
+        let dev_items: Vec<&NdArray<f32>> = items.iter().skip(dev).step_by(4).copied().collect();
+        let (results, _) =
+            on_device(dev, || sched::run_jobs(&dev_items, 1, |d, _| codec.compress(d)));
+        for (i, r) in results.iter().enumerate() {
+            if dev == 2 {
+                assert_eq!(
+                    r.as_ref().err(),
+                    Some(&CuszError::StageError {
+                        stage: "schedule",
+                        kind: StageFaultKind::StreamPoisoned,
+                        site: "job slot never filled".to_string(),
+                    }),
+                    "device {dev} shard {i} ran despite the poisoned domain"
+                );
+            } else {
+                let c = r
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("device {dev} shard {i} failed: {e}"));
+                assert_eq!(c.bytes, reference, "device {dev} shard {i}: neighbour archive changed");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_batch_attributes_poisoned_device_and_recovers() {
+    let _g = guard();
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    let fields = fields_of(DatasetKind::ALL[4]);
+    let (_, data) = &fields[0];
+    // Four shards at four devices: shard i lands on device i, so every
+    // device (including the poisoned one) owns exactly one.
+    let names: Vec<String> = (0..4).map(|i| format!("shard-{i}")).collect();
+    let named: Vec<NamedField> = names.iter().map(|n| NamedField { name: n, data }).collect();
+    let plan = ShardPlan::new(4).streams(1);
+    let (reference, _) = compress_fields_sharded(&named, cfg, plan).expect("unarmed sharded");
+
+    // A fault scoped to device 3 while the plan only visits devices
+    // 0 and 1: the armed domain is never entered, so the batch is
+    // untouched (domains are per-device, not process-wide).
+    {
+        let _armed = Armed::on(3, FaultSpec::PoisonStream(0));
+        let (c, _) = compress_fields_sharded(&named, cfg, ShardPlan::new(2).streams(1))
+            .expect("fault scoped to an unused device must not trip");
+        assert_eq!(c.bytes, reference.bytes, "idle-domain fault leaked into the batch");
+    }
+
+    // Poison device 1's only stream: the batch fails typed and the
+    // error site names the failing device.
+    clear_flight_dump();
+    let err = {
+        let _armed = Armed::on(1, FaultSpec::PoisonStream(0));
+        compress_fields_sharded(&named, cfg, plan).expect_err("poisoned device compressed Ok")
+    };
+    match &err {
+        CuszError::StageError { stage, kind, site } => {
+            assert_eq!(*stage, "schedule", "{err}");
+            assert_eq!(*kind, StageFaultKind::StreamPoisoned, "{err}");
+            assert!(site.starts_with("device 1: "), "site must name the device: {err}");
+        }
+        other => panic!("poisoned device gave {other:?}"),
+    }
+    assert_flight_dump(&err, Some("schedule"));
+
+    // Disarmed, the same plan reproduces the reference bytes — no
+    // residue in any domain.
+    let (again, _) = compress_fields_sharded(&named, cfg, plan).expect("disarmed sharded");
+    assert_eq!(again.bytes, reference.bytes, "disarmed sharded archive differs");
 }
 
 #[test]

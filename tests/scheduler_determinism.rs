@@ -4,10 +4,13 @@
 //!
 //! gpu-sim kernels are deterministic for any worker count and every
 //! stage of one job stays on one stream, so overlap must change only
-//! *when* work runs, never *what* it produces.
+//! *when* work runs, never *what* it produces. The sharded paths
+//! extend the invariant to device count: archives are byte-identical
+//! at devices ∈ {1, 2, 4} × streams ∈ {1, 4} on every dataset.
 
 use cuszi_repro::core::{
-    compress_fields_streams, compress_slabs_streams, Config, CuszI, NamedField,
+    compress_fields_sharded, compress_fields_streams, compress_slabs_sharded,
+    compress_slabs_streams, Config, CuszI, NamedField, ShardPlan,
 };
 use cuszi_repro::datagen::{generate, DatasetKind, Scale};
 use cuszi_repro::quant::ErrorBound;
@@ -83,5 +86,71 @@ fn slab_streams_identical_across_stream_counts_on_all_datasets() {
         let (one, _) = compress_slabs_streams(shape, 8, cfg, 1, slab).expect("streams=1");
         let (four, _) = compress_slabs_streams(shape, 8, cfg, 4, slab).expect("streams=4");
         assert_eq!(one, four, "{}: slab stream differs across stream counts", kind.name());
+    }
+}
+
+#[test]
+fn sharded_batch_identical_across_device_and_stream_counts_on_all_datasets() {
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 42);
+        let fields: Vec<(String, NdArray<f32>)> =
+            ds.fields.iter().map(|f| (f.name.to_string(), crop(&f.data))).collect();
+        let named: Vec<NamedField> =
+            fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+
+        let (reference, _) = compress_fields_streams(&named, cfg, 1).expect("streams=1");
+        for devices in [1usize, 2, 4] {
+            for streams in [1usize, 4] {
+                let plan = ShardPlan::new(devices).streams(streams);
+                let (c, report) = compress_fields_sharded(&named, cfg, plan)
+                    .unwrap_or_else(|e| {
+                        panic!("{}: devices={devices} streams={streams}: {e}", kind.name())
+                    });
+                assert_eq!(
+                    c.bytes,
+                    reference.bytes,
+                    "{}: container differs at devices={devices} streams={streams}",
+                    kind.name()
+                );
+                assert_eq!(report.devices, devices);
+                assert_eq!(
+                    report.per_device.iter().map(|d| d.jobs).sum::<usize>(),
+                    named.len(),
+                    "{}: shard layout lost fields",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_slabs_identical_across_device_and_stream_counts_on_all_datasets() {
+    let cfg = Config::new(ErrorBound::Abs(1e-3));
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 7);
+        let field = crop(&ds.fields[0].data);
+        let shape = field.shape();
+        let [_, ny, nx] = shape.dims3();
+        let slab = |z0: usize, nz: usize| {
+            NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| field.get3(z0 + z, y, x))
+        };
+        let (reference, _) = compress_slabs_streams(shape, 8, cfg, 1, slab).expect("streams=1");
+        for devices in [1usize, 2, 4] {
+            for streams in [1usize, 4] {
+                let plan = ShardPlan::new(devices).streams(streams);
+                let (bytes, _) = compress_slabs_sharded(shape, 8, cfg, plan, slab)
+                    .unwrap_or_else(|e| {
+                        panic!("{}: devices={devices} streams={streams}: {e}", kind.name())
+                    });
+                assert_eq!(
+                    bytes,
+                    reference,
+                    "{}: slab stream differs at devices={devices} streams={streams}",
+                    kind.name()
+                );
+            }
+        }
     }
 }
