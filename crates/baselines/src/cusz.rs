@@ -4,7 +4,7 @@
 
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
 use cuszi_gpu_sim::DeviceSpec;
-use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook, EncodedStream};
+use cuszi_huffman::{decode_gpu_serial, encode_gpu, histogram_gpu, Codebook, EncodedStream};
 use cuszi_predict::lorenzo;
 use cuszi_quant::ErrorBound;
 use cuszi_tensor::NdArray;
@@ -73,7 +73,7 @@ impl Codec for Cusz {
 
         let mut kernels = Vec::new();
         let (codes, dstats) =
-            decode_gpu(&stream, &book, &self.device).map_err(|e| CuszError::LosslessStage(e.0))?;
+            decode_gpu_serial(&stream, &book, &self.device).map_err(|e| CuszError::LosslessStage(e.msg))?;
         kernels.push(dstats);
         let (data, lstats) = lorenzo::decompress(&codes, &outliers, shape, eb, RADIUS, &self.device);
         kernels.extend(lstats);

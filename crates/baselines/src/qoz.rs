@@ -7,7 +7,7 @@
 
 use cuszi_core::{Codec, CodecArtifacts, CuszError};
 use cuszi_gpu_sim::{DeviceSpec, A100};
-use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook, EncodedStream};
+use cuszi_huffman::{decode_gpu_serial, encode_gpu, histogram_gpu, Codebook, EncodedStream};
 use cuszi_predict::cpu_interp::{self, CpuInterpParams};
 use cuszi_predict::splines::CubicVariant;
 use cuszi_predict::tuning::profile_and_tune;
@@ -152,8 +152,8 @@ impl Codec for Qoz {
             return Err(CuszError::CorruptArchive("qoz stream length"));
         }
         let outliers = read_outliers(&payload, &mut at, shape.len())?;
-        let (codes, _) = decode_gpu(&stream, &book, &Self::device())
-            .map_err(|e| CuszError::LosslessStage(e.0))?;
+        let (codes, _) = decode_gpu_serial(&stream, &book, &Self::device())
+            .map_err(|e| CuszError::LosslessStage(e.msg))?;
         let data =
             cpu_interp::decompress(&codes, &anchors, &outliers, shape, eb, RADIUS, &cfg, params);
         Ok((data, CodecArtifacts { kernels: Vec::new() }))

@@ -54,7 +54,8 @@ fn main() {
     b.run("codebook_build_cpu", bytes, || Codebook::from_histogram(&hist));
     b.run("huffman_encode", bytes, || encode_gpu(&gi.codes, &book, &A100));
     let (stream, _) = encode_gpu(&gi.codes, &book, &A100);
-    b.run("huffman_decode", bytes, || decode_gpu(&stream, &book, &A100));
+    b.run("huffman_decode_gap", bytes, || decode_gpu(&stream, &book, &A100));
+    b.run("huffman_decode_serial", bytes, || cuszi_huffman::decode_gpu_serial(&stream, &book, &A100));
     let payload = stream.to_bytes();
     b.run("bitcomp_compress", bytes, || cuszi_bitcomp::compress(&payload, &A100));
     let (packed, _) = cuszi_bitcomp::compress(&payload, &A100);

@@ -24,13 +24,21 @@
 //! `--streams N` adds an overlap section per dataset: batch (all
 //! fields) and slab-streamed compression at 1 stream vs N streams,
 //! wall-clock speedup plus the scheduler's sim-time overlap ratio.
+//! A mirrored `decompress` section does the same for the decode
+//! direction and additionally reports the gap-array Huffman decoder's
+//! self-synchronization accounting (sector re-decode rate, bridge
+//! symbols, host-fallback chunks) and the modelled roofline
+//! compress-vs-decompress throughput pair.
 
 use cuszi_bench::timing::{section, Bench, Measurement};
 use cuszi_bench::{codec_roster, parse_args};
-use cuszi_core::{compress_fields_streams, compress_slabs_streams, Config, NamedField};
+use cuszi_core::{
+    compress_fields_streams, compress_slabs_streams, decompress_fields_streams,
+    decompress_slabs_streams, Config, NamedField,
+};
 use cuszi_datagen::{generate, DatasetKind};
-use cuszi_gpu_sim::A100;
-use cuszi_huffman::{encode_gpu, histogram_gpu, Codebook};
+use cuszi_gpu_sim::{TimingModel, A100};
+use cuszi_huffman::{decode_gpu, encode_gpu, histogram_gpu, Codebook};
 use cuszi_predict::ginterp;
 use cuszi_predict::tuning::InterpConfig;
 use cuszi_quant::ErrorBound;
@@ -135,6 +143,30 @@ fn fusion_dram_json(field: &cuszi_tensor::NdArray<f32>) -> String {
 /// wall-clock, which tracks the sim win only when the host has spare
 /// cores to run the streams on (`host_cores` is recorded so readers
 /// can tell — on a 1-core container wall time cannot improve).
+/// One serial-vs-n-streams timing pair as a `"label":{...}` JSON
+/// member, shared by the compress and decompress overlap sections.
+fn overlap_pair_json(
+    label: &str,
+    extra: String,
+    w1: f64,
+    wn: f64,
+    r1: &cuszi_core::ScheduleReport,
+    rn: &cuszi_core::ScheduleReport,
+) -> String {
+    let sim1 = r1.sim_elapsed_ns() as f64 / 1e6;
+    let simn = rn.sim_elapsed_ns() as f64 / 1e6;
+    format!(
+        "\"{label}\":{{{extra}\"wall_serial_ms\":{:.4},\"wall_parallel_ms\":{:.4},\
+         \"wall_speedup\":{:.4},\"sim_serial_ms\":{sim1:.4},\"sim_parallel_ms\":{simn:.4},\
+         \"sim_speedup\":{:.4},\"sim_overlap\":{:.4}}}",
+        w1 * 1e3,
+        wn * 1e3,
+        w1 / wn.max(1e-12),
+        sim1 / simn.max(1e-9),
+        rn.overlap_speedup(),
+    )
+}
+
 fn overlap_json(b: &Bench, ds: &cuszi_datagen::Dataset, n: usize) -> String {
     let cfg = Config::new(ErrorBound::Rel(REL_EB));
     let named: Vec<NamedField> =
@@ -169,25 +201,125 @@ fn overlap_json(b: &Bench, ds: &cuszi_datagen::Dataset, n: usize) -> String {
     let (_, srep1) = compress_slabs_streams(shape, slab_z, cfg, 1, produce).unwrap();
     let (_, srepn) = compress_slabs_streams(shape, slab_z, cfg, n, produce).unwrap();
 
-    let pair = |label: &str, extra: String, w1: f64, wn: f64, r1: &cuszi_core::ScheduleReport, rn: &cuszi_core::ScheduleReport| {
-        let sim1 = r1.sim_elapsed_ns() as f64 / 1e6;
-        let simn = rn.sim_elapsed_ns() as f64 / 1e6;
-        format!(
-            "\"{label}\":{{{extra}\"wall_serial_ms\":{:.4},\"wall_parallel_ms\":{:.4},\
-             \"wall_speedup\":{:.4},\"sim_serial_ms\":{sim1:.4},\"sim_parallel_ms\":{simn:.4},\
-             \"sim_speedup\":{:.4},\"sim_overlap\":{:.4}}}",
-            w1 * 1e3,
-            wn * 1e3,
-            w1 / wn.max(1e-12),
-            sim1 / simn.max(1e-9),
-            rn.overlap_speedup(),
-        )
-    };
     format!(
         "{{\"streams\":{n},\"host_cores\":{},{},{}}}",
         std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
-        pair("batch", format!("\"fields\":{},", named.len()), b1.min_s, bn.min_s, &brep1, &brepn),
-        pair("slab", format!("\"slab_z\":{slab_z},"), s1.min_s, sn.min_s, &srep1, &srepn),
+        overlap_pair_json(
+            "batch",
+            format!("\"fields\":{},", named.len()),
+            b1.min_s,
+            bn.min_s,
+            &brep1,
+            &brepn
+        ),
+        overlap_pair_json(
+            "slab",
+            format!("\"slab_z\":{slab_z},"),
+            s1.min_s,
+            sn.min_s,
+            &srep1,
+            &srepn
+        ),
+    )
+}
+
+/// Decompress-side counterpart of `overlap_json` plus decode-path
+/// instrumentation, per dataset:
+///
+/// * `batch` / `slab`: decompression of the CSZM / CSZS containers at
+///   1 stream vs `n` streams, same wall + sim timeline pair as the
+///   compress section.
+/// * `gap`: the gap-array Huffman decoder's self-synchronization
+///   accounting on the representative field — how many speculative
+///   sectors joined the true chain, how many needed the pass-2
+///   re-decode, bridge symbols, and host-fallback chunks.
+/// * `modelled`: roofline (sim-kernel) compress vs decompress
+///   throughput. The decode pipeline is shorter (no histogram or
+///   codebook pass, and the two-pass gap decode touches each sector at
+///   most twice), so modelled decompress should meet or beat compress;
+///   recording both lets a report diff catch either side regressing.
+fn decompress_json(b: &Bench, ds: &cuszi_datagen::Dataset, n: usize) -> String {
+    let cfg = Config::new(ErrorBound::Rel(REL_EB));
+    let named: Vec<NamedField> =
+        ds.fields.iter().map(|f| NamedField { name: f.name, data: &f.data }).collect();
+    let total: u64 = named.iter().map(|f| (f.data.len() * 4) as u64).sum();
+    let (batch, _) = compress_fields_streams(&named, cfg, n).unwrap();
+    let b1 = b.run("batch decompress --streams 1", Some(total), || {
+        decompress_fields_streams(&batch.bytes, cfg, 1).unwrap()
+    });
+    let bn = b.run(&format!("batch decompress --streams {n}"), Some(total), || {
+        decompress_fields_streams(&batch.bytes, cfg, n).unwrap()
+    });
+    let (_, brep1) = decompress_fields_streams(&batch.bytes, cfg, 1).unwrap();
+    let (_, brepn) = decompress_fields_streams(&batch.bytes, cfg, n).unwrap();
+
+    let field = &ds.fields[0].data;
+    let shape = field.shape();
+    let [nz, ny, nx] = shape.dims3();
+    let slab_z = (nz / 8).max(1);
+    let produce = |z0: usize, snz: usize| {
+        cuszi_tensor::NdArray::from_fn(cuszi_tensor::Shape::d3(snz, ny, nx), |z, y, x| {
+            field.get3(z0 + z, y, x)
+        })
+    };
+    let fbytes = (field.len() * 4) as u64;
+    let (slabs, _) = compress_slabs_streams(shape, slab_z, cfg, n, produce).unwrap();
+    let s1 = b.run("slab decompress --streams 1", Some(fbytes), || {
+        decompress_slabs_streams(&slabs, cfg, 1, |_, _| {}).unwrap()
+    });
+    let sn = b.run(&format!("slab decompress --streams {n}"), Some(fbytes), || {
+        decompress_slabs_streams(&slabs, cfg, n, |_, _| {}).unwrap()
+    });
+    let (_, srep1) = decompress_slabs_streams(&slabs, cfg, 1, |_, _| {}).unwrap();
+    let (_, srepn) = decompress_slabs_streams(&slabs, cfg, n, |_, _| {}).unwrap();
+
+    // Gap-decode accounting on the representative field's code plane.
+    let range = ValueRange::of(field.as_slice()).unwrap().range() as f64;
+    let eb = REL_EB * range;
+    let icfg = InterpConfig::untuned(shape.rank().min(3));
+    let gi = ginterp::compress(field, eb, 512, &icfg, &A100);
+    let (hist, _) = histogram_gpu(&gi.codes, 1024, 512, 32, &A100);
+    let book = Codebook::from_histogram(&hist).unwrap();
+    let (stream, _) = encode_gpu(&gi.codes, &book, &A100);
+    let dec = decode_gpu(&stream, &book, &A100).unwrap();
+    let g = dec.report;
+
+    // Modelled (roofline) end-to-end throughput, both directions.
+    let codec = cuszi_core::CuszI::new(cfg);
+    let c = codec.compress(field).unwrap();
+    let d = codec.decompress(&c.bytes).unwrap();
+    let model = TimingModel::new(A100);
+    let compress_gbps = model.throughput_gbps(fbytes, &c.kernels);
+    let decompress_gbps = model.throughput_gbps(fbytes, &d.kernels);
+
+    format!(
+        "{{\"streams\":{n},{},{},\
+         \"gap\":{{\"sectors\":{},\"synced\":{},\"redecoded\":{},\"redecode_rate\":{:.4},\
+         \"bridge_syms\":{},\"fallback_chunks\":{}}},\
+         \"modelled\":{{\"compress_gbps\":{compress_gbps:.3},\
+         \"decompress_gbps\":{decompress_gbps:.3}}}}}",
+        overlap_pair_json(
+            "batch",
+            format!("\"fields\":{},", named.len()),
+            b1.min_s,
+            bn.min_s,
+            &brep1,
+            &brepn
+        ),
+        overlap_pair_json(
+            "slab",
+            format!("\"slab_z\":{slab_z},"),
+            s1.min_s,
+            sn.min_s,
+            &srep1,
+            &srepn
+        ),
+        g.sectors,
+        g.synced,
+        g.redecoded,
+        g.redecoded as f64 / (g.sectors.max(1)) as f64,
+        g.bridge_syms,
+        g.fallback_chunks,
     )
 }
 
@@ -333,9 +465,10 @@ fn main() {
             ));
         }
         let overlap = overlap_json(&b, &ds, streams);
+        let decomp = decompress_json(&b, &ds, streams);
         ds_json.push(format!(
             "{{\"dataset\":\"{}\",\"field\":\"{}\",\"bytes\":{},\"codecs\":[{}],\
-             \"overlap\":{overlap}}}",
+             \"overlap\":{overlap},\"decompress\":{decomp}}}",
             kind.name(),
             json_escape(field.name),
             nbytes,
@@ -395,12 +528,46 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::profile_path_for;
+    use super::{profile_path_for, REL_EB};
+    use cuszi_core::{Config, CuszI};
+    use cuszi_datagen::{generate, DatasetKind, Scale};
+    use cuszi_gpu_sim::{TimingModel, A100};
+    use cuszi_quant::ErrorBound;
+    use cuszi_tensor::{NdArray, Shape};
 
     #[test]
     fn profile_path_mirrors_bench_numbering() {
         assert_eq!(profile_path_for("BENCH_1.json"), "profile_1.json");
         assert_eq!(profile_path_for("out/BENCH_7.json"), "out/profile_7.json");
         assert_eq!(profile_path_for("report.json"), "report.json.profile.json");
+    }
+
+    /// The invariant the report's `modelled` pair exists to watch: the
+    /// decode pipeline (bitcomp decode + two-pass gap Huffman decode +
+    /// interpolation reconstruct) must not be modelled slower than the
+    /// encode pipeline on any dataset analogue.
+    #[test]
+    fn modelled_decompress_meets_compress_on_all_datasets() {
+        let model = TimingModel::new(A100);
+        let codec = CuszI::new(Config::new(ErrorBound::Rel(REL_EB)));
+        for kind in DatasetKind::ALL {
+            let ds = generate(kind, Scale::Small, 42);
+            let full = &ds.fields[0].data;
+            let d3 = full.shape().dims3();
+            let ext = [d3[0].min(32), d3[1].min(32), d3[2].min(32)];
+            let field = NdArray::from_fn(Shape::d3(ext[0], ext[1], ext[2]), |z, y, x| {
+                full.get3(z, y, x)
+            });
+            let nbytes = (field.len() * 4) as u64;
+            let c = codec.compress(&field).unwrap();
+            let d = codec.decompress(&c.bytes).unwrap();
+            let cg = model.throughput_gbps(nbytes, &c.kernels);
+            let dg = model.throughput_gbps(nbytes, &d.kernels);
+            assert!(
+                dg >= cg,
+                "{}: modelled decompress {dg:.2} GB/s below compress {cg:.2} GB/s",
+                kind.name()
+            );
+        }
     }
 }

@@ -18,7 +18,7 @@ use std::path::Path;
 
 use cuszi_core::{
     compress_pw_rel, compress_slabs_streams, compress_to_psnr, decompress_pw_rel,
-    decompress_slabs, Config, CuszError, CuszI,
+    decompress_slabs_streams, Config, CuszError, CuszI,
 };
 use cuszi_core::archive::Header;
 use cuszi_metrics::{bit_rate, compression_ratio, distortion};
@@ -62,6 +62,9 @@ pub enum Command {
     Decompress {
         input: String,
         output: String,
+        /// Number of gpu-sim streams slab decompression overlaps on
+        /// (`None` = auto). Output is byte-identical for any count.
+        streams: Option<usize>,
         /// Profile the run, mirroring compress: `Some(path)` writes a
         /// Chrome trace there, `Some("")` uses `<output>.trace.json`.
         profile: Option<String>,
@@ -123,7 +126,8 @@ USAGE:
                    [--no-bitcomp] [--verify] [--slab Z [--streams N]]
                    [--profile[=TRACE.json]] [--fuse] [--autotune]
                    [--audit] [--prom[=METRICS.prom]]
-  cuszi decompress -i <in.cszi> -o <out.f32> [--profile[=TRACE.json]]
+  cuszi decompress -i <in.cszi> -o <out.f32> [--streams N]
+                   [--profile[=TRACE.json]]
   cuszi info       -i <in.cszi>
   cuszi serve      [--addr HOST:PORT] [--workers N] [--max-inflight N]
                    [--devices M]
@@ -136,9 +140,10 @@ trace (default <out>.trace.json), a per-kernel roofline table with
 bottleneck verdicts, and a span time summary. CUSZI_PROFILE=1 in the
 environment does the same without the flag.
 
---streams overlaps slab compression across N gpu-sim streams (default:
-auto from CUSZI_STREAMS or core count). Archives are byte-identical
-for any stream count.
+--streams overlaps slab compression (with --slab) or slab-stream
+decompression across N gpu-sim streams (default: auto from
+CUSZI_STREAMS or core count). Archives and reconstructions are
+byte-identical for any stream count.
 
 --fuse folds the quant-code histogram into the interpolation kernel so
 the code plane is written once and never re-read from DRAM; archives
@@ -332,6 +337,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "decompress" => Ok(Command::Decompress {
             input,
             output: output.ok_or_else(|| CliError("missing -o".into()))?,
+            streams,
             profile,
         }),
         "info" => Ok(Command::Info { input }),
@@ -428,7 +434,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             result
         }
-        Command::Decompress { input, output, profile } => {
+        Command::Decompress { input, output, streams, profile } => {
             // Mirror the compress profiling wrap so decode-side kernel
             // behaviour is observable with the same artifacts.
             let profiling = profile.is_some() || cuszi_profile::init_from_env();
@@ -440,7 +446,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 cuszi_profile::install();
                 cuszi_profile::enable(true);
             }
-            let mut result = decompress_one(&input, &output);
+            let mut result = decompress_one(&input, &output, streams);
             if profiling {
                 cuszi_profile::enable(false);
                 if let (Ok(text), Some(p)) = (&mut result, cuszi_profile::profiler()) {
@@ -495,12 +501,12 @@ impl CompressOpts {
 }
 
 /// Single-archive decompression with magic dispatch, shared by [`run`].
-fn decompress_one(input: &str, output: &str) -> Result<String, CliError> {
+fn decompress_one(input: &str, output: &str, streams: Option<usize>) -> Result<String, CliError> {
     let mut out = String::new();
     let bytes = fs::read(input)?;
     let base = Config::new(ErrorBound::Rel(1e-3));
     if bytes.starts_with(b"CSZS") {
-        return decompress_streamed(&bytes, input, output, base);
+        return decompress_streamed(&bytes, input, output, base, streams);
     }
     let d = if bytes.starts_with(b"CSZR") {
         cuszi_core::Decompressed { data: decompress_pw_rel(&bytes, base)?, kernels: Vec::new() }
@@ -749,17 +755,20 @@ fn compress_streamed(
     ))
 }
 
-/// Slab-streamed decompression: writes each slab as it decodes.
+/// Slab-streamed decompression: writes each slab as it decodes, with
+/// slab decodes overlapped across gpu-sim streams.
 fn decompress_streamed(
     bytes: &[u8],
     input: &str,
     output: &str,
     base: Config,
+    streams: Option<usize>,
 ) -> Result<String, CliError> {
     use std::io::Write as _;
     let mut f = fs::File::create(output)?;
     let mut io_err: Option<std::io::Error> = None;
-    let shape = decompress_slabs(bytes, base, |_z0, slab| {
+    let n_streams = streams.unwrap_or_else(cuszi_core::default_streams);
+    let (shape, report) = decompress_slabs_streams(bytes, base, n_streams, |_z0, slab| {
         if io_err.is_some() {
             return;
         }
@@ -771,7 +780,11 @@ fn decompress_streamed(
     if let Some(e) = io_err {
         return Err(e.into());
     }
-    Ok(format!("{input} -> {output} ({shape}, streamed)\n"))
+    Ok(format!(
+        "{input} -> {output} ({shape}, streamed, {} streams, sim overlap {:.2}x)\n",
+        report.streams,
+        report.overlap_speedup(),
+    ))
 }
 
 #[cfg(test)]
@@ -908,6 +921,7 @@ mod tests {
         run(Command::Decompress {
             input: farc.to_string_lossy().into(),
             output: fout.to_string_lossy().into(),
+            streams: None,
             profile: None,
         })
         .unwrap();
@@ -1033,17 +1047,24 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse_args(&strings(&[&base[..], &["--prom="]].concat())).is_err());
-        // decompress accepts --profile.
-        let d = parse_args(&strings(&["decompress", "-i", "a.cszi", "-o", "a.f32", "--profile"]))
-            .unwrap();
+        // decompress accepts --profile and --streams.
+        let d = parse_args(&strings(&[
+            "decompress", "-i", "a.cszi", "-o", "a.f32", "--profile", "--streams", "3",
+        ]))
+        .unwrap();
         assert_eq!(
             d,
             Command::Decompress {
                 input: "a.cszi".into(),
                 output: "a.f32".into(),
+                streams: Some(3),
                 profile: Some(String::new()),
             }
         );
+        assert!(parse_args(&strings(&[
+            "decompress", "-i", "a.cszi", "-o", "a.f32", "--streams", "0",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -1175,6 +1196,7 @@ mod tests {
         let msg = run(Command::Decompress {
             input: farc.to_string_lossy().into(),
             output: fout.to_string_lossy().into(),
+            streams: None,
             profile: Some(ftrace.to_string_lossy().into()),
         })
         .unwrap();
@@ -1265,6 +1287,7 @@ mod pwrel_cli_tests {
         run(Command::Decompress {
             input: farc.to_string_lossy().into(),
             output: fout.to_string_lossy().into(),
+            streams: None,
             profile: None,
         })
         .unwrap();
@@ -1318,12 +1341,14 @@ mod slab_cli_tests {
         })
         .unwrap();
         assert!(msg.contains("z-slabs of 8"), "{msg}");
-        run(Command::Decompress {
+        let dmsg = run(Command::Decompress {
             input: farc.to_string_lossy().into(),
             output: fout.to_string_lossy().into(),
+            streams: Some(2),
             profile: None,
         })
         .unwrap();
+        assert!(dmsg.contains("2 streams"), "{dmsg}");
         let recon = read_f32_field(&fout, shape).unwrap();
         for (&a, &b) in data.as_slice().iter().zip(recon.as_slice()) {
             assert!((a - b).abs() <= 1e-3 * 1.000001);

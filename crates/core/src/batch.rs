@@ -104,51 +104,77 @@ pub fn compress_fields_streams(
     Ok((Container { bytes, fields: summaries }, report))
 }
 
-/// Decompress a container into `(name, field)` pairs. The entry table
-/// is walked serially (it is self-delimiting), then the per-field
-/// archives decompress in parallel.
-pub fn decompress_fields(
-    bytes: &[u8],
-    cfg: Config,
-) -> Result<Vec<(String, NdArray<f32>)>, CuszError> {
+/// Walk a container's entry table, returning each field's name and
+/// archive slice. All offset arithmetic is checked in the `u64`
+/// domain: a crafted huge archive length must surface as
+/// [`CuszError::CorruptArchive`], never wrap and panic on the slice.
+pub(crate) fn parse_container(bytes: &[u8]) -> Result<Vec<(String, &[u8])>, CuszError> {
     if bytes.len() < 8 || &bytes[0..4] != MAGIC {
         return Err(CuszError::CorruptArchive("container magic"));
     }
     let count = crate::wire::u32_le(bytes, 4) as usize;
-    let mut at = 8usize;
+    let blen = bytes.len() as u64;
+    let mut at = 8u64;
     let mut entries: Vec<(String, &[u8])> = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
-        if at + 2 > bytes.len() {
+        if at + 2 > blen {
             return Err(CuszError::CorruptArchive("container name length"));
         }
-        let nlen = crate::wire::u16_le(bytes, at) as usize;
-        at += 2;
-        if at + nlen + 8 > bytes.len() {
+        let nlen = crate::wire::u16_le(bytes, at as usize) as u64;
+        // nlen <= u16::MAX and at <= blen, so these adds cannot wrap.
+        if at + 2 + nlen + 8 > blen {
             return Err(CuszError::CorruptArchive("container name"));
         }
-        let name = std::str::from_utf8(&bytes[at..at + nlen])
+        let name = std::str::from_utf8(&bytes[(at + 2) as usize..(at + 2 + nlen) as usize])
             .map_err(|_| CuszError::CorruptArchive("container name utf-8"))?
             .to_string();
-        at += nlen;
-        let alen = crate::wire::u64_le(bytes, at) as usize;
-        at += 8;
-        if alen > bytes.len() || at + alen > bytes.len() {
-            return Err(CuszError::CorruptArchive("container archive truncated"));
-        }
-        entries.push((name, &bytes[at..at + alen]));
-        at += alen;
+        let alen = crate::wire::u64_le(bytes, (at + 2 + nlen) as usize);
+        let body = at + 2 + nlen + 8;
+        let end = body
+            .checked_add(alen)
+            .filter(|&e| e <= blen)
+            .ok_or(CuszError::CorruptArchive("container archive truncated"))?;
+        entries.push((name, &bytes[body as usize..end as usize]));
+        at = end;
     }
-    if at != bytes.len() {
+    if at != blen {
         return Err(CuszError::CorruptArchive("container trailing bytes"));
     }
+    Ok(entries)
+}
+
+/// Decompressed container contents: `(name, field)` pairs in entry
+/// order.
+pub type DecodedFields = Vec<(String, NdArray<f32>)>;
+
+/// Decompress a container into `(name, field)` pairs on
+/// [`crate::sched::default_streams`] gpu-sim streams. See
+/// [`decompress_fields_streams`].
+pub fn decompress_fields(bytes: &[u8], cfg: Config) -> Result<DecodedFields, CuszError> {
+    decompress_fields_streams(bytes, cfg, crate::sched::default_streams()).map(|(f, _)| f)
+}
+
+/// Decompress a container, scheduling field `i` on gpu-sim stream
+/// `i % n_streams` — the mirror of [`compress_fields_streams`]. The
+/// entry table is walked serially with checked offset arithmetic, then
+/// the per-field archives decompress with stream overlap hiding each
+/// field's host-serial stages (parse, gap stitch, pad validation)
+/// behind its siblings' kernels. Output order is by field index, so
+/// the result is identical for any stream count.
+pub fn decompress_fields_streams(
+    bytes: &[u8],
+    cfg: Config,
+    n_streams: usize,
+) -> Result<(DecodedFields, crate::sched::ScheduleReport), CuszError> {
+    let entries = parse_container(bytes)?;
     let codec = CuszI::new(cfg);
-    let fields: Result<Vec<NdArray<f32>>, CuszError> =
-        cuszi_gpu_sim::pool::par_map(&entries, |(_, archive)| {
-            codec.decompress(archive).map(|d| d.data)
-        })
-        .into_iter()
-        .collect();
-    Ok(entries.into_iter().map(|(name, _)| name).zip(fields?).collect())
+    let _span = cuszi_profile::span("batch", cuszi_profile::Category::Batch);
+    let (results, report) = crate::sched::run_jobs(&entries, n_streams, |(name, archive), _| {
+        let _g = cuszi_profile::span(name, cuszi_profile::Category::Batch);
+        codec.decompress(archive).map(|d| d.data)
+    });
+    let fields: Vec<NdArray<f32>> = results.into_iter().collect::<Result<_, _>>()?;
+    Ok((entries.into_iter().map(|(name, _)| name).zip(fields).collect(), report))
 }
 
 #[cfg(test)]

@@ -977,6 +977,9 @@ mod tests {
         let d = engine.decompress("t", bytes, cfg()).unwrap();
         let out = d.output.into_decompressed().unwrap();
         assert_eq!(out.data.shape(), data.shape());
+        // Engine decompress runs the gap-array decode path: bitcomp +
+        // gap decode (+ data-dependent fix pass) + interp.
+        assert!((3..=4).contains(&out.kernels.len()), "{}", out.kernels.len());
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum CuszError {
     VersionMismatch { found: u16, expected: u16 },
     /// A lossless-stage failure surfaced during decompression.
     LosslessStage(&'static str),
+    /// The Huffman payload did not decode to valid symbols — a corrupt
+    /// archive detected mid-decode, attributed to the failing chunk
+    /// (and gap-array sector) like compress-side stage errors are
+    /// attributed to their kernel site.
+    DecodeCorrupt { msg: &'static str, chunk: Option<u64>, sector: Option<u64> },
     /// The requested configuration is unsupported (e.g. radius 0).
     InvalidConfig(&'static str),
     /// A pipeline stage failed on the device: the sticky fault drained
@@ -65,6 +70,14 @@ impl std::fmt::Display for CuszError {
                 write!(f, "archive version {found} (expected {expected})")
             }
             CuszError::LosslessStage(m) => write!(f, "lossless stage failed: {m}"),
+            CuszError::DecodeCorrupt { msg, chunk, sector } => {
+                write!(f, "corrupt archive: huffman decode: {msg}")?;
+                match (chunk, sector) {
+                    (Some(c), Some(s)) => write!(f, " (chunk {c}, sector {s})"),
+                    (Some(c), None) => write!(f, " (chunk {c})"),
+                    _ => Ok(()),
+                }
+            }
             CuszError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             CuszError::StageError { stage, kind, site } => {
                 write!(f, "stage '{stage}' failed: {kind} at {site}")
@@ -81,6 +94,12 @@ impl From<cuszi_quant::QuantError> for CuszError {
             cuszi_quant::QuantError::InvalidErrorBound => CuszError::InvalidErrorBound,
             cuszi_quant::QuantError::NonFiniteInput => CuszError::NonFiniteInput,
         }
+    }
+}
+
+impl From<cuszi_huffman::DecodeError> for CuszError {
+    fn from(e: cuszi_huffman::DecodeError) -> Self {
+        CuszError::DecodeCorrupt { msg: e.msg, chunk: e.chunk, sector: e.sector }
     }
 }
 
@@ -116,6 +135,7 @@ impl CuszError {
             | CuszError::InvalidConfig(_) => "validate",
             CuszError::CorruptArchive(_) | CuszError::VersionMismatch { .. } => "parse",
             CuszError::LosslessStage(_) => "lossless",
+            CuszError::DecodeCorrupt { .. } => "huffman-decode",
         }
     }
 }

@@ -414,6 +414,68 @@ pub fn compress_slabs_sharded(
     Ok((out, report))
 }
 
+/// Decompress a multi-field container sharded across devices: field
+/// `i` on device `i % devices`, reconstructed fields gathered to
+/// device 0 at the modelled link cost (the gather ships the *raw*
+/// field bytes — decompression inverts the "compress where, ship
+/// what" economics). Output is identical to
+/// [`crate::batch::decompress_fields`] at any device count.
+pub fn decompress_fields_sharded(
+    bytes: &[u8],
+    cfg: Config,
+    plan: ShardPlan,
+) -> Result<(crate::batch::DecodedFields, ShardReport), CuszError> {
+    let entries = crate::batch::parse_container(bytes)?;
+    let codec = CuszI::new(cfg);
+    let _span = cuszi_profile::span("shard-batch", cuszi_profile::Category::Batch);
+    let refs: Vec<&(String, &[u8])> = entries.iter().collect();
+    let (results, report) = run_sharded(
+        &refs,
+        plan,
+        cfg.device,
+        |(name, archive)| {
+            let _g = cuszi_profile::span(name, cuszi_profile::Category::Batch);
+            codec.decompress(archive).map(|d| d.data)
+        },
+        |d: &NdArray<f32>| (d.len() * 4) as u64,
+    )?;
+    let fields: Vec<NdArray<f32>> = results.into_iter().collect::<Result<_, _>>()?;
+    Ok((entries.into_iter().map(|(name, _)| name).zip(fields).collect(), report))
+}
+
+/// Decompress a slab stream sharded across devices: slab `s` on device
+/// `s % devices`, reconstructed slabs gathered to device 0 and handed
+/// to `consume(z0, slab)` in ascending `z` order. Output is identical
+/// to [`crate::stream::decompress_slabs`] at any device count.
+pub fn decompress_slabs_sharded(
+    bytes: &[u8],
+    cfg: Config,
+    plan: ShardPlan,
+    mut consume: impl FnMut(usize, NdArray<f32>),
+) -> Result<(Shape, ShardReport), CuszError> {
+    let parsed = crate::stream::parse_slab_container(bytes)?;
+    let codec = CuszI::new(cfg);
+    let _span = cuszi_profile::span("shard-slabs", cuszi_profile::Category::Stream);
+    let refs: Vec<&std::ops::Range<usize>> = parsed.entries.iter().collect();
+    let (results, report) = run_sharded(
+        &refs,
+        plan,
+        cfg.device,
+        |r| codec.decompress(&bytes[r.clone()]).map(|d| d.data),
+        |d: &NdArray<f32>| (d.len() * 4) as u64,
+    )?;
+    for (s, r) in results.into_iter().enumerate() {
+        let data = r?;
+        let z0 = s * parsed.slab_z;
+        let expect_z = parsed.slab_z.min(parsed.dims[0] - z0);
+        if data.shape() != Shape::d3(expect_z, parsed.dims[1], parsed.dims[2]) {
+            return Err(CuszError::CorruptArchive("slab shape mismatch"));
+        }
+        consume(z0, data);
+    }
+    Ok((parsed.shape, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +532,59 @@ mod tests {
                 compress_slabs_sharded(shape, 8, cfg, plan, slab_of).unwrap();
             assert_eq!(bytes, reference, "devices={devices}");
             assert_eq!(report.per_device.iter().map(|d| d.jobs).sum::<usize>(), 4);
+        }
+    }
+
+    #[test]
+    fn sharded_batch_decompress_matches_single_device() {
+        let fs = fields();
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let (c, _) = compress_fields_streams(&named(&fs), cfg, 2).unwrap();
+        let reference = crate::batch::decompress_fields(&c.bytes, cfg).unwrap();
+        for devices in [1, 2, 4] {
+            let plan = ShardPlan::new(devices).streams(2);
+            let (back, report) = decompress_fields_sharded(&c.bytes, cfg, plan).unwrap();
+            assert_eq!(back.len(), reference.len(), "devices={devices}");
+            for ((n, d), (rn, rd)) in back.iter().zip(&reference) {
+                assert_eq!(n, rn);
+                assert_eq!(d.as_slice(), rd.as_slice(), "devices={devices} field {n}");
+            }
+            assert_eq!(report.per_device.iter().map(|d| d.jobs).sum::<usize>(), fs.len());
+            // Decompressed fields ship raw: each non-zero shard set
+            // reports gathered bytes.
+            for d in &report.per_device[1..] {
+                if d.jobs > 0 {
+                    assert!(d.archive_bytes > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_slab_decompress_matches_streaming_path() {
+        let shape = Shape::d3(32, 12, 12);
+        let full = NdArray::from_fn(shape, |z, y, x| ((x + y * 2 + z * 3) as f32 * 0.05).cos());
+        let slab_of = |z0: usize, nz: usize| {
+            let [_, ny, nx] = shape.dims3();
+            NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| full.get3(z0 + z, y, x))
+        };
+        let cfg = Config::new(ErrorBound::Abs(1e-3));
+        let (bytes, _) = compress_slabs_streams(shape, 8, cfg, 2, slab_of).unwrap();
+        let mut reference = Vec::new();
+        crate::stream::decompress_slabs(&bytes, cfg, |z0, slab| reference.push((z0, slab)))
+            .unwrap();
+        for devices in [1, 2, 4] {
+            let plan = ShardPlan::new(devices).streams(2).link(LinkClass::Pcie);
+            let mut got = Vec::new();
+            let (shape_back, _) =
+                decompress_slabs_sharded(&bytes, cfg, plan, |z0, slab| got.push((z0, slab)))
+                    .unwrap();
+            assert_eq!(shape_back, shape);
+            assert_eq!(got.len(), reference.len(), "devices={devices}");
+            for ((z0, s), (rz0, rs)) in got.iter().zip(&reference) {
+                assert_eq!(z0, rz0);
+                assert_eq!(s.as_slice(), rs.as_slice(), "devices={devices} z0={z0}");
+            }
         }
     }
 

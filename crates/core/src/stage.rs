@@ -764,10 +764,13 @@ impl<'a> DecompressJob<'a> {
     fn huffman_decode(&mut self) -> Result<(), CuszError> {
         let book = missing(self.book.as_ref(), "huffman-decode", "codebook")?;
         let stream = missing(self.stream.as_ref(), "huffman-decode", "huffman stream")?;
-        let (codes, dstats) =
-            decode_gpu(stream, book, &self.cfg.device).map_err(|e| CuszError::LosslessStage(e.0))?;
-        self.kernels.push(dstats);
-        self.codes = Some(codes);
+        let decoded = decode_gpu(stream, book, &self.cfg.device)?;
+        cuszi_profile::count("huffman_decode.sectors", decoded.report.sectors);
+        cuszi_profile::count("huffman_decode.redecoded_sectors", decoded.report.redecoded);
+        cuszi_profile::count("huffman_decode.bridge_syms", decoded.report.bridge_syms);
+        cuszi_profile::count("huffman_decode.fallback_chunks", decoded.report.fallback_chunks);
+        self.kernels.extend(decoded.kernels);
+        self.codes = Some(decoded.syms);
         Ok(())
     }
 

@@ -144,13 +144,20 @@ pub fn compress_slabs_streams(
     Ok((out, crate::sched::ScheduleReport { streams: n, per_stream_sim_ns }))
 }
 
-/// Decompress a slab stream, handing each slab to `consume(z0, slab)`
-/// in ascending order. Returns the full-field shape.
-pub fn decompress_slabs(
-    bytes: &[u8],
-    cfg: Config,
-    mut consume: impl FnMut(usize, NdArray<f32>),
-) -> Result<Shape, CuszError> {
+/// A parsed slab-stream container: geometry plus the byte range of
+/// each slab's archive.
+pub(crate) struct SlabContainer {
+    pub shape: Shape,
+    pub dims: [usize; 3],
+    pub slab_z: usize,
+    pub entries: Vec<std::ops::Range<usize>>,
+}
+
+/// Validate the container header and walk the entry table. All length
+/// arithmetic is checked in the `u64` domain: a crafted huge slab
+/// length must surface as [`CuszError::CorruptArchive`], never wrap
+/// and panic on the slice.
+pub(crate) fn parse_slab_container(bytes: &[u8]) -> Result<SlabContainer, CuszError> {
     if bytes.len() < 4 + 1 + 24 + 8 || &bytes[0..4] != MAGIC {
         return Err(CuszError::CorruptArchive("slab stream magic"));
     }
@@ -176,31 +183,109 @@ pub fn decompress_slabs(
     if slab_z == 0 || nslabs != dims[0].div_ceil(slab_z) {
         return Err(CuszError::CorruptArchive("slab geometry"));
     }
-
-    let codec = CuszI::new(cfg);
-    let mut at = 37usize;
-    for s in 0..nslabs {
-        if at + 8 > bytes.len() {
+    let blen = bytes.len() as u64;
+    let mut at = 37u64;
+    let mut entries = Vec::with_capacity(nslabs);
+    for _ in 0..nslabs {
+        let body = at.checked_add(8).ok_or(CuszError::CorruptArchive("slab length truncated"))?;
+        if body > blen {
             return Err(CuszError::CorruptArchive("slab length truncated"));
         }
-        let len = crate::wire::u64_le(bytes, at) as usize;
-        at += 8;
-        if at + len > bytes.len() {
-            return Err(CuszError::CorruptArchive("slab body truncated"));
-        }
-        let d = codec.decompress(&bytes[at..at + len])?;
-        at += len;
-        let z0 = s * slab_z;
-        let expect_z = slab_z.min(dims[0] - z0);
-        if d.data.shape() != Shape::d3(expect_z, dims[1], dims[2]) {
-            return Err(CuszError::CorruptArchive("slab shape mismatch"));
-        }
-        consume(z0, d.data);
+        let len = crate::wire::u64_le(bytes, at as usize);
+        let end = body
+            .checked_add(len)
+            .filter(|&e| e <= blen)
+            .ok_or(CuszError::CorruptArchive("slab body truncated"))?;
+        entries.push(body as usize..end as usize);
+        at = end;
     }
-    if at != bytes.len() {
+    if at != blen {
         return Err(CuszError::CorruptArchive("slab stream trailing bytes"));
     }
-    Ok(shape)
+    Ok(SlabContainer { shape, dims, slab_z, entries })
+}
+
+/// Decompress a slab stream, handing each slab to `consume(z0, slab)`
+/// in ascending order. Returns the full-field shape. Runs on
+/// [`crate::sched::default_streams`] gpu-sim streams; see
+/// [`decompress_slabs_streams`].
+pub fn decompress_slabs(
+    bytes: &[u8],
+    cfg: Config,
+    consume: impl FnMut(usize, NdArray<f32>),
+) -> Result<Shape, CuszError> {
+    decompress_slabs_streams(bytes, cfg, crate::sched::default_streams(), consume)
+        .map(|(shape, _)| shape)
+}
+
+/// Decompress a slab stream, pipelining slab `s` onto gpu-sim stream
+/// `s % n_streams` — the mirror of [`compress_slabs_streams`]: each
+/// slab's host-serial stages (parse, stitch, pad validation) overlap
+/// its siblings' kernels, with event backpressure bounding the live
+/// decoded slabs at `n_streams`. Slabs are handed to `consume` in
+/// ascending `z0` order regardless of completion order, so the output
+/// is byte-identical for any stream count.
+pub fn decompress_slabs_streams(
+    bytes: &[u8],
+    cfg: Config,
+    n_streams: usize,
+    mut consume: impl FnMut(usize, NdArray<f32>),
+) -> Result<(Shape, crate::sched::ScheduleReport), CuszError> {
+    let parsed = parse_slab_container(bytes)?;
+    let nslabs = parsed.entries.len();
+    let codec = CuszI::new(cfg);
+
+    let n = n_streams.clamp(1, nslabs.max(1));
+    let workers = (cuszi_gpu_sim::pool::current_threads() / n).max(1);
+    type SlabSlot = Mutex<Option<Result<NdArray<f32>, CuszError>>>;
+    let slots: Vec<SlabSlot> = (0..nslabs).map(|_| Mutex::new(None)).collect();
+    let per_stream_sim_ns = cuszi_gpu_sim::with_streams(n, |streams| {
+        let mut done: Vec<cuszi_gpu_sim::Event> = Vec::with_capacity(nslabs);
+        for s in 0..nslabs {
+            // Backpressure: never hold more than `n` decoded slabs in
+            // flight.
+            if s >= n {
+                done[s - n].synchronize();
+            }
+            let archive = &bytes[parsed.entries[s].clone()];
+            let z0 = s * parsed.slab_z;
+            let slot = &slots[s];
+            streams[s % n].submit(move || {
+                let _g = cuszi_profile::enabled().then(|| {
+                    cuszi_profile::span(&format!("slab-z{z0}"), cuszi_profile::Category::Stream)
+                });
+                let r = cuszi_gpu_sim::pool::with_threads(workers, || codec.decompress(archive));
+                *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(r.map(|d| d.data));
+            });
+            done.push(streams[s % n].record());
+        }
+        for st in streams {
+            // A poisoned stream reports here; its slabs' slots stay
+            // empty and surface as typed errors below.
+            let _ = st.synchronize();
+        }
+        streams.iter().map(|st| st.sim_time_ns()).collect()
+    });
+    for (s, slot) in slots.into_iter().enumerate() {
+        let data = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(|| {
+                Err(CuszError::StageError {
+                    stage: "schedule",
+                    kind: crate::error::StageFaultKind::StreamPoisoned,
+                    site: "slab slot never filled".to_string(),
+                })
+            })?;
+        let z0 = s * parsed.slab_z;
+        let expect_z = parsed.slab_z.min(parsed.dims[0] - z0);
+        if data.shape() != Shape::d3(expect_z, parsed.dims[1], parsed.dims[2]) {
+            return Err(CuszError::CorruptArchive("slab shape mismatch"));
+        }
+        consume(z0, data);
+    }
+    Ok((parsed.shape, crate::sched::ScheduleReport { streams: n, per_stream_sim_ns }))
 }
 
 #[cfg(test)]

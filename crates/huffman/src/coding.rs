@@ -176,19 +176,99 @@ pub fn encode_gpu(
 }
 
 /// Decoding failure: the bitstream did not resolve to valid symbols.
+/// Carries the failing chunk (and, for the gap-array decoder, the
+/// sector within it) so core-layer stage errors attribute the fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DecodeError(pub &'static str);
+pub struct DecodeError {
+    /// What went wrong.
+    pub msg: &'static str,
+    /// Chunk index the failure was detected in, when attributable.
+    pub chunk: Option<u64>,
+    /// Gap-array sector index within the chunk, when attributable.
+    pub sector: Option<u64>,
+}
+
+impl DecodeError {
+    /// A failure with no chunk attribution (structural stream faults).
+    pub fn new(msg: &'static str) -> Self {
+        DecodeError { msg, chunk: None, sector: None }
+    }
+
+    /// A failure attributed to one chunk.
+    pub fn at_chunk(msg: &'static str, chunk: usize) -> Self {
+        DecodeError { msg, chunk: Some(chunk as u64), sector: None }
+    }
+
+    /// A failure attributed to one gap-array sector of one chunk.
+    pub fn at_sector(msg: &'static str, chunk: usize, sector: usize) -> Self {
+        DecodeError { msg, chunk: Some(chunk as u64), sector: Some(sector as u64) }
+    }
+}
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Huffman decode error: {}", self.0)
+        write!(f, "Huffman decode error: {}", self.msg)?;
+        match (self.chunk, self.sector) {
+            (Some(c), Some(s)) => write!(f, " (chunk {c}, sector {s})"),
+            (Some(c), None) => write!(f, " (chunk {c})"),
+            _ => Ok(()),
+        }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-/// Chunk-parallel decode.
-pub fn decode_gpu(
+/// Decode one symbol at chunk-relative bit position `pos`. `buf` holds
+/// the chunk bytes starting at bit `base` (so `buf[0]` is bit `base`);
+/// reads past the end of `buf` see zeros, matching the encoder's
+/// zero-padded tail. Returns `None` when no code matches.
+#[inline]
+fn decode_symbol(book: &Codebook, buf: &[u8], base: u64, pos: u64) -> Option<(u16, u8)> {
+    let rel = (pos - base) as usize;
+    let byte = rel / 8;
+    let off = rel % 8;
+    // Primary table first (one load for short codes), then the
+    // canonical walk for the long tail.
+    let mut v = 0u32;
+    for k in 0..4 {
+        v = (v << 8) | *buf.get(byte + k).unwrap_or(&0) as u32;
+    }
+    let prefix = ((v >> (32 - LUT_BITS as usize - off)) & ((1 << LUT_BITS) - 1)) as u64;
+    if let Some(hit) = book.decode_lut(prefix) {
+        return Some(hit);
+    }
+    let peek = |l: u8| -> u64 {
+        let mut v = 0u64;
+        for i in 0..l as usize {
+            let p = rel + i;
+            let bit = if p / 8 < buf.len() { (buf[p / 8] >> (7 - (p % 8))) & 1 } else { 0 };
+            v = (v << 1) | bit as u64;
+        }
+        v
+    };
+    book.decode_one(peek)
+}
+
+/// Validate the encoder's zero-fill contract for a chunk whose last
+/// symbol ends at bit `final_pos` of `total_bits`: fewer than 8 pad
+/// bits remain and all of them are zero.
+fn validate_pad(last_byte: u8, total_bits: u64, final_pos: u64, c: usize) -> Result<(), DecodeError> {
+    let rem = total_bits - final_pos;
+    if rem >= 8 {
+        return Err(DecodeError::at_chunk("trailing garbage after final symbol", c));
+    }
+    // MSB-first packing: the pad occupies the low `rem` bits.
+    if rem > 0 && last_byte & ((1u8 << rem) - 1) != 0 {
+        return Err(DecodeError::at_chunk("nonzero pad bits", c));
+    }
+    Ok(())
+}
+
+/// Serial-within-chunk decode: one simulated thread walks each chunk's
+/// whole bitstream. Kept as the oracle the gap-array decoder
+/// ([`decode_gpu`]) must match bit-for-bit, and used by the baseline
+/// codecs.
+pub fn decode_gpu_serial(
     stream: &EncodedStream,
     book: &Codebook,
     device: &DeviceSpec,
@@ -196,18 +276,18 @@ pub fn decode_gpu(
     let n = stream.n as usize;
     let chunk = stream.chunk_size as usize;
     if chunk == 0 && n > 0 {
-        return Err(DecodeError("zero chunk size"));
+        return Err(DecodeError::new("zero chunk size"));
     }
     let nchunks = if n == 0 { 0 } else { n.div_ceil(chunk) };
     if stream.offsets.len() != nchunks {
-        return Err(DecodeError("chunk table length mismatch"));
+        return Err(DecodeError::new("chunk table length mismatch"));
     }
     let mut out = vec![0u16; n];
     if n == 0 {
         return Ok((out, KernelStats::default()));
     }
     // One failure slot per chunk, written disjointly; the lowest failed
-    // chunk's message wins deterministically after the launch.
+    // chunk wins deterministically after the launch.
     let failed: BlockSlots<&'static str> = BlockSlots::new(nchunks);
     let stats = {
         let src = GlobalRead::new(&stream.bits);
@@ -227,50 +307,17 @@ pub fn decode_gpu(
             ctx.read_span(&src, byte_start, &mut buf);
 
             let mut syms = ctx.scratch(nsyms, 0u16);
-            let mut bitpos = 0usize;
-            let total_bits = buf.len() * 8;
-            let peek_at = |bitpos: usize, l: u8| -> u64 {
-                let mut v = 0u64;
-                for i in 0..l as usize {
-                    let p = bitpos + i;
-                    let bit =
-                        if p < total_bits { (buf[p / 8] >> (7 - (p % 8))) & 1 } else { 0 };
-                    v = (v << 1) | bit as u64;
-                }
-                v
-            };
-            // Fast zero-padded LUT_BITS-wide prefix read: four byte
-            // loads and a shift instead of a per-bit loop.
-            let peek_prefix = |bitpos: usize| -> u64 {
-                let byte = bitpos / 8;
-                let off = bitpos % 8;
-                let mut v = 0u32;
-                for k in 0..4 {
-                    v = (v << 8) | *buf.get(byte + k).unwrap_or(&0) as u32;
-                }
-                ((v >> (32 - LUT_BITS as usize - off)) & ((1 << LUT_BITS) - 1)) as u64
-            };
+            let mut pos = 0u64;
+            let total_bits = buf.len() as u64 * 8;
             for s in syms.iter_mut() {
-                // Primary table first (one load for short codes), then
-                // the canonical walk for the long tail.
-                if let Some((sym, len)) = book.decode_lut(peek_prefix(bitpos)) {
-                    if bitpos + len as usize > total_bits {
-                        failed.put(b, "bitstream underrun");
-                        return;
-                    }
-                    *s = sym;
-                    bitpos += len as usize;
-                    continue;
-                }
-                let peek = |l: u8| peek_at(bitpos, l);
-                match book.decode_one(peek) {
+                match decode_symbol(book, &buf, 0, pos) {
                     Some((sym, len)) => {
-                        if bitpos + len as usize > total_bits {
+                        if pos + len as u64 > total_bits {
                             failed.put(b, "bitstream underrun");
                             return;
                         }
                         *s = sym;
-                        bitpos += len as usize;
+                        pos += len as u64;
                     }
                     None => {
                         failed.put(b, "no code matches bitstream");
@@ -278,14 +325,466 @@ pub fn decode_gpu(
                     }
                 }
             }
+            // The encoder zero-fills the final partial byte; anything
+            // else in the tail is corruption and must be reported.
+            let rem = total_bits - pos;
+            if rem >= 8 {
+                failed.put(b, "trailing garbage after final symbol");
+                return;
+            }
+            if rem > 0 && buf[buf.len() - 1] & ((1u8 << rem) - 1) != 0 {
+                failed.put(b, "nonzero pad bits");
+                return;
+            }
             ctx.add_flops(nsyms as u64 * 2);
             ctx.write_span(&dst, start_sym, &syms);
         })
     };
-    if let Some(msg) = failed.into_first() {
-        return Err(DecodeError(msg));
+    if let Some((c, msg)) = failed.into_indexed().into_iter().next() {
+        return Err(DecodeError::at_chunk(msg, c));
     }
     Ok((out, stats))
+}
+
+/// Bytes per gap-array sector: pass 1 starts a speculative decode at
+/// every `GAP_SECTOR_BYTES` boundary of each chunk. 256 B (2048 bits)
+/// keeps per-sector work well above the max code length (64 bits) while
+/// giving ~64 sectors of intra-chunk parallelism per full `ENC_CHUNK`.
+pub const GAP_SECTOR_BYTES: usize = 256;
+
+/// Gap-array decode statistics: how much of the stream self-synchronized
+/// in pass 1 and how much pass 2 had to re-decode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GapReport {
+    /// Total sectors across all chunks.
+    pub sectors: u64,
+    /// Sectors whose speculative pass-1 decode joined the true chain.
+    pub synced: u64,
+    /// Sectors whose prefix was re-decoded by the pass-2 fix kernel.
+    pub redecoded: u64,
+    /// Symbols decoded by pass-2 bridges.
+    pub bridge_syms: u64,
+    /// Chunks that fell back to a full host-serial decode (pathological
+    /// non-merging bridges; counted, never silent).
+    pub fallback_chunks: u64,
+}
+
+impl GapReport {
+    /// Fraction of sectors the fix pass re-decoded (the paper's "gap"
+    /// cost; ~1 - 1/avg-code-length of sector boundaries land
+    /// mid-codeword).
+    pub fn redecode_rate(&self) -> f64 {
+        if self.sectors == 0 {
+            0.0
+        } else {
+            self.redecoded as f64 / self.sectors as f64
+        }
+    }
+}
+
+/// Result of a gap-array decode: the symbol plane, the kernel stats of
+/// each pass that launched, and the synchronization report.
+#[derive(Clone, Debug)]
+pub struct Decoded {
+    pub syms: Vec<u16>,
+    pub kernels: Vec<KernelStats>,
+    pub report: GapReport,
+}
+
+/// Pass-1 record for one sector: `bounds[k]` is the chunk-relative bit
+/// position where `syms[k]` starts; the final entry is the exit
+/// position (first codeword start at or past the sector end) or, when
+/// `fail` is set, the position the speculative decode died at.
+#[derive(Clone, Debug)]
+struct SectorRec {
+    bounds: Vec<u64>,
+    syms: Vec<u16>,
+    fail: Option<&'static str>,
+}
+
+/// How many sectors past its own a pass-2 bridge may decode through
+/// before giving up. Huffman chains resynchronize in tens of codewords
+/// on average, but the tail is long; four extra sectors (8 KiB of
+/// lookahead at the default size) makes an unmerged bridge — and the
+/// host-serial chunk fallback it triggers — vanishingly rare.
+const GAP_FIX_LOOKAHEAD: usize = 4;
+
+/// Pass-2 record for one mis-synchronized sector: the bridge decoded
+/// from `entry` until it merged into a speculative chain (`merged` =
+/// (sector, index) within the chunk), ran off its lookahead window, or
+/// failed. Same `bounds`/`syms` invariant as [`SectorRec`].
+#[derive(Clone, Debug)]
+struct FixRec {
+    entry: u64,
+    bounds: Vec<u64>,
+    syms: Vec<u16>,
+    merged: Option<(usize, usize)>,
+    fail: Option<&'static str>,
+}
+
+/// What consuming a (possibly partial) sector chain produced.
+enum Consume {
+    /// The chunk's symbol budget was met; the last symbol ends here.
+    Done(u64),
+    /// Chain exhausted; continue at this chunk-relative bit position.
+    More(u64),
+    /// Chain ran into a recorded speculative failure still short of the
+    /// symbol budget.
+    Fail(&'static str),
+}
+
+/// Splice `rec.syms[i..]` into `out` up to `limit` total symbols.
+fn consume_chain(rec: &SectorRec, i: usize, out: &mut Vec<u16>, limit: usize) -> Consume {
+    let take = (rec.syms.len() - i).min(limit - out.len());
+    out.extend_from_slice(&rec.syms[i..i + take]);
+    if out.len() == limit {
+        return Consume::Done(rec.bounds[i + take]);
+    }
+    match rec.fail {
+        Some(msg) => Consume::Fail(msg),
+        None => Consume::More(rec.bounds[rec.syms.len()]),
+    }
+}
+
+/// Full host-serial decode of one chunk (fallback for chunks whose
+/// bridges failed to merge). Bit-identical to the kernel decoders by
+/// construction: same `decode_symbol` walk from bit 0.
+fn host_decode_chunk(
+    book: &Codebook,
+    bits: &[u8],
+    nsyms: usize,
+    c: usize,
+    out: &mut Vec<u16>,
+) -> Result<u64, DecodeError> {
+    let total_bits = bits.len() as u64 * 8;
+    let mut pos = 0u64;
+    for _ in 0..nsyms {
+        match decode_symbol(book, bits, 0, pos) {
+            Some((sym, len)) if pos + len as u64 <= total_bits => {
+                out.push(sym);
+                pos += len as u64;
+            }
+            Some(_) => return Err(DecodeError::at_chunk("bitstream underrun", c)),
+            None => return Err(DecodeError::at_chunk("no code matches bitstream", c)),
+        }
+    }
+    Ok(pos)
+}
+
+/// Chunk-parallel gap-array decode (default sector size). See
+/// [`decode_gpu_gap`].
+pub fn decode_gpu(
+    stream: &EncodedStream,
+    book: &Codebook,
+    device: &DeviceSpec,
+) -> Result<Decoded, DecodeError> {
+    decode_gpu_gap(stream, book, device, GAP_SECTOR_BYTES)
+}
+
+/// Gap-array self-synchronizing decode with intra-chunk parallelism.
+///
+/// Pass 1 (`huffman-decode-gap`) decodes every `sector_bytes`-aligned
+/// sector of every chunk speculatively, recording each codeword-start
+/// position. Huffman codes self-synchronize, so a speculative chain
+/// started mid-codeword usually merges with the true chain within a few
+/// symbols; sector `s+1` is synchronized iff sector `s`'s exit position
+/// appears among its recorded starts. Pass 2 (`huffman-decode-gap-fix`)
+/// re-decodes only the mis-synchronized prefixes — one launch, since
+/// all entry positions are known from pass 1 alone (sector 0 starts the
+/// true chain at bit 0, and each fix bridges from its predecessor's
+/// speculative exit). A host stitch splices the chains, enforces the
+/// per-chunk symbol count, and validates the zero-pad tail.
+///
+/// Output is bit-identical to [`decode_gpu_serial`] for every sector
+/// size: decoding is a deterministic function of bit position, and the
+/// stitch reconstructs exactly the chain the serial walk follows.
+pub fn decode_gpu_gap(
+    stream: &EncodedStream,
+    book: &Codebook,
+    device: &DeviceSpec,
+    sector_bytes: usize,
+) -> Result<Decoded, DecodeError> {
+    let n = stream.n as usize;
+    let chunk = stream.chunk_size as usize;
+    if chunk == 0 && n > 0 {
+        return Err(DecodeError::new("zero chunk size"));
+    }
+    let nchunks = if n == 0 { 0 } else { n.div_ceil(chunk) };
+    if stream.offsets.len() != nchunks {
+        return Err(DecodeError::new("chunk table length mismatch"));
+    }
+    if n == 0 {
+        return Ok(Decoded { syms: Vec::new(), kernels: Vec::new(), report: GapReport::default() });
+    }
+    let sector_bytes = sector_bytes.max(1);
+    let sb_bits = sector_bytes as u64 * 8;
+
+    // Host-side chunk-table validation, in the u64 domain before any
+    // cast can truncate.
+    let blen = stream.bits.len() as u64;
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(nchunks);
+    for c in 0..nchunks {
+        let start = stream.offsets[c];
+        let end = if c + 1 < nchunks { stream.offsets[c + 1] } else { blen };
+        if start > end || end > blen {
+            return Err(DecodeError::at_chunk("chunk offsets out of range", c));
+        }
+        spans.push((start as usize, end as usize));
+    }
+
+    // Flatten (chunk, sector) onto a linear grid.
+    let mut sec_map: Vec<(u32, u32)> = Vec::new();
+    let mut first_sec: Vec<usize> = Vec::with_capacity(nchunks);
+    for (c, &(bs, be)) in spans.iter().enumerate() {
+        first_sec.push(sec_map.len());
+        let nsec = (be - bs).div_ceil(sector_bytes).max(1);
+        for s in 0..nsec {
+            sec_map.push((c as u32, s as u32));
+        }
+    }
+    let total_sectors = sec_map.len();
+    if total_sectors > u32::MAX as usize || nchunks > u32::MAX as usize {
+        return Err(DecodeError::new("stream too large for the decode grid"));
+    }
+
+    let mut kernels = Vec::with_capacity(2);
+
+    // Pass 1: speculative per-sector decode. Each block reads its
+    // sector plus an 8-byte spill (max code length is 64 bits, so any
+    // codeword starting inside the sector ends inside the window).
+    let rec_slots: BlockSlots<SectorRec> = BlockSlots::new(total_sectors);
+    {
+        let src = GlobalRead::new(&stream.bits);
+        kernels.push(launch_named(
+            device,
+            Grid::linear(total_sectors as u32, 256),
+            "huffman-decode-gap",
+            |ctx| {
+                let g = ctx.block_linear() as usize;
+                let (c, s) = sec_map[g];
+                let (c, s) = (c as usize, s as usize);
+                let (bs, be) = spans[c];
+                let total_bits = (be - bs) as u64 * 8;
+                let base = s as u64 * sb_bits;
+                let se_end = (base + sb_bits).min(total_bits);
+                let wstart = bs + s * sector_bytes;
+                let wend = (bs + (s + 1) * sector_bytes + 8).min(be);
+                let mut buf = ctx.scratch(wend - wstart, 0u8);
+                ctx.read_span(&src, wstart, &mut buf);
+
+                let mut bounds = Vec::new();
+                let mut syms = Vec::new();
+                let mut fail = None;
+                let mut pos = base;
+                while pos < se_end {
+                    match decode_symbol(book, &buf, base, pos) {
+                        Some((sym, len)) if pos + len as u64 <= total_bits => {
+                            bounds.push(pos);
+                            syms.push(sym);
+                            pos += len as u64;
+                        }
+                        Some(_) => {
+                            fail = Some("bitstream underrun");
+                            break;
+                        }
+                        None => {
+                            fail = Some("no code matches bitstream");
+                            break;
+                        }
+                    }
+                }
+                bounds.push(pos);
+                ctx.add_flops(syms.len() as u64 * 2);
+                rec_slots.put(g, SectorRec { bounds, syms, fail });
+            },
+        ));
+    }
+    let recs: Vec<SectorRec> = rec_slots.into_compact();
+    if recs.len() != total_sectors {
+        // A dropped launch (fault injection) leaves the slots empty;
+        // report gracefully — the stage layer's sticky-fault drain
+        // supplies the authoritative attribution.
+        return Err(DecodeError::new("decode pass produced no sector records"));
+    }
+
+    // Sync check: sector s+1 joined the true chain iff sector s's exit
+    // lands on one of its recorded codeword starts. All entries are
+    // known now, so the mis-synchronized prefixes re-decode in a single
+    // second launch.
+    #[derive(Clone, Copy)]
+    struct FixItem {
+        c: usize,
+        s: usize,
+        entry: u64,
+    }
+    let mut items: Vec<FixItem> = Vec::new();
+    for (c, &(bs, be)) in spans.iter().enumerate() {
+        let total_bits = (be - bs) as u64 * 8;
+        let fs = first_sec[c];
+        let nsec = if c + 1 < nchunks { first_sec[c + 1] - fs } else { total_sectors - fs };
+        for s in 1..nsec {
+            let e = recs[fs + s - 1].bounds[recs[fs + s - 1].syms.len()];
+            let se_start = s as u64 * sb_bits;
+            let se_end = (se_start + sb_bits).min(total_bits);
+            // e < se_start only after a speculative failure upstream
+            // (the stitch will surface it); e >= se_end means one
+            // codeword spans the whole sector.
+            if e < se_start || e >= se_end {
+                continue;
+            }
+            if recs[fs + s].bounds.binary_search(&e).is_err() {
+                items.push(FixItem { c, s, entry: e });
+            }
+        }
+    }
+
+    // Pass 2: bridge each mis-synchronized sector from its true entry
+    // until it merges with the speculative chain.
+    let fix_slots: BlockSlots<FixRec> = BlockSlots::new(items.len());
+    if !items.is_empty() {
+        let src = GlobalRead::new(&stream.bits);
+        kernels.push(launch_named(
+            device,
+            Grid::linear(items.len() as u32, 256),
+            "huffman-decode-gap-fix",
+            |ctx| {
+                let g = ctx.block_linear() as usize;
+                let FixItem { c, s, entry } = items[g];
+                let (bs, be) = spans[c];
+                let total_bits = (be - bs) as u64 * 8;
+                let fs = first_sec[c];
+                let nsec = if c + 1 < nchunks { first_sec[c + 1] - fs } else { total_sectors - fs };
+                let base = s as u64 * sb_bits;
+                let look_end = (base + (1 + GAP_FIX_LOOKAHEAD as u64) * sb_bits).min(total_bits);
+                let wstart = bs + s * sector_bytes;
+                let wend = (bs + (s + 1 + GAP_FIX_LOOKAHEAD) * sector_bytes + 8).min(be);
+                let mut buf = ctx.scratch(wend - wstart, 0u8);
+                ctx.read_span(&src, wstart, &mut buf);
+
+                let mut bounds = Vec::new();
+                let mut syms = Vec::new();
+                let mut fail = None;
+                let mut merged = None;
+                let mut pos = entry;
+                while pos < look_end {
+                    let t = ((pos / sb_bits) as usize).min(nsec - 1);
+                    if let Ok(i) = recs[fs + t].bounds.binary_search(&pos) {
+                        merged = Some((t, i));
+                        break;
+                    }
+                    match decode_symbol(book, &buf, base, pos) {
+                        Some((sym, len)) if pos + len as u64 <= total_bits => {
+                            bounds.push(pos);
+                            syms.push(sym);
+                            pos += len as u64;
+                        }
+                        Some(_) => {
+                            fail = Some("bitstream underrun");
+                            break;
+                        }
+                        None => {
+                            fail = Some("no code matches bitstream");
+                            break;
+                        }
+                    }
+                }
+                bounds.push(pos);
+                ctx.add_flops(syms.len() as u64 * 2);
+                fix_slots.put(g, FixRec { entry, bounds, syms, merged, fail });
+            },
+        ));
+    }
+    let mut fix_map: std::collections::HashMap<(usize, usize), FixRec> =
+        std::collections::HashMap::with_capacity(items.len());
+    for (g, fr) in fix_slots.into_indexed() {
+        fix_map.insert((items[g].c, items[g].s), fr);
+    }
+    let fix_dropped = !items.is_empty() && fix_map.is_empty();
+
+    // Host stitch: walk each chunk's sectors along the true chain,
+    // splicing speculative chains at sync points and bridges at gaps.
+    let mut out: Vec<u16> = Vec::with_capacity(n);
+    let mut report =
+        GapReport { sectors: total_sectors as u64, ..GapReport::default() };
+    for (c, &(bs, be)) in spans.iter().enumerate() {
+        let nsyms = chunk.min(n - c * chunk);
+        let total_bits = (be - bs) as u64 * 8;
+        let fs = first_sec[c];
+        let nsec = if c + 1 < nchunks { first_sec[c + 1] - fs } else { total_sectors - fs };
+        let chunk_recs = &recs[fs..fs + nsec];
+        let limit = out.len() + nsyms;
+
+        let mut fallback = false;
+        let mut final_pos = 0u64;
+        let mut e = 0u64;
+        let mut s = 0usize;
+        while out.len() < limit {
+            if s >= nsec {
+                return Err(DecodeError::at_chunk("bitstream underrun", c));
+            }
+            let se_end = ((s as u64 + 1) * sb_bits).min(total_bits);
+            if e >= se_end {
+                s += 1;
+                continue;
+            }
+            let rec = &chunk_recs[s];
+            if let Ok(i) = rec.bounds.binary_search(&e) {
+                match consume_chain(rec, i, &mut out, limit) {
+                    Consume::Done(p) => final_pos = p,
+                    Consume::More(exit) => {
+                        e = exit;
+                        s += 1;
+                    }
+                    Consume::Fail(msg) => return Err(DecodeError::at_sector(msg, c, s)),
+                }
+                continue;
+            }
+            let Some(f) = fix_map.get(&(c, s)).filter(|f| f.entry == e) else {
+                if fix_dropped {
+                    return Err(DecodeError::new("gap fix pass produced no bridge records"));
+                }
+                fallback = true;
+                break;
+            };
+            report.redecoded += 1;
+            report.bridge_syms += f.syms.len() as u64;
+            let take = f.syms.len().min(limit - out.len());
+            out.extend_from_slice(&f.syms[..take]);
+            if out.len() == limit {
+                final_pos = f.bounds[take];
+                continue;
+            }
+            if let Some((t, i)) = f.merged {
+                match consume_chain(&chunk_recs[t], i, &mut out, limit) {
+                    Consume::Done(p) => final_pos = p,
+                    Consume::More(exit) => {
+                        e = exit;
+                        s = t + 1;
+                    }
+                    Consume::Fail(msg) => return Err(DecodeError::at_sector(msg, c, t)),
+                }
+            } else if let Some(msg) = f.fail {
+                return Err(DecodeError::at_sector(msg, c, s));
+            } else {
+                // The bridge ran off the sector end without merging;
+                // keep walking — the next sector may still sync.
+                e = f.bounds[f.syms.len()];
+                s += 1;
+            }
+        }
+        if fallback {
+            // Pathological non-merging bridge: re-decode the whole
+            // chunk serially on the host. Correct by construction,
+            // counted in the report.
+            out.truncate(limit - nsyms);
+            final_pos = host_decode_chunk(book, &stream.bits[bs..be], nsyms, c, &mut out)?;
+            report.fallback_chunks += 1;
+        }
+        let last_byte = if be > bs { stream.bits[be - 1] } else { 0 };
+        validate_pad(last_byte, total_bits, final_pos, c)?;
+    }
+    report.synced = report.sectors - report.redecoded;
+    Ok(Decoded { syms: out, kernels, report })
 }
 
 #[cfg(test)]
@@ -301,8 +800,10 @@ mod tests {
     fn roundtrip(codes: &[u16], alphabet: usize) {
         let book = book_for(codes, alphabet);
         let (stream, _) = encode_gpu(codes, &book, &A100);
-        let (back, _) = decode_gpu(&stream, &book, &A100).unwrap();
-        assert_eq!(back, codes);
+        let (serial, _) = decode_gpu_serial(&stream, &book, &A100).unwrap();
+        assert_eq!(serial, codes);
+        let gap = decode_gpu(&stream, &book, &A100).unwrap();
+        assert_eq!(gap.syms, codes);
     }
 
     #[test]
@@ -326,8 +827,102 @@ mod tests {
         let book = book_for(&[3], 8);
         let (stream, _) = encode_gpu(&[], &book, &A100);
         assert_eq!(stream.n, 0);
-        let (back, _) = decode_gpu(&stream, &book, &A100).unwrap();
-        assert!(back.is_empty());
+        let d = decode_gpu(&stream, &book, &A100).unwrap();
+        assert!(d.syms.is_empty());
+        assert!(d.kernels.is_empty());
+        assert_eq!(d.report, GapReport::default());
+    }
+
+    #[test]
+    fn gap_decode_matches_serial_at_every_sector_size() {
+        // Three distribution shapes x five sector sizes, multi-chunk:
+        // the gap-array decode must be bit-identical to the serial
+        // oracle everywhere, including sectors smaller than a spill.
+        let planes: Vec<(Vec<u16>, usize)> = vec![
+            ((0..40_000).map(|i| ((i * 31 + i / 7) % 600) as u16).collect(), 1024),
+            ((0..20_000).map(|i| if i % 64 == 0 { 511 } else { 512 }).collect(), 1024),
+            (vec![7u16; 33_000], 16),
+        ];
+        for (codes, alphabet) in &planes {
+            let book = book_for(codes, *alphabet);
+            let (stream, _) = encode_gpu(codes, &book, &A100);
+            let (serial, _) = decode_gpu_serial(&stream, &book, &A100).unwrap();
+            assert_eq!(&serial, codes);
+            for sector in [8usize, 32, 64, 256, 1024, 4096] {
+                let gap = decode_gpu_gap(&stream, &book, &A100, sector).unwrap();
+                assert_eq!(gap.syms, serial, "sector {sector}");
+                assert!(gap.report.sectors > 0);
+                assert_eq!(gap.report.synced + gap.report.redecoded, gap.report.sectors);
+            }
+        }
+    }
+
+    #[test]
+    fn gap_report_tracks_resynchronization() {
+        let codes: Vec<u16> = (0..60_000).map(|i| ((i * 31 + i / 7) % 600) as u16).collect();
+        let book = book_for(&codes, 1024);
+        let (stream, _) = encode_gpu(&codes, &book, &A100);
+        let d = decode_gpu(&stream, &book, &A100).unwrap();
+        // Multi-bit codes rarely land a codeword start exactly on a
+        // sector boundary, so the fix pass must have run (two kernels)
+        // and re-decoded a nonzero fraction of sectors.
+        assert_eq!(d.kernels.len(), 2);
+        assert!(d.report.redecoded > 0, "{:?}", d.report);
+        assert!(d.report.bridge_syms > 0);
+        let rate = d.report.redecode_rate();
+        assert!(rate > 0.0 && rate <= 1.0, "rate {rate}");
+        assert_eq!(d.report.fallback_chunks, 0);
+    }
+
+    #[test]
+    fn nonzero_pad_bits_are_rejected_by_both_decoders() {
+        // 4321 one-bit symbols: 4321 bits in 541 bytes leaves 7 pad
+        // bits the encoder zero-fills. Dirty them.
+        let codes = vec![5u16; 4321];
+        let book = book_for(&codes, 8);
+        let (mut stream, _) = encode_gpu(&codes, &book, &A100);
+        if let Some(b) = stream.bits.last_mut() {
+            *b |= 1;
+        }
+        let se = decode_gpu_serial(&stream, &book, &A100).unwrap_err();
+        assert_eq!(se.msg, "nonzero pad bits");
+        assert!(se.chunk.is_some());
+        let ge = decode_gpu(&stream, &book, &A100).unwrap_err();
+        assert_eq!(ge.msg, "nonzero pad bits");
+        assert_eq!(ge.chunk, se.chunk);
+    }
+
+    #[test]
+    fn trailing_garbage_after_final_symbol_is_rejected() {
+        let codes: Vec<u16> = (0..5_000).map(|i| ((i * 13) % 40) as u16).collect();
+        let book = book_for(&codes, 64);
+        let (mut stream, _) = encode_gpu(&codes, &book, &A100);
+        // A whole extra byte in the final chunk: >= 8 residual bits.
+        stream.bits.push(0x00);
+        let se = decode_gpu_serial(&stream, &book, &A100).unwrap_err();
+        assert_eq!(se.msg, "trailing garbage after final symbol");
+        let ge = decode_gpu(&stream, &book, &A100).unwrap_err();
+        assert_eq!(ge.msg, "trailing garbage after final symbol");
+    }
+
+    #[test]
+    fn decode_errors_carry_chunk_attribution() {
+        let codes: Vec<u16> = (0..40_000).map(|i| ((i * 7) % 300) as u16).collect();
+        let book = book_for(&codes, 512);
+        let (stream, _) = encode_gpu(&codes, &book, &A100);
+        assert!(stream.offsets.len() >= 3, "need a multi-chunk stream");
+        let mut bad = stream.clone();
+        bad.offsets[1] = u64::MAX;
+        // offsets[1] bounds chunk 0's end, so the fault pins to chunk 0.
+        let e = decode_gpu(&bad, &book, &A100).unwrap_err();
+        assert_eq!(e.msg, "chunk offsets out of range");
+        assert_eq!(e.chunk, Some(0));
+        assert_eq!(
+            e.to_string(),
+            "Huffman decode error: chunk offsets out of range (chunk 0)"
+        );
+        let s = decode_gpu_serial(&bad, &book, &A100).unwrap_err();
+        assert_eq!(s.msg, "chunk offsets out of range");
     }
 
     #[test]
@@ -383,7 +978,12 @@ mod tests {
         let other: Vec<u16> = (0..10_000).map(|i| (i % 7) as u16).collect();
         let other_book = book_for(&other, 64);
         let (stream, _) = encode_gpu(&codes, &book, &A100);
-        if let Ok((decoded, _)) = decode_gpu(&stream, &other_book, &A100) { assert_ne!(decoded, codes) }
+        if let Ok(d) = decode_gpu(&stream, &other_book, &A100) {
+            assert_ne!(d.syms, codes)
+        }
+        if let Ok((decoded, _)) = decode_gpu_serial(&stream, &other_book, &A100) {
+            assert_ne!(decoded, codes)
+        }
     }
 
     #[test]

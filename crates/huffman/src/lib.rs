@@ -19,5 +19,8 @@ pub mod coding;
 pub mod histogram;
 
 pub use codebook::{Codebook, CodebookError};
-pub use coding::{decode_gpu, encode_gpu, EncodedStream};
+pub use coding::{
+    decode_gpu, decode_gpu_gap, decode_gpu_serial, encode_gpu, DecodeError, Decoded,
+    EncodedStream, GapReport, GAP_SECTOR_BYTES,
+};
 pub use histogram::histogram_gpu;

@@ -9,7 +9,7 @@
 use cuszi_repro::core::archive::{Header, HEADER_LEN};
 use cuszi_repro::core::{
     compress_fields, compress_pw_rel, compress_slabs, decompress_fields, decompress_pw_rel,
-    decompress_slabs, Config, CuszI, NamedField,
+    decompress_slabs, Config, CuszError, CuszI, NamedField,
 };
 use cuszi_repro::quant::ErrorBound;
 use cuszi_repro::tensor::{NdArray, Shape};
@@ -108,6 +108,50 @@ proptest! {
         );
     }
 
+    /// A crafted entry length near `u64::MAX` must surface as a typed
+    /// `CorruptArchive`: the container walkers do their offset
+    /// arithmetic with `checked_add` in the u64 domain, so a huge
+    /// length can never wrap the cursor into a bogus in-bounds slice
+    /// (or panic slicing past the end).
+    #[test]
+    fn prop_overflow_entry_lengths_error(delta in 0u64..4096) {
+        let data = field();
+        let cfg = Config::new(ErrorBound::Rel(1e-3));
+        let shape = data.shape();
+        let cszs = compress_slabs(shape, 4, cfg, |z0, nz| {
+            let [_, ny, nx] = shape.dims3();
+            NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| data.get3(z0 + z, y, x))
+        })
+        .unwrap();
+        let named = [NamedField { name: "f0", data: &data }];
+        let cszm = compress_fields(&named, cfg).unwrap().bytes;
+        let huge = (u64::MAX - delta).to_le_bytes();
+
+        // CSZS: the first slab's u64 length sits right after the
+        // 37-byte header.
+        let mut bad = cszs.clone();
+        bad[37..45].copy_from_slice(&huge);
+        prop_assert!(
+            matches!(
+                decompress_slabs(&bad, cfg, |_, _| {}),
+                Err(CuszError::CorruptArchive(_))
+            ),
+            "CSZS length {} not rejected as CorruptArchive", u64::MAX - delta
+        );
+
+        // CSZM: magic(4) + count(4) + namelen(2) + "f0"(2) puts the
+        // first entry's u64 archive length at byte 12.
+        let mut bad = cszm.clone();
+        bad[12..20].copy_from_slice(&huge);
+        prop_assert!(
+            matches!(
+                decompress_fields(&bad, cfg),
+                Err(CuszError::CorruptArchive(_))
+            ),
+            "CSZM length {} not rejected as CorruptArchive", u64::MAX - delta
+        );
+    }
+
     /// Shifting bytes between the anchor and Huffman sections keeps
     /// the payload total consistent but makes the anchor count
     /// disagree with the header's shape — the geometry cross-check
@@ -127,5 +171,33 @@ proptest! {
             CuszI::new(cfg).decompress(&bad).is_err(),
             "anchor section shrunk by {shift} bytes, decompressed Ok"
         );
+    }
+
+    /// Garbage appended to the Huffman bitstream (with the section
+    /// table updated, so framing stays consistent) must trip the
+    /// decoder's trailing-pad validation as a typed, chunk-attributed
+    /// `DecodeCorrupt` — whole extra bytes past the final symbol can
+    /// never be silently ignored.
+    #[test]
+    fn prop_trailing_huffman_garbage_errors(junk in 1u16..256) {
+        let junk = junk as u8;
+        let data = field();
+        let cfg = Config::new(ErrorBound::Rel(1e-3)).without_bitcomp();
+        let c = CuszI::new(cfg).compress(&data).unwrap().bytes;
+        let mut h = Header::from_bytes(&c).unwrap();
+        let huff_end = HEADER_LEN + (h.sections[0] + h.sections[1] + h.sections[2]) as usize;
+        h.sections[2] += 1;
+        let mut bad = h.to_bytes();
+        bad.extend_from_slice(&c[HEADER_LEN..huff_end]);
+        bad.push(junk);
+        bad.extend_from_slice(&c[huff_end..]);
+        match CuszI::new(cfg).decompress(&bad) {
+            Err(e @ CuszError::DecodeCorrupt { chunk, .. }) => {
+                prop_assert!(chunk.is_some(), "pad error must attribute its chunk: {e}");
+                prop_assert!(e.to_string().starts_with("corrupt archive"), "{e}");
+            }
+            Err(other) => prop_assert!(false, "expected DecodeCorrupt, got {other}"),
+            Ok(_) => prop_assert!(false, "trailing huffman garbage decompressed Ok"),
+        }
     }
 }

@@ -107,10 +107,13 @@ const COMPRESS_STAGES: &[(&str, &[&str])] = &[
     ("bitcomp", &["bitcomp-encode", "bitcomp-emit"]),
 ];
 
-/// Kernel-bearing decompress stages and the kernels they launch.
+/// Kernel-bearing decompress stages and the kernels they launch. The
+/// Huffman stage runs the two-pass gap-array decode: the speculative
+/// sector pass plus the re-synchronization fix pass (always launched
+/// on these datasets — some sectors of every crop mis-sync).
 const DECOMPRESS_STAGES: &[(&str, &[&str])] = &[
     ("bitcomp-decode", &["bitcomp-decode"]),
-    ("huffman-decode", &["huffman-decode"]),
+    ("huffman-decode", &["huffman-decode-gap", "huffman-decode-gap-fix"]),
     ("g-interp-reconstruct", &["g-interp-decode"]),
 ];
 

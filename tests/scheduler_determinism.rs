@@ -10,7 +10,8 @@
 
 use cuszi_repro::core::{
     compress_fields_sharded, compress_fields_streams, compress_slabs_sharded,
-    compress_slabs_streams, Config, CuszI, NamedField, ShardPlan,
+    compress_slabs_streams, decompress_fields_sharded, decompress_fields_streams,
+    decompress_slabs_sharded, decompress_slabs_streams, Config, CuszI, NamedField, ShardPlan,
 };
 use cuszi_repro::datagen::{generate, DatasetKind, Scale};
 use cuszi_repro::quant::ErrorBound;
@@ -86,6 +87,111 @@ fn slab_streams_identical_across_stream_counts_on_all_datasets() {
         let (one, _) = compress_slabs_streams(shape, 8, cfg, 1, slab).expect("streams=1");
         let (four, _) = compress_slabs_streams(shape, 8, cfg, 4, slab).expect("streams=4");
         assert_eq!(one, four, "{}: slab stream differs across stream counts", kind.name());
+    }
+}
+
+/// Bit patterns of a reconstruction, for byte-identity comparison
+/// (f32 `==` would conflate 0.0/-0.0 and choke on NaN).
+fn bits(d: &NdArray<f32>) -> Vec<u32> {
+    d.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn batch_decompress_identical_across_stream_and_device_counts_on_all_datasets() {
+    let cfg = Config::new(ErrorBound::Rel(1e-3));
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 42);
+        let fields: Vec<(String, NdArray<f32>)> =
+            ds.fields.iter().map(|f| (f.name.to_string(), crop(&f.data))).collect();
+        let named: Vec<NamedField> =
+            fields.iter().map(|(n, d)| NamedField { name: n, data: d }).collect();
+        let (c, _) = compress_fields_streams(&named, cfg, 2).expect("compress");
+
+        // The monolith decode path is the byte-level reference.
+        let (reference, _) = decompress_fields_streams(&c.bytes, cfg, 1).expect("streams=1");
+        for streams in [1usize, 4] {
+            let (back, report) =
+                decompress_fields_streams(&c.bytes, cfg, streams).expect("decompress");
+            assert_eq!(back.len(), reference.len(), "{}", kind.name());
+            for ((n, d), (rn, rd)) in back.iter().zip(&reference) {
+                assert_eq!(n, rn, "{}", kind.name());
+                assert_eq!(
+                    bits(d),
+                    bits(rd),
+                    "{}: field {n} differs at streams={streams}",
+                    kind.name()
+                );
+            }
+            assert!(report.streams <= streams.max(1));
+        }
+        for devices in [1usize, 2, 4] {
+            for streams in [1usize, 4] {
+                let plan = ShardPlan::new(devices).streams(streams);
+                let (back, _) = decompress_fields_sharded(&c.bytes, cfg, plan)
+                    .unwrap_or_else(|e| {
+                        panic!("{}: devices={devices} streams={streams}: {e}", kind.name())
+                    });
+                for ((n, d), (rn, rd)) in back.iter().zip(&reference) {
+                    assert_eq!(n, rn, "{}", kind.name());
+                    assert_eq!(
+                        bits(d),
+                        bits(rd),
+                        "{}: field {n} differs at devices={devices} streams={streams}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn slab_decompress_identical_across_stream_and_device_counts_on_all_datasets() {
+    let cfg = Config::new(ErrorBound::Abs(1e-3));
+    for kind in DatasetKind::ALL {
+        let ds = generate(kind, Scale::Small, 7);
+        let field = crop(&ds.fields[0].data);
+        let shape = field.shape();
+        let [_, ny, nx] = shape.dims3();
+        let slab = |z0: usize, nz: usize| {
+            NdArray::from_fn(Shape::d3(nz, ny, nx), |z, y, x| field.get3(z0 + z, y, x))
+        };
+        let (bytes, _) = compress_slabs_streams(shape, 8, cfg, 2, slab).expect("compress");
+
+        let mut reference = Vec::new();
+        decompress_slabs_streams(&bytes, cfg, 1, |z0, s| reference.push((z0, bits(&s))))
+            .expect("streams=1");
+        for streams in [1usize, 4] {
+            let mut got = Vec::new();
+            let (got_shape, _) =
+                decompress_slabs_streams(&bytes, cfg, streams, |z0, s| got.push((z0, bits(&s))))
+                    .expect("decompress");
+            assert_eq!(got_shape, shape, "{}", kind.name());
+            assert_eq!(
+                got,
+                reference,
+                "{}: reconstruction differs at streams={streams}",
+                kind.name()
+            );
+        }
+        for devices in [1usize, 2, 4] {
+            for streams in [1usize, 4] {
+                let plan = ShardPlan::new(devices).streams(streams);
+                let mut got = Vec::new();
+                let (got_shape, _) =
+                    decompress_slabs_sharded(&bytes, cfg, plan, |z0, s| got.push((z0, bits(&s))))
+                        .unwrap_or_else(|e| {
+                            panic!("{}: devices={devices} streams={streams}: {e}", kind.name())
+                        });
+                assert_eq!(got_shape, shape, "{}", kind.name());
+                assert_eq!(
+                    got,
+                    reference,
+                    "{}: reconstruction differs at devices={devices} streams={streams}",
+                    kind.name()
+                );
+            }
+        }
     }
 }
 
